@@ -1,0 +1,58 @@
+// Ablation E8 (extension): how much does local search close the gap between
+// the one-shot heuristics and the MTP optimum?  For every one-port heuristic,
+// reports the mean relative performance before and after subtree-reattachment
+// local search on random platforms.
+
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "core/throughput.hpp"
+#include "core/tree_optimizer.hpp"
+#include "experiments/sweeps.hpp"
+#include "platform/random_generator.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace bt;
+  Timer timer;
+  const std::size_t replicates = replicates_from_env(5);
+
+  std::cout << "E8 -- ablation: local-search improvement of the one-shot heuristics\n"
+            << replicates << " random platform(s) of 30 nodes, density 0.12; ratios vs\n"
+            << "the optimal MTP throughput\n\n";
+
+  TablePrinter table({"heuristic", "ratio before", "ratio after", "gain",
+                      "moves (mean)"});
+
+  for (const HeuristicSpec& spec : one_port_heuristics()) {
+    RunningStats before, after, moves;
+    Rng rng(0xFACE ^ std::hash<std::string>{}(spec.name));
+    for (std::size_t rep = 0; rep < replicates; ++rep) {
+      RandomPlatformConfig config;
+      config.num_nodes = 30;
+      config.density = 0.12;
+      Rng prng = rng.split();
+      const Platform p = generate_random_platform(config, prng);
+      const auto ssb = solve_ssb(p);
+      const std::vector<double>* loads = spec.needs_lp_loads ? &ssb.edge_load : nullptr;
+      const BroadcastTree tree = spec.build(p, loads);
+      const auto r = optimize_tree_one_port(p, tree);
+      before.add(1.0 / r.initial_period / ssb.throughput);
+      after.add(1.0 / r.final_period / ssb.throughput);
+      moves.add(static_cast<double>(r.moves));
+    }
+    table.add_row({spec.name, TablePrinter::fmt(before.mean(), 3),
+                   TablePrinter::fmt(after.mean(), 3),
+                   "+" + TablePrinter::fmt((after.mean() - before.mean()) * 100.0, 1) + "pp",
+                   TablePrinter::fmt(moves.mean(), 1)});
+  }
+  table.render(std::cout);
+  std::cout << "\nexpected: weak heuristics (prune_simple, binomial's sanitized tree)\n"
+               "gain the most; the refined heuristics start near their local optima.\n";
+  std::cout << "\nelapsed_s=" << timer.seconds() << "\n";
+  return 0;
+}

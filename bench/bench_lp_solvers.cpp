@@ -1,0 +1,83 @@
+// Ablation E7: the three SSB solvers.  The direct solver transcribes program
+// (2) with all commodity variables; the cutting-plane solver works on the
+// projected master LP with lazy min-cut separation; the column-generation
+// solver packs spanning arborescences (the production solver).  This bench
+// checks their agreement and compares their cost as the platform grows.
+
+#include <cmath>
+#include <iostream>
+
+#include "platform/random_generator.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+#include "ssb/ssb_direct.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace bt;
+  Timer total;
+
+  std::cout << "E7 -- SSB solver cross-validation\n"
+            << "direct program (2) vs cutting plane vs arborescence column generation\n\n";
+
+  TablePrinter table({"nodes", "arcs", "TP direct", "TP cutting", "TP colgen",
+                      "max rel.diff", "direct_ms", "cutting_ms", "colgen_ms"});
+
+  for (std::size_t n : {5, 6, 8, 10, 12}) {
+    Rng rng(n * 7919);
+    RandomPlatformConfig config;
+    config.num_nodes = n;
+    config.density = 0.25;
+    const Platform p = generate_random_platform(config, rng);
+
+    Timer t1;
+    const auto direct = solve_ssb_direct(p);
+    const double direct_ms = t1.millis();
+
+    Timer t2;
+    const auto cutting = solve_ssb_cutting_plane(p);
+    const double cutting_ms = t2.millis();
+
+    Timer t3;
+    const auto colgen = solve_ssb_column_generation(p);
+    const double colgen_ms = t3.millis();
+
+    const double reference = direct.throughput;
+    const double diff = std::max(std::abs(reference - cutting.throughput),
+                                 std::abs(reference - colgen.throughput)) /
+                        std::max(1e-12, reference);
+    table.add_row({std::to_string(n), std::to_string(p.num_edges()),
+                   TablePrinter::fmt(direct.throughput, 4),
+                   TablePrinter::fmt(cutting.throughput, 4),
+                   TablePrinter::fmt(colgen.throughput, 4),
+                   TablePrinter::fmt(diff, 8), TablePrinter::fmt(direct_ms, 1),
+                   TablePrinter::fmt(cutting_ms, 1), TablePrinter::fmt(colgen_ms, 1)});
+  }
+  table.render(std::cout);
+
+  // Column-generation scaling to paper-size platforms (direct would be huge;
+  // the cutting plane stalls on degenerate instances -- see DESIGN.md).
+  std::cout << "\ncolumn-generation scaling on paper-size platforms:\n";
+  TablePrinter scale({"nodes", "arcs", "TP", "ms", "columns", "trees in schedule"});
+  for (std::size_t n : {20, 35, 50, 65}) {
+    Rng rng(n * 104729);
+    RandomPlatformConfig config;
+    config.num_nodes = n;
+    config.density = 0.12;
+    const Platform p = generate_random_platform(config, rng);
+    Timer t;
+    const auto s = solve_ssb_column_generation(p);
+    scale.add_row({std::to_string(n), std::to_string(p.num_edges()),
+                   TablePrinter::fmt(s.throughput, 4), TablePrinter::fmt(t.millis(), 1),
+                   std::to_string(s.cuts_generated), std::to_string(s.trees.size())});
+  }
+  scale.render(std::cout);
+
+  std::cout << "\nexpected: all three solvers agree (max rel.diff ~ 0); column\n"
+               "generation also returns the explicit multi-tree schedule, the step\n"
+               "the paper describes as too complicated to implement.\n";
+  std::cout << "\nelapsed_s=" << total.seconds() << "\n";
+  return 0;
+}

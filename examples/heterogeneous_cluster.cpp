@@ -1,0 +1,55 @@
+// Scenario: dissemination of a large dataset across a heterogeneous
+// cluster-of-clusters (the motivating workload of the paper's introduction).
+// Generates a Tiers-style platform, runs every one-port heuristic, and shows
+// how tree choice changes the time to broadcast a 1 GB dataset.
+//
+//   $ ./heterogeneous_cluster [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "core/throughput.hpp"
+#include "platform/tiers_generator.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bt;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  const Platform platform = generate_tiers_platform(tiers_config_30(), rng);
+  std::cout << "Tiers-style platform: " << platform.num_nodes() << " nodes, "
+            << platform.num_edges() << " arcs, density "
+            << TablePrinter::fmt(platform.graph().density(), 3) << ", source P"
+            << platform.source() << "\n\n";
+
+  const SsbSolution optimum = solve_ssb_cutting_plane(platform);
+  std::cout << "optimal MTP throughput (LP bound): " << optimum.throughput
+            << " slices/s\n\n";
+
+  const double dataset_bytes = 1e9;  // 1 GB to disseminate
+  const auto slices =
+      static_cast<std::size_t>(dataset_bytes / platform.slice_size());
+
+  TablePrinter table({"heuristic", "throughput (slices/s)", "% of optimal",
+                      "1GB broadcast time (s)"});
+  for (const HeuristicSpec& spec : one_port_heuristics()) {
+    const std::vector<double>* loads = spec.needs_lp_loads ? &optimum.edge_load : nullptr;
+    const BroadcastTree tree = spec.build(platform, loads);
+    const double tp = one_port_throughput(platform, tree);
+    const SimResult sim = simulate_pipelined_broadcast(platform, tree, slices);
+    table.add_row({spec.name, TablePrinter::fmt(tp, 2),
+                   TablePrinter::pct(tp / optimum.throughput, 1),
+                   TablePrinter::fmt(sim.completion_time, 2)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nNote how the topology-aware heuristics disseminate the dataset\n"
+               "several times faster than the index-based binomial tree that MPI\n"
+               "implementations use.\n";
+  return 0;
+}

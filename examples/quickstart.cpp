@@ -1,0 +1,61 @@
+// Quickstart: build a small heterogeneous platform by hand, construct a
+// broadcast tree with the paper's best heuristic, and compare it to the
+// optimal multi-tree throughput.
+//
+//   $ ./quickstart
+
+#include <iostream>
+
+#include "core/heuristics.hpp"
+#include "core/throughput.hpp"
+#include "platform/platform.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+
+int main() {
+  using namespace bt;
+
+  // A 6-node platform: one fast cluster (0-1-2), one slow site (3-4-5),
+  // bridged by a WAN link.  Arc costs are per-slice times in seconds for a
+  // 1 MB slice (LinkCost{alpha, beta} with T = alpha + beta * L).
+  Digraph g(6);
+  std::vector<LinkCost> costs;
+  auto link = [&](NodeId a, NodeId b, double mb_per_s) {
+    g.add_bidirectional(a, b);
+    costs.push_back({0.0, 1.0 / (mb_per_s * 1e6)});
+    costs.push_back({0.0, 1.0 / (mb_per_s * 1e6)});
+  };
+  link(0, 1, 120.0);  // fast cluster
+  link(0, 2, 110.0);
+  link(1, 2, 100.0);
+  link(2, 3, 20.0);   // WAN bridge
+  link(3, 4, 80.0);   // slow site
+  link(3, 5, 70.0);
+  link(4, 5, 60.0);
+
+  const Platform platform(std::move(g), std::move(costs), /*slice_size=*/1e6,
+                          /*source=*/0);
+
+  // Build a pipelined broadcast tree with the Grow-Tree heuristic.
+  const BroadcastTree tree = grow_tree(platform);
+  std::cout << "broadcast tree (grow_tree heuristic):\n"
+            << describe_tree(platform, tree) << "\n";
+
+  const double throughput = one_port_throughput(platform, tree);
+  std::cout << "steady-state throughput: " << throughput << " slices/s ("
+            << throughput * platform.slice_size() / 1e6 << " MB/s)\n";
+
+  // Compare against the optimal multi-tree (MTP) throughput from the LP.
+  const SsbSolution optimum = solve_ssb_cutting_plane(platform);
+  std::cout << "optimal MTP throughput:  " << optimum.throughput << " slices/s\n";
+  std::cout << "relative performance:    "
+            << 100.0 * throughput / optimum.throughput << "%\n\n";
+
+  // Sanity-check the closed form with the discrete-event simulator.
+  const SimResult sim = simulate_pipelined_broadcast(platform, tree, 500);
+  std::cout << "simulated steady throughput (500 slices): " << sim.steady_throughput
+            << " slices/s\n"
+            << "broadcasting a 500 MB message takes " << sim.completion_time
+            << " s end to end\n";
+  return 0;
+}

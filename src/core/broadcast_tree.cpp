@@ -1,0 +1,90 @@
+#include "core/broadcast_tree.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "graph/arborescence.hpp"
+#include "graph/reachability.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+void BroadcastTree::validate(const Platform& platform) const {
+  BT_REQUIRE(root == platform.source(),
+             "BroadcastTree::validate: tree root is not the platform source");
+  std::string why;
+  BT_REQUIRE(is_spanning_arborescence(platform.graph(), root, edges, &why),
+             "BroadcastTree::validate: " + why);
+}
+
+std::vector<EdgeId> BroadcastTree::parent_edges(const Platform& platform) const {
+  return parent_edge_array(platform.graph(), root, edges);
+}
+
+std::vector<std::vector<EdgeId>> BroadcastTree::children(const Platform& platform) const {
+  return children_lists(platform.graph(), parent_edges(platform));
+}
+
+std::vector<double> BroadcastTree::weighted_out_degrees(const Platform& platform,
+                                                        const BroadcastTree& tree) {
+  std::vector<double> degree(platform.num_nodes(), 0.0);
+  for (EdgeId e : tree.edges) degree[platform.graph().from(e)] += platform.edge_time(e);
+  return degree;
+}
+
+BroadcastOverlay BroadcastOverlay::from_tree(const BroadcastTree& tree) {
+  BroadcastOverlay overlay;
+  overlay.root = tree.root;
+  overlay.arcs = tree.edges;
+  return overlay;
+}
+
+void BroadcastOverlay::validate(const Platform& platform) const {
+  const Digraph& g = platform.graph();
+  BT_REQUIRE(root == platform.source(),
+             "BroadcastOverlay::validate: root is not the platform source");
+  EdgeMask active(g.num_edges(), 0);
+  for (EdgeId e : arcs) {
+    BT_REQUIRE(e < g.num_edges(), "BroadcastOverlay::validate: arc id out of range");
+    active[e] = 1;
+  }
+  BT_REQUIRE(all_reachable_from(g, root, active),
+             "BroadcastOverlay::validate: overlay does not reach every node");
+}
+
+BroadcastOverlay::PortLoads BroadcastOverlay::port_loads(const Platform& platform) const {
+  const Digraph& g = platform.graph();
+  PortLoads loads;
+  loads.out_time.assign(g.num_nodes(), 0.0);
+  loads.in_time.assign(g.num_nodes(), 0.0);
+  loads.out_multiplicity.assign(g.num_nodes(), 0);
+  for (EdgeId e : arcs) {
+    const double t = platform.edge_time(e);
+    loads.out_time[g.from(e)] += t;
+    loads.in_time[g.to(e)] += t;
+    ++loads.out_multiplicity[g.from(e)];
+  }
+  return loads;
+}
+
+std::string describe_tree(const Platform& platform, const BroadcastTree& tree) {
+  const Digraph& g = platform.graph();
+  const auto parent = tree.parent_edges(platform);
+  const auto depth = node_depths(g, tree.root, parent);
+  const auto order = bfs_order(g, tree.root, parent);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  for (NodeId u : order) {
+    os << std::string(2 * depth[u], ' ');
+    if (u == tree.root) {
+      os << "P" << u << " (source)\n";
+    } else {
+      const EdgeId e = parent[u];
+      os << "P" << u << "  <- P" << g.from(e) << "  (" << platform.edge_time(e) * 1e3
+         << " ms/slice)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bt

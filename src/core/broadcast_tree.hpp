@@ -1,0 +1,75 @@
+#pragma once
+
+// Broadcast trees: the central object of the paper.
+//
+// A BroadcastTree is a spanning out-arborescence of the platform graph
+// rooted at the source processor.  Message slices are pipelined along it; in
+// steady state the tree's throughput is determined by its most loaded node
+// (see throughput.hpp).
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+/// A spanning out-arborescence of a platform graph.
+struct BroadcastTree {
+  NodeId root = 0;
+  /// Arc ids (into the platform graph) of the n-1 tree arcs.
+  std::vector<EdgeId> edges;
+
+  /// Validate against a platform; throws bt::Error when not a spanning
+  /// arborescence rooted at the platform source.
+  void validate(const Platform& platform) const;
+
+  /// parent_edge[v] = tree arc entering v (Digraph::npos for the root).
+  std::vector<EdgeId> parent_edges(const Platform& platform) const;
+
+  /// children[u] = tree arcs leaving u.
+  std::vector<std::vector<EdgeId>> children(const Platform& platform) const;
+
+  /// Weighted out-degree of node u in the tree: sum of T_e over tree arcs
+  /// leaving u.  This is the per-slice emission time of u in steady state.
+  static std::vector<double> weighted_out_degrees(const Platform& platform,
+                                                  const BroadcastTree& tree);
+};
+
+/// Human-readable one-line-per-node rendering (for examples / debugging).
+std::string describe_tree(const Platform& platform, const BroadcastTree& tree);
+
+/// A pipelined broadcast *overlay*: a multiset of arcs, one entry per
+/// point-to-point hop of the schedule, over which every slice is shipped.
+///
+/// A spanning tree is the special case with n-1 distinct arcs; the
+/// Binomial-Tree heuristic (Algorithm 4) produces a genuine multiset because
+/// its index-based transfers are routed over shortest paths that overlap --
+/// hub nodes relay several copies of every slice, which is precisely why the
+/// MPI-style baseline performs poorly on sparse topologies.  Overlays are
+/// what the experiment harness rates; tree heuristics convert losslessly.
+struct BroadcastOverlay {
+  NodeId root = 0;
+  /// Arc ids with multiplicity (an arc used by k transfers appears k times).
+  std::vector<EdgeId> arcs;
+
+  /// Lossless view of a spanning tree as an overlay.
+  static BroadcastOverlay from_tree(const BroadcastTree& tree);
+
+  /// Check that every slice can reach every node: each non-root node has at
+  /// least one incoming overlay arc and is reachable from the root through
+  /// overlay arcs.  Throws bt::Error otherwise.
+  void validate(const Platform& platform) const;
+
+  /// Per-node serialized occupation times per slice under the one-port
+  /// model: {emission time, reception time} for each node.
+  struct PortLoads {
+    std::vector<double> out_time;
+    std::vector<double> in_time;
+    std::vector<std::size_t> out_multiplicity;
+  };
+  PortLoads port_loads(const Platform& platform) const;
+};
+
+}  // namespace bt

@@ -1,0 +1,110 @@
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "graph/shortest_paths.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Logical transfer of the MPI binomial schedule: index `holder` forwards to
+/// index `receiver`.
+struct Transfer {
+  std::size_t holder;
+  std::size_t receiver;
+};
+
+/// The classical binomial broadcast schedule over indices 0..p-1 with the
+/// source at index 0 (Algorithm 4): stage q doubles the number of holders
+/// among the first 2^m indices; remaining indices x >= 2^m then receive from
+/// x - 2^m.
+std::vector<Transfer> binomial_schedule(std::size_t p) {
+  std::size_t m = 0;
+  while ((std::size_t{1} << (m + 1)) <= p) ++m;
+  std::vector<Transfer> transfers;
+  for (std::size_t q = 0; q < m; ++q) {
+    const std::size_t stride = std::size_t{1} << (m - q);
+    for (std::size_t x = 0; x < (std::size_t{1} << q); ++x) {
+      transfers.push_back(Transfer{x * stride, x * stride + stride / 2});
+    }
+  }
+  for (std::size_t x = (std::size_t{1} << m); x < p; ++x) {
+    transfers.push_back(Transfer{x - (std::size_t{1} << m), x});
+  }
+  return transfers;
+}
+
+/// Index 0 is the source; the other processors keep their node-id order.
+/// The binomial schedule is built on indices only -- deliberately blind to
+/// the topology, as in MPI implementations (that is the point of this
+/// baseline).
+std::vector<NodeId> index_mapping(const Digraph& g, NodeId source) {
+  std::vector<NodeId> index_to_node;
+  index_to_node.reserve(g.num_nodes());
+  index_to_node.push_back(source);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u != source) index_to_node.push_back(u);
+  }
+  return index_to_node;
+}
+
+/// Route every scheduled transfer over the T-weighted shortest path and
+/// return the concatenation of all path arcs (with multiplicity).
+std::vector<EdgeId> routed_transfer_arcs(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  const auto index_to_node = index_mapping(g, platform.source());
+  const auto weights = platform.edge_times();
+  std::vector<EdgeId> arcs;
+  for (const Transfer& transfer : binomial_schedule(g.num_nodes())) {
+    const NodeId from = index_to_node[transfer.holder];
+    const NodeId to = index_to_node[transfer.receiver];
+    const auto spt = dijkstra(g, from, weights);
+    BT_REQUIRE(spt.reachable(to), "binomial: transfer target unreachable");
+    for (EdgeId e : spt.path_to(g, to)) arcs.push_back(e);
+  }
+  return arcs;
+}
+
+}  // namespace
+
+BroadcastOverlay binomial_overlay(const Platform& platform) {
+  BroadcastOverlay overlay;
+  overlay.root = platform.source();
+  overlay.arcs = routed_transfer_arcs(platform);
+  overlay.validate(platform);
+  return overlay;
+}
+
+BroadcastTree binomial_tree(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  const std::size_t p = g.num_nodes();
+  const NodeId source = platform.source();
+
+  // Sanitize the routed hop sequence into an arborescence: walking the hops
+  // in schedule order, a node joins the tree with the first arc that reaches
+  // it (relay nodes become tree members when first traversed).
+  std::vector<char> in_tree(p, 0);
+  std::vector<EdgeId> parent(p, Digraph::npos);
+  in_tree[source] = 1;
+  for (EdgeId e : routed_transfer_arcs(platform)) {
+    const NodeId v = g.to(e);
+    // Hops whose tail is not yet informed cannot deliver a fresh slice
+    // first; in schedule order this does not occur for fresh targets.
+    if (!in_tree[v] && in_tree[g.from(e)]) {
+      in_tree[v] = 1;
+      parent[v] = e;
+    }
+  }
+
+  BroadcastTree tree;
+  tree.root = source;
+  tree.edges.reserve(p - 1);
+  for (NodeId v = 0; v < p; ++v) {
+    if (parent[v] != Digraph::npos) tree.edges.push_back(parent[v]);
+  }
+  tree.validate(platform);
+  return tree;
+}
+
+}  // namespace bt

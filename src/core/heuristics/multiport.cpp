@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/heuristics.hpp"
+#include "graph/reachability.hpp"
+#include "core/heuristics/prune_common.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Multi-port steady-state period of node u given its children count and the
+/// largest outgoing tree-arc time (Section 3.2):
+/// Tperiod(u) = max(deltaout(u) * send_u, max_child T_{u,child}).
+double node_period(const Platform& platform, NodeId u, std::size_t num_children,
+                   double max_link) {
+  return std::max(static_cast<double>(num_children) * platform.send_overhead(u), max_link);
+}
+
+}  // namespace
+
+BroadcastTree multiport_grow_tree(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  const std::size_t n = g.num_nodes();
+  const NodeId source = platform.source();
+
+  // Algorithm 5: the attachment cost of arc (u,v) is the period u would have
+  // after gaining v as an extra child.
+  std::vector<char> in_tree(n, 0);
+  std::vector<std::size_t> num_children(n, 0);
+  std::vector<double> max_link(n, 0.0);
+  in_tree[source] = 1;
+
+  BroadcastTree tree;
+  tree.root = source;
+  tree.edges.reserve(n - 1);
+
+  for (std::size_t added = 0; added + 1 < n; ++added) {
+    EdgeId best = Digraph::npos;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const NodeId u = g.from(e);
+      const NodeId v = g.to(e);
+      if (!in_tree[u] || in_tree[v]) continue;
+      const double cost =
+          node_period(platform, u, num_children[u] + 1,
+                      std::max(max_link[u], platform.edge_time(e)));
+      if (cost < best_cost || (cost == best_cost && e < best)) {
+        best_cost = cost;
+        best = e;
+      }
+    }
+    BT_REQUIRE(best != Digraph::npos, "multiport_grow_tree: frontier empty");
+    const NodeId u = g.from(best);
+    ++num_children[u];
+    max_link[u] = std::max(max_link[u], platform.edge_time(best));
+    in_tree[g.to(best)] = 1;
+    tree.edges.push_back(best);
+  }
+  tree.validate(platform);
+  return tree;
+}
+
+BroadcastTree multiport_prune_degree(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  const std::size_t n = g.num_nodes();
+  const std::size_t target = n - 1;
+
+  EdgeMask mask(g.num_edges(), 1);
+  std::size_t active = g.num_edges();
+  BT_REQUIRE(active >= target, "multiport_prune_degree: too few arcs");
+
+  // Per-node multi-port period over the *active* outgoing arcs.
+  auto period_of = [&](NodeId u) {
+    std::size_t degree = 0;
+    double link = 0.0;
+    for (EdgeId e : g.out_edges(u)) {
+      if (!mask[e]) continue;
+      ++degree;
+      link = std::max(link, platform.edge_time(e));
+    }
+    if (degree == 0) return 0.0;
+    return node_period(platform, u, degree, link);
+  };
+
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+
+  while (active > target) {
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      const double pa = period_of(a);
+      const double pb = period_of(b);
+      if (pa != pb) return pa > pb;
+      return a < b;
+    });
+    bool removed = false;
+    for (NodeId u : nodes) {
+      std::vector<EdgeId> arcs;
+      for (EdgeId e : g.out_edges(u)) {
+        if (mask[e]) arcs.push_back(e);
+      }
+      std::sort(arcs.begin(), arcs.end(), [&](EdgeId a, EdgeId b) {
+        if (platform.edge_time(a) != platform.edge_time(b)) {
+          return platform.edge_time(a) > platform.edge_time(b);
+        }
+        return a < b;
+      });
+      for (EdgeId e : arcs) {
+        if (all_reachable_without(g, platform.source(), mask, e)) {
+          mask[e] = 0;
+          --active;
+          removed = true;
+          break;
+        }
+      }
+      if (removed) break;
+    }
+    BT_REQUIRE(removed, "multiport_prune_degree: stuck above n-1 arcs");
+  }
+  return detail::mask_to_tree(platform, mask);
+}
+
+}  // namespace bt

@@ -1,0 +1,50 @@
+#include "core/heuristics/prune_common.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bt::detail {
+
+EdgeMask prune_with_static_order(const Platform& platform,
+                                 const std::vector<EdgeId>& order) {
+  const Digraph& g = platform.graph();
+  const std::size_t target = g.num_nodes() - 1;
+  EdgeMask mask(g.num_edges(), 1);
+  std::size_t active = g.num_edges();
+  BT_REQUIRE(active >= target, "prune: graph has fewer than n-1 arcs");
+
+  // Removals never make a previously unremovable arc removable again, so a
+  // single pass in priority order reaches n-1 arcs; the outer loop guards
+  // the invariant anyway.
+  while (active > target) {
+    bool removed_any = false;
+    for (EdgeId e : order) {
+      if (active == target) break;
+      if (!mask[e]) continue;
+      if (all_reachable_without(g, platform.source(), mask, e)) {
+        mask[e] = 0;
+        --active;
+        removed_any = true;
+      }
+    }
+    BT_REQUIRE(removed_any, "prune: stuck above n-1 arcs (graph not prunable)");
+  }
+  return mask;
+}
+
+std::size_t active_count(const EdgeMask& mask) {
+  return static_cast<std::size_t>(std::count(mask.begin(), mask.end(), char{1}));
+}
+
+BroadcastTree mask_to_tree(const Platform& platform, const EdgeMask& mask) {
+  BroadcastTree tree;
+  tree.root = platform.source();
+  for (EdgeId e = 0; e < mask.size(); ++e) {
+    if (mask[e]) tree.edges.push_back(e);
+  }
+  tree.validate(platform);
+  return tree;
+}
+
+}  // namespace bt::detail

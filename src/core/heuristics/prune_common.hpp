@@ -1,0 +1,26 @@
+#pragma once
+
+// Internal helpers shared by the pruning heuristics (Algorithms 1, 2, 6 and
+// the multi-port pruning variant).  Not part of the public API.
+
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "graph/reachability.hpp"
+#include "platform/platform.hpp"
+
+namespace bt::detail {
+
+/// Prune arcs following a fixed priority order (first entries tried first),
+/// keeping every node reachable from the source, until exactly n-1 arcs
+/// remain.  Returns the surviving arc mask.
+EdgeMask prune_with_static_order(const Platform& platform,
+                                 const std::vector<EdgeId>& order);
+
+/// Number of active arcs in a mask.
+std::size_t active_count(const EdgeMask& mask);
+
+/// Convert a mask with exactly n-1 active arcs into a validated tree.
+BroadcastTree mask_to_tree(const Platform& platform, const EdgeMask& mask);
+
+}  // namespace bt::detail

@@ -1,0 +1,62 @@
+#include <algorithm>
+#include <numeric>
+
+#include "core/heuristics.hpp"
+#include "core/heuristics/prune_common.hpp"
+#include "graph/reachability.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+BroadcastTree prune_platform_degree(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  const std::size_t n = g.num_nodes();
+  const std::size_t target = n - 1;
+
+  EdgeMask mask(g.num_edges(), 1);
+  std::size_t active = g.num_edges();
+  BT_REQUIRE(active >= target, "prune_platform_degree: too few arcs");
+
+  // Algorithm 2: OutDegree(u) = sum of active outgoing weights.
+  std::vector<double> out_degree(n, 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) out_degree[g.from(e)] += platform.edge_time(e);
+
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+
+  while (active > target) {
+    // Nodes sorted by non-increasing weighted out-degree (line 5).
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      if (out_degree[a] != out_degree[b]) return out_degree[a] > out_degree[b];
+      return a < b;
+    });
+    bool removed = false;
+    for (NodeId u : nodes) {
+      // u's active arcs by decreasing weight (line 7).
+      std::vector<EdgeId> arcs;
+      for (EdgeId e : g.out_edges(u)) {
+        if (mask[e]) arcs.push_back(e);
+      }
+      std::sort(arcs.begin(), arcs.end(), [&](EdgeId a, EdgeId b) {
+        if (platform.edge_time(a) != platform.edge_time(b)) {
+          return platform.edge_time(a) > platform.edge_time(b);
+        }
+        return a < b;
+      });
+      for (EdgeId e : arcs) {
+        if (all_reachable_without(g, platform.source(), mask, e)) {
+          mask[e] = 0;
+          --active;
+          out_degree[u] -= platform.edge_time(e);
+          removed = true;
+          break;  // "goto 4": re-rank nodes after every removal
+        }
+      }
+      if (removed) break;
+    }
+    BT_REQUIRE(removed, "prune_platform_degree: stuck above n-1 arcs");
+  }
+  return detail::mask_to_tree(platform, mask);
+}
+
+}  // namespace bt

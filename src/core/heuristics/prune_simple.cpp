@@ -1,0 +1,24 @@
+#include <algorithm>
+#include <numeric>
+
+#include "core/heuristics.hpp"
+#include "core/heuristics/prune_common.hpp"
+
+namespace bt {
+
+BroadcastTree prune_platform_simple(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  // Algorithm 1: try to delete arcs by non-increasing weight T_{u,v}.
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (platform.edge_time(a) != platform.edge_time(b)) {
+      return platform.edge_time(a) > platform.edge_time(b);
+    }
+    return a < b;  // deterministic tie-break
+  });
+  const auto mask = detail::prune_with_static_order(platform, order);
+  return detail::mask_to_tree(platform, mask);
+}
+
+}  // namespace bt

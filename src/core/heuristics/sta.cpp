@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <limits>
+
+#include "core/heuristics.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Greedy STA construction shared by Fastest-Node-First and
+/// Fastest-Edge-First.  Both maintain, for every informed node, the time its
+/// outgoing port frees up; at each step one uninformed node is attached via
+/// a direct arc and the sender's port advances by T_{u,v} (one-port,
+/// non-pipelined semantics).  The two baselines differ only in how the next
+/// (sender, receiver) pair is chosen.
+struct StaState {
+  std::vector<char> informed;
+  std::vector<double> port_free;  ///< next time the node's out port is free
+  std::vector<double> received;   ///< time the node finished receiving
+};
+
+BroadcastTree greedy_sta(const Platform& platform, bool fastest_node_first) {
+  const Digraph& g = platform.graph();
+  const std::size_t n = g.num_nodes();
+  const NodeId source = platform.source();
+
+  StaState st;
+  st.informed.assign(n, 0);
+  st.port_free.assign(n, 0.0);
+  st.received.assign(n, 0.0);
+  st.informed[source] = 1;
+
+  // FNF node-speed estimate: the fastest rate at which the node can forward
+  // (min outgoing per-slice time); smaller = faster.
+  std::vector<double> node_speed(n, std::numeric_limits<double>::infinity());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    node_speed[g.from(e)] = std::min(node_speed[g.from(e)], platform.edge_time(e));
+  }
+
+  BroadcastTree tree;
+  tree.root = source;
+  tree.edges.reserve(n - 1);
+
+  for (std::size_t added = 0; added + 1 < n; ++added) {
+    EdgeId best = Digraph::npos;
+    double best_completion = std::numeric_limits<double>::infinity();
+    double best_speed = std::numeric_limits<double>::infinity();
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const NodeId u = g.from(e);
+      const NodeId v = g.to(e);
+      if (!st.informed[u] || st.informed[v]) continue;
+      const double start = std::max(st.port_free[u], st.received[u]);
+      const double completion = start + platform.edge_time(e);
+      bool better = false;
+      if (fastest_node_first) {
+        // Primary key: attach the fastest forwarder next; secondary key:
+        // earliest completion of the transfer to it.
+        if (node_speed[v] < best_speed ||
+            (node_speed[v] == best_speed && completion < best_completion)) {
+          better = true;
+        }
+      } else {
+        // Fastest-Edge-First: pure earliest completion.
+        better = completion < best_completion;
+      }
+      if (better || (completion == best_completion && node_speed[v] == best_speed &&
+                     best != Digraph::npos && e < best)) {
+        best = e;
+        best_completion = completion;
+        best_speed = node_speed[v];
+      }
+    }
+    BT_REQUIRE(best != Digraph::npos, "greedy_sta: frontier empty before spanning");
+    const NodeId u = g.from(best);
+    const NodeId v = g.to(best);
+    st.port_free[u] = best_completion;
+    st.received[v] = best_completion;
+    st.informed[v] = 1;
+    tree.edges.push_back(best);
+  }
+  tree.validate(platform);
+  return tree;
+}
+
+}  // namespace
+
+BroadcastTree fastest_node_first(const Platform& platform) {
+  return greedy_sta(platform, /*fastest_node_first=*/true);
+}
+
+BroadcastTree fastest_edge_first(const Platform& platform) {
+  return greedy_sta(platform, /*fastest_node_first=*/false);
+}
+
+}  // namespace bt

@@ -1,0 +1,92 @@
+#include "core/registry.hpp"
+
+#include "core/heuristics.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+std::vector<HeuristicSpec> make_catalog() {
+  std::vector<HeuristicSpec> catalog;
+  auto topo = [](BroadcastTree (*fn)(const Platform&)) {
+    return [fn](const Platform& platform, const std::vector<double>*) {
+      return fn(platform);
+    };
+  };
+  auto lp = [](BroadcastTree (*fn)(const Platform&, const std::vector<double>&)) {
+    return [fn](const Platform& platform, const std::vector<double>* loads) {
+      BT_REQUIRE(loads != nullptr, "heuristic requires LP edge loads");
+      return fn(platform, *loads);
+    };
+  };
+  auto add = [&](std::string name, std::string label, bool needs_lp, bool multiport,
+                 std::function<BroadcastTree(const Platform&, const std::vector<double>*)>
+                     build) {
+    HeuristicSpec spec;
+    spec.name = std::move(name);
+    spec.paper_label = std::move(label);
+    spec.needs_lp_loads = needs_lp;
+    spec.multiport = multiport;
+    spec.build = build;
+    spec.build_overlay = [build](const Platform& platform,
+                                 const std::vector<double>* loads) {
+      return BroadcastOverlay::from_tree(build(platform, loads));
+    };
+    catalog.push_back(std::move(spec));
+  };
+
+  add("prune_simple", "Prune Platform Simple", false, false, topo(&prune_platform_simple));
+  add("prune_degree", "Prune Platform Degree", false, false, topo(&prune_platform_degree));
+  add("grow_tree", "Grow Tree", false, false, topo(&grow_tree));
+  add("binomial", "Binomial Tree", false, false, topo(&binomial_tree));
+  // The rated artifact for binomial is the faithful multiset of routed hops.
+  catalog.back().build_overlay = [](const Platform& platform, const std::vector<double>*) {
+    return binomial_overlay(platform);
+  };
+  add("lp_grow_tree", "LP Grow Tree", true, false, lp(&lp_grow_tree));
+  add("lp_prune", "LP Prune", true, false, lp(&lp_prune));
+  add("multiport_grow_tree", "Multi Port Grow Tree", false, true,
+      topo(&multiport_grow_tree));
+  add("multiport_prune_degree", "Multi Port Prune Degree", false, true,
+      topo(&multiport_prune_degree));
+  add("fastest_node_first", "Fastest Node First", false, false, topo(&fastest_node_first));
+  add("fastest_edge_first", "Fastest Edge First", false, false, topo(&fastest_edge_first));
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<HeuristicSpec>& heuristic_catalog() {
+  static const std::vector<HeuristicSpec> catalog = make_catalog();
+  return catalog;
+}
+
+std::vector<HeuristicSpec> one_port_heuristics() {
+  // Figure 4 / Table 3 line-up, in the paper's legend order.
+  const char* names[] = {"prune_simple", "prune_degree", "grow_tree",
+                         "lp_grow_tree", "lp_prune", "binomial"};
+  std::vector<HeuristicSpec> result;
+  for (const char* name : names) result.push_back(find_heuristic(name));
+  return result;
+}
+
+std::vector<HeuristicSpec> multiport_heuristics() {
+  // Figure 5 line-up.
+  const char* names[] = {"multiport_prune_degree", "multiport_grow_tree",
+                         "lp_grow_tree", "lp_prune", "binomial"};
+  std::vector<HeuristicSpec> result;
+  for (const char* name : names) result.push_back(find_heuristic(name));
+  return result;
+}
+
+const HeuristicSpec& find_heuristic(const std::string& name) {
+  for (const HeuristicSpec& spec : heuristic_catalog()) {
+    if (spec.name == name) return spec;
+  }
+  BT_REQUIRE(false, "find_heuristic: unknown heuristic '" + name + "'");
+  // Unreachable; silences the compiler.
+  return heuristic_catalog().front();
+}
+
+}  // namespace bt

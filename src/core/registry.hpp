@@ -1,0 +1,43 @@
+#pragma once
+
+// Named catalog of all tree-construction heuristics.  The experiment harness
+// and the benches iterate the catalog instead of hard-coding call sites, so
+// adding a heuristic automatically adds it to every sweep.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+/// A registered tree heuristic.  `build` receives the platform and, for the
+/// LP-based heuristics, the MTP edge loads n_{u,v} (null otherwise).
+struct HeuristicSpec {
+  std::string name;         ///< stable code name, e.g. "grow_tree"
+  std::string paper_label;  ///< legend label used by the paper's figures
+  bool needs_lp_loads = false;
+  bool multiport = false;   ///< designed for the multi-port model
+  std::function<BroadcastTree(const Platform&, const std::vector<double>* loads)> build;
+  /// What the experiment harness rates.  For tree heuristics this is the
+  /// tree viewed as an overlay; the binomial baseline returns the faithful
+  /// multiset of routed hops instead (Algorithm 4 as written).
+  std::function<BroadcastOverlay(const Platform&, const std::vector<double>* loads)>
+      build_overlay;
+};
+
+/// All registered heuristics, in the paper's presentation order.
+const std::vector<HeuristicSpec>& heuristic_catalog();
+
+/// The subset evaluated in the one-port experiments (Figures 4a/4b, Table 3).
+std::vector<HeuristicSpec> one_port_heuristics();
+
+/// The subset evaluated in the multi-port experiment (Figure 5).
+std::vector<HeuristicSpec> multiport_heuristics();
+
+/// Lookup by code name; throws bt::Error when unknown.
+const HeuristicSpec& find_heuristic(const std::string& name);
+
+}  // namespace bt

@@ -1,0 +1,75 @@
+#include "core/scatter.hpp"
+
+#include <algorithm>
+
+#include "graph/arborescence.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+std::vector<std::size_t> subtree_sizes(const Platform& platform, const BroadcastTree& tree) {
+  const Digraph& g = platform.graph();
+  const auto parent = tree.parent_edges(platform);
+  const auto order = bfs_order(g, tree.root, parent);
+  std::vector<std::size_t> size(g.num_nodes(), 1);
+  // Accumulate bottom-up: reverse BFS order visits children before parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (parent[v] != Digraph::npos) size[g.from(parent[v])] += size[v];
+  }
+  return size;
+}
+
+double scatter_period(const Platform& platform, const BroadcastTree& tree) {
+  const Digraph& g = platform.graph();
+  const auto size = subtree_sizes(platform, tree);
+  const auto children = tree.children(platform);
+  double period = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    double emission = 0.0;
+    for (EdgeId e : children[u]) {
+      const double arc_time =
+          platform.edge_time(e) * static_cast<double>(size[g.to(e)]);
+      emission += arc_time;
+      // Reception at the child: its single in-arc carries |subtree| slices.
+      period = std::max(period, arc_time);
+    }
+    period = std::max(period, emission);
+  }
+  BT_ASSERT(period > 0.0, "scatter_period: tree with no arcs");
+  return period;
+}
+
+double scatter_throughput(const Platform& platform, const BroadcastTree& tree) {
+  return 1.0 / scatter_period(platform, tree);
+}
+
+double gather_period(const Platform& platform, const BroadcastTree& tree) {
+  const Digraph& g = platform.graph();
+  const auto size = subtree_sizes(platform, tree);
+  const auto children = tree.children(platform);
+  double period = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    double reception = 0.0;  // u's in-port collects from all children
+    for (EdgeId e : children[u]) {
+      const NodeId v = g.to(e);
+      const EdgeId reverse = g.find_edge(v, u);
+      BT_REQUIRE(reverse != Digraph::npos,
+                 "gather_period: tree arc has no reverse platform arc");
+      const double arc_time =
+          platform.edge_time(reverse) * static_cast<double>(size[v]);
+      reception += arc_time;
+      // Emission at the child: its single up-arc carries |subtree| slices.
+      period = std::max(period, arc_time);
+    }
+    period = std::max(period, reception);
+  }
+  BT_ASSERT(period > 0.0, "gather_period: tree with no arcs");
+  return period;
+}
+
+double gather_throughput(const Platform& platform, const BroadcastTree& tree) {
+  return 1.0 / gather_period(platform, tree);
+}
+
+}  // namespace bt

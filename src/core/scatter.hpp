@@ -1,0 +1,47 @@
+#pragma once
+
+// Steady-state scatter and gather on trees (extension).
+//
+// Section 4.1 of the paper points out the structural difference between
+// broadcast and scatter: on an arc, broadcast messages to different
+// destinations overlap (n_e = max_w x_e^w) while scatter messages are
+// disjoint (n_e = sum_w x_e^w).  On a tree this has a clean closed form: in
+// every steady-state round the source emits one personalized slice per
+// destination, so the arc from u to child v carries |subtree(v)| slices per
+// round and the one-port period is
+//
+//   max_u max( sum_{v in children(u)} T_{u,v} * |subtree(v)|,   (emission)
+//              T_{parent(u),u} * |subtree(u)| )                 (reception)
+//
+// Gather (or reduce with constant-size partial results) is the
+// time-reversed operation on the reversed tree and has the same period when
+// the reverse arcs have the same cost; we evaluate it on the reverse arcs
+// explicitly so asymmetric links are honored.
+
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+/// Number of nodes in the subtree rooted at each node (the node included).
+std::vector<std::size_t> subtree_sizes(const Platform& platform, const BroadcastTree& tree);
+
+/// One-port steady-state period of a pipelined *scatter* along the tree:
+/// per round, every destination receives one personalized slice.
+double scatter_period(const Platform& platform, const BroadcastTree& tree);
+
+/// Scatter throughput: rounds per second (each round = one slice per node).
+double scatter_throughput(const Platform& platform, const BroadcastTree& tree);
+
+/// One-port steady-state period of a pipelined *gather* along the tree:
+/// children forward their subtree's slices to the parent over the reverse
+/// arcs.  Throws bt::Error if some reverse arc does not exist in the
+/// platform graph.
+double gather_period(const Platform& platform, const BroadcastTree& tree);
+
+/// Gather throughput: rounds per second.
+double gather_throughput(const Platform& platform, const BroadcastTree& tree);
+
+}  // namespace bt

@@ -1,0 +1,112 @@
+#include "core/stp_exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/throughput.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Depth-first enumeration over per-node parent choices with incremental
+/// cycle pruning: node order is fixed; a partial assignment is abandoned as
+/// soon as the chosen parent arcs contain a cycle among assigned nodes.
+class Enumerator {
+ public:
+  Enumerator(const Platform& platform, std::size_t max_trees)
+      : platform_(platform), graph_(platform.graph()), max_trees_(max_trees) {
+    const NodeId source = platform.source();
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (v != source) targets_.push_back(v);
+    }
+    parent_.assign(graph_.num_nodes(), Digraph::npos);
+    out_degree_.assign(graph_.num_nodes(), 0.0);
+    best_period_ = std::numeric_limits<double>::infinity();
+  }
+
+  StpExhaustiveResult run() {
+    recurse(0, 0.0);
+    StpExhaustiveResult result;
+    result.completed = !cap_hit_;
+    result.trees_enumerated = enumerated_;
+    BT_REQUIRE(best_period_ < std::numeric_limits<double>::infinity(),
+               "stp_optimal_tree: no spanning arborescence found");
+    result.best_period = best_period_;
+    result.best_tree.root = platform_.source();
+    result.best_tree.edges = best_edges_;
+    return result;
+  }
+
+ private:
+  /// True iff assigning `arc` as the parent of its head creates a cycle
+  /// within the currently assigned arcs.
+  bool creates_cycle(EdgeId arc) const {
+    const NodeId head = graph_.to(arc);
+    NodeId cur = graph_.from(arc);
+    while (cur != platform_.source()) {
+      if (cur == head) return true;
+      const EdgeId up = parent_[cur];
+      if (up == Digraph::npos) return false;  // reaches an unassigned node
+      cur = graph_.from(up);
+    }
+    return false;
+  }
+
+  void recurse(std::size_t index, double max_degree_so_far) {
+    if (cap_hit_ || max_degree_so_far >= best_period_) return;  // prune
+    if (index == targets_.size()) {
+      ++enumerated_;
+      if (max_degree_so_far < best_period_) {
+        best_period_ = max_degree_so_far;
+        best_edges_.clear();
+        for (NodeId v : targets_) best_edges_.push_back(parent_[v]);
+      }
+      return;
+    }
+    // Cap on *complete* trees, with a generous guard on partial assignments
+    // so the search cannot wander exponentially without ever finishing one.
+    if (enumerated_ >= max_trees_ ||
+        (enumerated_ > 0 && visited_ >= 1000 * max_trees_)) {
+      cap_hit_ = true;
+      return;
+    }
+    ++visited_;
+    const NodeId v = targets_[index];
+    for (EdgeId e : graph_.in_edges(v)) {
+      if (creates_cycle(e)) continue;
+      const NodeId u = graph_.from(e);
+      parent_[v] = e;
+      out_degree_[u] += platform_.edge_time(e);
+      recurse(index + 1, std::max(max_degree_so_far, out_degree_[u]));
+      out_degree_[u] -= platform_.edge_time(e);
+      parent_[v] = Digraph::npos;
+    }
+  }
+
+  const Platform& platform_;
+  const Digraph& graph_;
+  std::size_t max_trees_;
+  std::vector<NodeId> targets_;
+  std::vector<EdgeId> parent_;
+  std::vector<double> out_degree_;
+  double best_period_ = 0.0;
+  std::vector<EdgeId> best_edges_;
+  std::size_t enumerated_ = 0;
+  std::size_t visited_ = 0;
+  bool cap_hit_ = false;
+};
+
+}  // namespace
+
+StpExhaustiveResult stp_optimal_tree(const Platform& platform, std::size_t max_trees) {
+  BT_REQUIRE(platform.num_nodes() >= 2, "stp_optimal_tree: need at least two nodes");
+  Enumerator enumerator(platform, max_trees);
+  StpExhaustiveResult result = enumerator.run();
+  result.best_tree.validate(platform);
+  return result;
+}
+
+}  // namespace bt

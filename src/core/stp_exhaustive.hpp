@@ -1,0 +1,34 @@
+#pragma once
+
+// Exhaustive STP optimum (extension).
+//
+// Finding the best single broadcast tree is NP-hard (the paper normalizes
+// against the *multi-tree* LP optimum for exactly that reason), but on small
+// platforms the optimum is computable by enumerating every spanning
+// arborescence.  This gives a second, tighter yardstick: it separates "the
+// heuristic is far from the best tree" from "no single tree can do better"
+// -- a distinction the paper's evaluation cannot make.
+
+#include <cstddef>
+
+#include "core/broadcast_tree.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+struct StpExhaustiveResult {
+  bool completed = false;  ///< false when the enumeration cap was hit
+  BroadcastTree best_tree;
+  double best_period = 0.0;
+  std::size_t trees_enumerated = 0;
+};
+
+/// Enumerate spanning arborescences rooted at the source and return the one
+/// with the smallest one-port period.  The enumeration visits at most
+/// `max_trees` candidate parent assignments (product of in-degrees); when
+/// the cap is exceeded, `completed` is false and the best tree found so far
+/// is returned.
+StpExhaustiveResult stp_optimal_tree(const Platform& platform,
+                                     std::size_t max_trees = 2'000'000);
+
+}  // namespace bt

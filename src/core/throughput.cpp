@@ -1,0 +1,154 @@
+#include "core/throughput.hpp"
+
+#include <algorithm>
+
+#include "graph/arborescence.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+double one_port_period(const Platform& platform, const BroadcastTree& tree) {
+  const auto degree = BroadcastTree::weighted_out_degrees(platform, tree);
+  double period = 0.0;
+  for (double d : degree) period = std::max(period, d);
+  BT_ASSERT(period > 0.0, "one_port_period: tree with no arcs");
+  return period;
+}
+
+double one_port_throughput(const Platform& platform, const BroadcastTree& tree) {
+  return 1.0 / one_port_period(platform, tree);
+}
+
+double multiport_period(const Platform& platform, const BroadcastTree& tree) {
+  const Digraph& g = platform.graph();
+  std::vector<double> max_link(platform.num_nodes(), 0.0);
+  std::vector<std::size_t> out_degree(platform.num_nodes(), 0);
+  for (EdgeId e : tree.edges) {
+    const NodeId u = g.from(e);
+    max_link[u] = std::max(max_link[u], platform.edge_time(e));
+    ++out_degree[u];
+  }
+  double period = 0.0;
+  for (NodeId u = 0; u < platform.num_nodes(); ++u) {
+    if (out_degree[u] == 0) continue;
+    const double node_period =
+        std::max(static_cast<double>(out_degree[u]) * platform.send_overhead(u),
+                 max_link[u]);
+    period = std::max(period, node_period);
+  }
+  BT_ASSERT(period > 0.0, "multiport_period: tree with no arcs");
+  return period;
+}
+
+double multiport_throughput(const Platform& platform, const BroadcastTree& tree) {
+  return 1.0 / multiport_period(platform, tree);
+}
+
+double one_port_period(const Platform& platform, const BroadcastOverlay& overlay) {
+  const auto loads = overlay.port_loads(platform);
+  double period = 0.0;
+  for (NodeId u = 0; u < platform.num_nodes(); ++u) {
+    period = std::max({period, loads.out_time[u], loads.in_time[u]});
+  }
+  BT_ASSERT(period > 0.0, "one_port_period: overlay with no arcs");
+  return period;
+}
+
+double one_port_throughput(const Platform& platform, const BroadcastOverlay& overlay) {
+  return 1.0 / one_port_period(platform, overlay);
+}
+
+double multiport_period(const Platform& platform, const BroadcastOverlay& overlay) {
+  const Digraph& g = platform.graph();
+  std::vector<double> max_link(platform.num_nodes(), 0.0);
+  std::vector<std::size_t> multiplicity(platform.num_nodes(), 0);
+  for (EdgeId e : overlay.arcs) {
+    const NodeId u = g.from(e);
+    max_link[u] = std::max(max_link[u], platform.edge_time(e));
+    ++multiplicity[u];
+  }
+  double period = 0.0;
+  for (NodeId u = 0; u < platform.num_nodes(); ++u) {
+    if (multiplicity[u] == 0) continue;
+    period = std::max(period,
+                      std::max(static_cast<double>(multiplicity[u]) *
+                                   platform.send_overhead(u),
+                               max_link[u]));
+  }
+  BT_ASSERT(period > 0.0, "multiport_period: overlay with no arcs");
+  return period;
+}
+
+double multiport_throughput(const Platform& platform, const BroadcastOverlay& overlay) {
+  return 1.0 / multiport_period(platform, overlay);
+}
+
+namespace {
+
+/// Recursive cost of a subtree for the kHeaviestSubtree order: an upper
+/// bound on the time to drain the subtree once its root holds the message.
+double subtree_weight(const Platform& platform,
+                      const std::vector<std::vector<EdgeId>>& children, NodeId u,
+                      std::vector<double>& memo, std::vector<char>& computed) {
+  if (computed[u]) return memo[u];
+  double total = 0.0;
+  for (EdgeId e : children[u]) {
+    const NodeId v = platform.graph().to(e);
+    total += platform.edge_time(e) +
+             subtree_weight(platform, children, v, memo, computed);
+  }
+  memo[u] = total;
+  computed[u] = 1;
+  return total;
+}
+
+}  // namespace
+
+double sta_makespan(const Platform& platform, const BroadcastTree& tree,
+                    double message_size, ChildOrder order) {
+  BT_REQUIRE(message_size > 0.0, "sta_makespan: message size must be positive");
+  const Digraph& g = platform.graph();
+  auto children = tree.children(platform);
+
+  if (order == ChildOrder::kHeaviestSubtree) {
+    std::vector<double> memo(platform.num_nodes(), 0.0);
+    std::vector<char> computed(platform.num_nodes(), 0);
+    for (auto& list : children) {
+      std::sort(list.begin(), list.end(), [&](EdgeId a, EdgeId b) {
+        const double wa = platform.link_cost(a).at(message_size) +
+                          subtree_weight(platform, children, g.to(a), memo, computed);
+        const double wb = platform.link_cost(b).at(message_size) +
+                          subtree_weight(platform, children, g.to(b), memo, computed);
+        if (wa != wb) return wa > wb;
+        return a < b;
+      });
+    }
+  }
+
+  // Forward pass in BFS order: parent finishes receiving, then emits to its
+  // children back-to-back (one-port).
+  const auto parent = tree.parent_edges(platform);
+  const auto bfs = bfs_order(g, tree.root, parent);
+  std::vector<double> received(platform.num_nodes(), 0.0);
+  double makespan = 0.0;
+  for (NodeId u : bfs) {
+    double clock = received[u];
+    for (EdgeId e : children[u]) {
+      clock += platform.link_cost(e).at(message_size);
+      received[g.to(e)] = clock;
+      makespan = std::max(makespan, clock);
+    }
+  }
+  return makespan;
+}
+
+double pipelined_completion_time(const Platform& platform, const BroadcastTree& tree,
+                                 std::size_t num_slices) {
+  BT_REQUIRE(num_slices >= 1, "pipelined_completion_time: need at least one slice");
+  const double fill = sta_makespan(platform, tree, platform.slice_size(),
+                                   ChildOrder::kTreeOrder);
+  const double period = one_port_period(platform, tree);
+  return fill + static_cast<double>(num_slices - 1) * period;
+}
+
+}  // namespace bt

@@ -1,0 +1,77 @@
+#pragma once
+
+// Steady-state throughput and makespan evaluation of broadcast trees.
+//
+// One-port (bidirectional) model, pipelined broadcast (STP):
+//   a node sends each slice to its children one after another, so node u
+//   contributes a period of sum_{v in children(u)} T_{u,v}; receives overlap
+//   with sends (bidirectional) and a node's single receive per period is
+//   already counted inside its parent's out-sum.  Tree period =
+//   max_u weighted-out-degree(u); throughput = 1 / period.
+//
+// Multi-port model (Section 3.2), pipelined broadcast:
+//   link occupations out of a node may overlap, but the node's own per-slice
+//   send overhead send_u serializes, so
+//   Tperiod(u) = max( deltaout(u) * send_u, max_child T_{u,child} )
+//   and the tree period is max_u Tperiod(u); throughput = 1 / period.
+//
+// STA (single tree, atomic): the whole message is sent at once; makespan is
+// the time the last node finishes receiving, with each node forwarding to
+// its children sequentially after its own reception completes.
+
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+/// Steady-state period of `tree` under the bidirectional one-port model.
+double one_port_period(const Platform& platform, const BroadcastTree& tree);
+
+/// Steady-state throughput (slices per second) under one-port; 1 / period.
+double one_port_throughput(const Platform& platform, const BroadcastTree& tree);
+
+/// Steady-state period under the multi-port model.
+double multiport_period(const Platform& platform, const BroadcastTree& tree);
+
+/// Steady-state throughput under multi-port; 1 / period.
+double multiport_throughput(const Platform& platform, const BroadcastTree& tree);
+
+// --------------------------- overlays (multisets of arcs) ------------------
+// For a general overlay every scheduled hop of a slice occupies its sender's
+// and receiver's ports, so under one-port the period is
+//   max_u max( sum of T over overlay arcs out of u,
+//              sum of T over overlay arcs into u )
+// which reduces to the tree formula when the overlay is a tree.  Under
+// multi-port the paper's Section 3.2 formula generalizes with the hop
+// multiplicity: max_u max( mult_out(u) * send_u, max out-arc T ).
+
+double one_port_period(const Platform& platform, const BroadcastOverlay& overlay);
+double one_port_throughput(const Platform& platform, const BroadcastOverlay& overlay);
+double multiport_period(const Platform& platform, const BroadcastOverlay& overlay);
+double multiport_throughput(const Platform& platform, const BroadcastOverlay& overlay);
+
+/// Children emission order used by makespan evaluation.
+enum class ChildOrder {
+  kTreeOrder,       ///< the order the arcs appear in the tree
+  kHeaviestSubtree  ///< send toward the most expensive subtree first
+};
+
+/// STA makespan of broadcasting one message of size `message_size` along the
+/// tree under the one-port model: node u starts forwarding only after fully
+/// receiving, sends to children sequentially.  Returns the time the last
+/// node finishes receiving.
+double sta_makespan(const Platform& platform, const BroadcastTree& tree,
+                    double message_size, ChildOrder order = ChildOrder::kHeaviestSubtree);
+
+/// Upper bound on the time to pipeline `num_slices` slices along the tree
+/// (one-port): pipeline fill (the first slice's makespan in tree order) +
+/// (num_slices - 1) periods.  It is tight whenever the slowest-filling branch
+/// contains the bottleneck node (true for chains, stars, and most balanced
+/// trees); otherwise the true completion -- measured by the discrete-event
+/// simulator -- can be up to one fill-time smaller.
+double pipelined_completion_time(const Platform& platform, const BroadcastTree& tree,
+                                 std::size_t num_slices);
+
+}  // namespace bt

@@ -1,0 +1,173 @@
+#include "core/tree_optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/throughput.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Per-node emission period under the active model, given the node's current
+/// tree out-arcs described by (weighted sum, count, max arc time).
+struct NodeLoad {
+  double sum = 0.0;       ///< sum of T over tree out-arcs
+  std::size_t count = 0;  ///< number of children
+  double max_link = 0.0;  ///< largest out-arc time
+};
+
+double node_period(const Platform& platform, NodeId u, const NodeLoad& load,
+                   bool multiport) {
+  if (load.count == 0) return 0.0;
+  if (!multiport) return load.sum;
+  return std::max(static_cast<double>(load.count) * platform.send_overhead(u),
+                  load.max_link);
+}
+
+/// Nodes inside the subtree rooted at v (including v) for the given parent
+/// array.
+std::vector<char> subtree_mask(const Platform& platform,
+                               const std::vector<EdgeId>& parent, NodeId v) {
+  const Digraph& g = platform.graph();
+  std::vector<char> mask(g.num_nodes(), 0);
+  // children lists from the parent array.
+  std::vector<std::vector<NodeId>> children(g.num_nodes());
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    if (parent[w] != Digraph::npos) children[g.from(parent[w])].push_back(w);
+  }
+  std::vector<NodeId> stack{v};
+  mask[v] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId c : children[u]) {
+      if (!mask[c]) {
+        mask[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  return mask;
+}
+
+TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
+                            std::size_t max_moves, bool multiport) {
+  tree.validate(platform);
+  const Digraph& g = platform.graph();
+  const std::size_t n = g.num_nodes();
+
+  auto parent = tree.parent_edges(platform);
+
+  // Node loads from the parent array.
+  std::vector<NodeLoad> load(n);
+  auto rebuild_loads = [&]() {
+    std::fill(load.begin(), load.end(), NodeLoad{});
+    for (NodeId v = 0; v < n; ++v) {
+      const EdgeId e = parent[v];
+      if (e == Digraph::npos) continue;
+      NodeLoad& l = load[g.from(e)];
+      l.sum += platform.edge_time(e);
+      ++l.count;
+      l.max_link = std::max(l.max_link, platform.edge_time(e));
+    }
+  };
+  rebuild_loads();
+
+  auto current_period = [&]() {
+    double period = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      period = std::max(period, node_period(platform, u, load[u], multiport));
+    }
+    return period;
+  };
+
+  TreeOptimizeResult result;
+  result.initial_period = current_period();
+
+  for (std::size_t move = 0; move < max_moves; ++move) {
+    const double period = current_period();
+    const double eps = 1e-12 * std::max(1.0, period);
+
+    // Candidate moves: detach a child v of a bottleneck node b and re-attach
+    // the subtree(v) through another platform arc entering v.
+    EdgeId best_new_arc = Digraph::npos;
+    NodeId best_child = 0;
+    double best_period = period - eps;
+
+    for (NodeId b = 0; b < n; ++b) {
+      if (node_period(platform, b, load[b], multiport) < period - eps) continue;
+      // b is a bottleneck; try each of its children.
+      for (NodeId v = 0; v < n; ++v) {
+        if (parent[v] == Digraph::npos || g.from(parent[v]) != b) continue;
+        const auto in_subtree = subtree_mask(platform, parent, v);
+        // Simulate the detachment of v from b.
+        NodeLoad b_load = load[b];
+        b_load.sum -= platform.edge_time(parent[v]);
+        --b_load.count;
+        if (b_load.count > 0) {
+          // max_link may shrink; recompute from b's remaining children.
+          b_load.max_link = 0.0;
+          for (NodeId w = 0; w < n; ++w) {
+            if (w != v && parent[w] != Digraph::npos && g.from(parent[w]) == b) {
+              b_load.max_link = std::max(b_load.max_link, platform.edge_time(parent[w]));
+            }
+          }
+        }
+        for (EdgeId f : g.in_edges(v)) {
+          const NodeId u = g.from(f);
+          if (u == b || in_subtree[u]) continue;  // would disconnect / cycle
+          NodeLoad u_load = load[u];
+          u_load.sum += platform.edge_time(f);
+          ++u_load.count;
+          u_load.max_link = std::max(u_load.max_link, platform.edge_time(f));
+          // New period: max over u, b and everything else.
+          double candidate = std::max(node_period(platform, b, b_load, multiport),
+                                      node_period(platform, u, u_load, multiport));
+          for (NodeId w = 0; w < n && candidate < best_period; ++w) {
+            if (w == b || w == u) continue;
+            candidate = std::max(candidate,
+                                 node_period(platform, w, load[w], multiport));
+          }
+          if (candidate < best_period) {
+            best_period = candidate;
+            best_new_arc = f;
+            best_child = v;
+          }
+        }
+      }
+    }
+
+    if (best_new_arc == Digraph::npos) break;  // local optimum
+    parent[best_child] = best_new_arc;
+    rebuild_loads();
+    ++result.moves;
+  }
+
+  // Rebuild the tree from the parent array.
+  result.tree.root = tree.root;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] != Digraph::npos) result.tree.edges.push_back(parent[v]);
+  }
+  result.tree.validate(platform);
+  result.final_period = current_period();
+  BT_ASSERT(result.final_period <= result.initial_period + 1e-9,
+            "optimize_tree: local search worsened the tree");
+  return result;
+}
+
+}  // namespace
+
+TreeOptimizeResult optimize_tree_one_port(const Platform& platform, BroadcastTree tree,
+                                          std::size_t max_moves) {
+  return optimize(platform, std::move(tree), max_moves, /*multiport=*/false);
+}
+
+TreeOptimizeResult optimize_tree_multiport(const Platform& platform, BroadcastTree tree,
+                                           std::size_t max_moves) {
+  return optimize(platform, std::move(tree), max_moves, /*multiport=*/true);
+}
+
+}  // namespace bt

@@ -1,0 +1,40 @@
+#pragma once
+
+// Local-search improvement of broadcast trees (extension).
+//
+// The paper's heuristics build a tree once; none of them revisits earlier
+// decisions.  This optimizer post-processes any spanning arborescence with
+// subtree-reattachment moves: pick a bottleneck node (one whose serialized
+// emission time equals the tree period), detach one of its child subtrees,
+// and re-attach that subtree below a different node through any platform arc
+// entering the subtree root, whenever the resulting tree has a strictly
+// smaller period.  Moves repeat until a local optimum (or the move cap) is
+// reached.
+//
+// The corresponding ablation bench measures how much head-room the one-shot
+// heuristics leave on the table.
+
+#include <cstddef>
+
+#include "core/broadcast_tree.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+struct TreeOptimizeResult {
+  BroadcastTree tree;
+  double initial_period = 0.0;
+  double final_period = 0.0;
+  std::size_t moves = 0;  ///< accepted reattachment moves
+};
+
+/// Improve `tree` for the one-port steady-state period.  The input tree must
+/// be a valid spanning arborescence of the platform.
+TreeOptimizeResult optimize_tree_one_port(const Platform& platform, BroadcastTree tree,
+                                          std::size_t max_moves = 1000);
+
+/// Improve `tree` for the multi-port steady-state period.
+TreeOptimizeResult optimize_tree_multiport(const Platform& platform, BroadcastTree tree,
+                                           std::size_t max_moves = 1000);
+
+}  // namespace bt

@@ -1,0 +1,86 @@
+#include "experiments/aggregate.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+RatioSeries aggregate_ratios(const std::vector<SweepRecord>& records, GroupBy group_by) {
+  std::map<std::string, std::map<double, std::vector<double>>> buckets;
+  for (const SweepRecord& r : records) {
+    const double key = group_by == GroupBy::kNumNodes
+                           ? static_cast<double>(r.num_nodes)
+                           : r.density;
+    buckets[r.heuristic][key].push_back(r.ratio);
+  }
+  RatioSeries series;
+  for (const auto& [heuristic, by_key] : buckets) {
+    for (const auto& [key, values] : by_key) {
+      series[heuristic][key] = summarize(values);
+    }
+  }
+  return series;
+}
+
+TablePrinter series_table(const RatioSeries& series, const std::string& key_name,
+                          const std::vector<std::string>& heuristic_order,
+                          bool with_deviation) {
+  // Collect the union of keys across heuristics (they normally coincide).
+  std::set<double> keys;
+  for (const auto& [heuristic, by_key] : series) {
+    for (const auto& [key, summary] : by_key) keys.insert(key);
+  }
+
+  std::vector<std::string> header{key_name};
+  for (const std::string& name : heuristic_order) header.push_back(name);
+  TablePrinter table(std::move(header));
+
+  for (double key : keys) {
+    std::vector<std::string> row{TablePrinter::fmt(key, key_name == "density" ? 2 : 0)};
+    for (const std::string& name : heuristic_order) {
+      const auto it = series.find(name);
+      if (it == series.end() || it->second.find(key) == it->second.end()) {
+        row.push_back("-");
+        continue;
+      }
+      const Summary& s = it->second.at(key);
+      std::string cell = TablePrinter::fmt(s.mean, 3);
+      if (with_deviation) cell += " (±" + TablePrinter::fmt(s.stddev, 3) + ")";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TablePrinter tiers_table(const std::vector<SweepRecord>& records,
+                         const std::vector<std::string>& heuristic_order) {
+  const RatioSeries series = aggregate_ratios(records, GroupBy::kNumNodes);
+
+  std::set<double> sizes;
+  for (const auto& [heuristic, by_key] : series) {
+    for (const auto& [key, summary] : by_key) sizes.insert(key);
+  }
+
+  std::vector<std::string> header{"nodes"};
+  for (const std::string& name : heuristic_order) header.push_back(name);
+  TablePrinter table(std::move(header));
+
+  for (double size : sizes) {
+    std::vector<std::string> row{TablePrinter::fmt(size, 0)};
+    for (const std::string& name : heuristic_order) {
+      const auto it = series.find(name);
+      if (it == series.end() || it->second.find(size) == it->second.end()) {
+        row.push_back("-");
+        continue;
+      }
+      const Summary& s = it->second.at(size);
+      row.push_back(TablePrinter::pct(s.mean) + " (±" + TablePrinter::pct(s.stddev) + ")");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace bt

@@ -1,0 +1,37 @@
+#pragma once
+
+// Grouping and summarizing sweep records into the series/rows the paper
+// plots: relative performance per heuristic, keyed by platform size
+// (Figures 4a and 5), by density (Figure 4b), or as a single mean +-
+// deviation row per platform family (Table 3).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/sweeps.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+
+namespace bt {
+
+/// How to key the aggregation.
+enum class GroupBy { kNumNodes, kDensity };
+
+/// series[heuristic][key] = summary of `ratio` over all matching records.
+using RatioSeries = std::map<std::string, std::map<double, Summary>>;
+
+/// Group records and summarize the relative-performance ratios.
+RatioSeries aggregate_ratios(const std::vector<SweepRecord>& records, GroupBy group_by);
+
+/// Render a RatioSeries as a table: one row per key value, one column per
+/// heuristic (columns ordered by `heuristic_order`), mean ratios.
+TablePrinter series_table(const RatioSeries& series, const std::string& key_name,
+                          const std::vector<std::string>& heuristic_order,
+                          bool with_deviation = false);
+
+/// Table 3 style: one row per platform size, "mean% (+-dev%)" per heuristic.
+TablePrinter tiers_table(const std::vector<SweepRecord>& records,
+                         const std::vector<std::string>& heuristic_order);
+
+}  // namespace bt

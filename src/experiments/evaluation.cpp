@@ -1,0 +1,35 @@
+#include "experiments/evaluation.hpp"
+
+#include "core/throughput.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+PlatformEvaluation evaluate_platform(const Platform& platform,
+                                     const std::vector<HeuristicSpec>& heuristics,
+                                     bool multiport_eval) {
+  PlatformEvaluation evaluation;
+
+  // One LP solve per platform feeds both the reference value and the
+  // LP-based heuristics.
+  const SsbSolution optimum = solve_ssb(platform);
+  BT_ASSERT(optimum.solved, "evaluate_platform: SSB solver did not converge");
+  evaluation.optimal_throughput = optimum.throughput;
+
+  for (const HeuristicSpec& spec : heuristics) {
+    const std::vector<double>* loads = spec.needs_lp_loads ? &optimum.edge_load : nullptr;
+    const BroadcastOverlay overlay = spec.build_overlay(platform, loads);
+    HeuristicResult result;
+    result.name = spec.name;
+    result.throughput = multiport_eval ? multiport_throughput(platform, overlay)
+                                       : one_port_throughput(platform, overlay);
+    result.ratio = evaluation.optimal_throughput > 0.0
+                       ? result.throughput / evaluation.optimal_throughput
+                       : 0.0;
+    evaluation.results.push_back(std::move(result));
+  }
+  return evaluation;
+}
+
+}  // namespace bt

@@ -1,0 +1,38 @@
+#pragma once
+
+// Per-platform evaluation: the core measurement of Section 5.
+//
+// For one platform, compute the optimal MTP throughput TP* (cutting-plane
+// solver under the one-port model -- the paper normalizes *all* experiments,
+// including the multi-port ones, against this same value) and the
+// steady-state throughput of every requested heuristic.  "Relative
+// performance" is heuristic throughput / TP*.
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+struct HeuristicResult {
+  std::string name;
+  double throughput = 0.0;  ///< slices per second of the built tree
+  double ratio = 0.0;       ///< throughput / optimal MTP throughput
+};
+
+struct PlatformEvaluation {
+  double optimal_throughput = 0.0;  ///< TP* of the one-port MTP program
+  std::vector<HeuristicResult> results;
+};
+
+/// Evaluate `heuristics` on `platform`.  When `multiport_eval` is set the
+/// trees are rated with the multi-port period (Figure 5); the reference TP*
+/// stays the one-port LP optimum, so ratios may exceed 1 exactly as in the
+/// paper.
+PlatformEvaluation evaluate_platform(const Platform& platform,
+                                     const std::vector<HeuristicSpec>& heuristics,
+                                     bool multiport_eval = false);
+
+}  // namespace bt

@@ -1,0 +1,58 @@
+#include "experiments/robustness.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+Platform perturb_platform(const Platform& platform, double eps, Rng& rng,
+                          double multiport_ratio) {
+  BT_REQUIRE(eps >= 0.0, "perturb_platform: negative perturbation");
+  const Digraph& g = platform.graph();
+  Digraph copy(g.num_nodes());
+  std::vector<LinkCost> costs;
+  costs.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    copy.add_edge(g.from(e), g.to(e));
+    LinkCost cost = platform.link_cost(e);
+    // Multiplicative noise symmetric in log-space: rate estimates are off by
+    // at most a factor (1 + eps) in either direction.
+    const double factor = eps == 0.0
+                              ? 1.0
+                              : std::exp(rng.uniform_real(-std::log1p(eps), std::log1p(eps)));
+    cost.beta *= factor;
+    cost.alpha *= factor;
+    costs.push_back(cost);
+  }
+  Platform perturbed(std::move(copy), std::move(costs), platform.slice_size(),
+                     platform.source());
+  perturbed.set_multiport_overheads(multiport_ratio);
+  return perturbed;
+}
+
+double packing_throughput_on(const Platform& truth, const SsbPackingSolution& plan) {
+  BT_REQUIRE(plan.solved, "packing_throughput_on: unsolved plan");
+  const Digraph& g = truth.graph();
+  std::vector<double> out_time(g.num_nodes(), 0.0), in_time(g.num_nodes(), 0.0);
+  double planned_rate = 0.0;
+  for (const PackedTree& tree : plan.trees) {
+    planned_rate += tree.rate;
+    for (EdgeId e : tree.edges) {
+      const double t = tree.rate * truth.edge_time(e);
+      out_time[g.from(e)] += t;
+      in_time[g.to(e)] += t;
+    }
+  }
+  BT_REQUIRE(planned_rate > 0.0, "packing_throughput_on: empty plan");
+  double worst_occupation = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    worst_occupation = std::max({worst_occupation, out_time[u], in_time[u]});
+  }
+  // Occupation <= 1 means the plan runs as-is; above 1 every rate must be
+  // scaled down by the overload factor.
+  const double scale = worst_occupation > 1.0 ? 1.0 / worst_occupation : 1.0;
+  return planned_rate * scale;
+}
+
+}  // namespace bt

@@ -1,0 +1,34 @@
+#pragma once
+
+// Robustness experiment (extension, E9).
+//
+// The paper's conclusion argues that (i) heuristics should be fed link
+// estimates from grid information services, and (ii) "a communication
+// scheme using a single broadcast tree may well be more robust to small
+// changes in link performances".  This module makes both claims testable:
+// trees (and the optimal multi-tree schedule) are *planned* on a perturbed
+// copy of the platform and *executed* on the true one.
+
+#include <cstdint>
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+
+/// A copy of `platform` whose inverse bandwidths are multiplied by
+/// independent factors drawn uniformly from [1/(1+eps), 1+eps] -- the
+/// "measured" platform an information service would report.  Start-up
+/// latencies and multi-port overheads are re-derived consistently.
+Platform perturb_platform(const Platform& platform, double eps, Rng& rng,
+                          double multiport_ratio = 0.8);
+
+/// Throughput actually achieved when the multi-tree schedule `plan`
+/// (computed on some estimated platform) is executed on `truth`: the
+/// planned per-tree rates are scaled down uniformly until every one-port
+/// constraint of the true platform is met, i.e.
+/// TP = sum(rates) / max_u max(out-occupation, in-occupation).
+double packing_throughput_on(const Platform& truth, const SsbPackingSolution& plan);
+
+}  // namespace bt

@@ -1,0 +1,90 @@
+#include "experiments/sweeps.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "experiments/evaluation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+
+namespace {
+
+void append_records(std::vector<SweepRecord>& records, const PlatformEvaluation& eval,
+                    std::size_t num_nodes, double density, std::size_t replicate) {
+  for (const HeuristicResult& r : eval.results) {
+    SweepRecord record;
+    record.num_nodes = num_nodes;
+    record.density = density;
+    record.replicate = replicate;
+    record.heuristic = r.name;
+    record.throughput = r.throughput;
+    record.optimal = eval.optimal_throughput;
+    record.ratio = r.ratio;
+    records.push_back(std::move(record));
+  }
+}
+
+}  // namespace
+
+std::vector<SweepRecord> run_random_sweep(const RandomSweepConfig& config) {
+  const std::vector<HeuristicSpec> heuristics =
+      !config.heuristics.empty()
+          ? config.heuristics
+          : (config.multiport_eval ? multiport_heuristics() : one_port_heuristics());
+
+  std::vector<SweepRecord> records;
+  for (std::size_t size : config.sizes) {
+    for (double density : config.densities) {
+      for (std::size_t rep = 0; rep < config.replicates; ++rep) {
+        // One independent stream per cell replicate: reproducible regardless
+        // of sweep order or subsetting.
+        const std::uint64_t seed = config.base_seed ^ (size * 0x9e3779b9ULL) ^
+                                   static_cast<std::uint64_t>(density * 1e6) ^
+                                   (rep * 0x85ebca6bULL);
+        Rng rng(seed);
+        RandomPlatformConfig pc;
+        pc.num_nodes = size;
+        pc.density = density;
+        pc.multiport_ratio = config.multiport_ratio;
+        const Platform platform = generate_random_platform(pc, rng);
+        const PlatformEvaluation eval =
+            evaluate_platform(platform, heuristics, config.multiport_eval);
+        append_records(records, eval, size, density, rep);
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config) {
+  const std::vector<HeuristicSpec> heuristics =
+      !config.heuristics.empty()
+          ? config.heuristics
+          : (config.multiport_eval ? multiport_heuristics() : one_port_heuristics());
+
+  std::vector<SweepRecord> records;
+  for (const TiersConfig& family : config.families) {
+    for (std::size_t rep = 0; rep < config.replicates; ++rep) {
+      const std::uint64_t seed = config.base_seed ^ (family.num_nodes * 0xc2b2ae35ULL) ^
+                                 (rep * 0x27d4eb2fULL);
+      Rng rng(seed);
+      const Platform platform = generate_tiers_platform(family, rng);
+      const PlatformEvaluation eval =
+          evaluate_platform(platform, heuristics, config.multiport_eval);
+      append_records(records, eval, family.num_nodes, platform.graph().density(), rep);
+    }
+  }
+  return records;
+}
+
+std::size_t replicates_from_env(std::size_t default_value) {
+  const char* env = std::getenv("BT_REPLICATES");
+  if (env == nullptr) return default_value;
+  const long parsed = std::strtol(env, nullptr, 10);
+  BT_REQUIRE(parsed > 0, "BT_REPLICATES must be a positive integer");
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace bt

@@ -1,0 +1,60 @@
+#pragma once
+
+// Parameter sweeps reproducing the paper's experiment workloads
+// (Section 5.1): the random-platform grid of Table 2 and the Tiers-style
+// platform batches of Table 3.  Each sweep returns one flat record per
+// (platform, heuristic) pair; aggregate.hpp groups and summarizes them.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/random_generator.hpp"
+#include "platform/tiers_generator.hpp"
+
+namespace bt {
+
+/// One (platform, heuristic) measurement.
+struct SweepRecord {
+  std::size_t num_nodes = 0;
+  double density = 0.0;       ///< requested density (random) / actual (tiers)
+  std::size_t replicate = 0;  ///< seed index within the cell
+  std::string heuristic;
+  double throughput = 0.0;
+  double optimal = 0.0;
+  double ratio = 0.0;
+};
+
+/// Grid sweep over random platforms (Table 2 defaults).
+struct RandomSweepConfig {
+  std::vector<std::size_t> sizes = {10, 20, 30, 40, 50};
+  std::vector<double> densities = {0.04, 0.08, 0.12, 0.16, 0.20};
+  std::size_t replicates = 10;  ///< platforms per (size, density) cell
+  std::uint64_t base_seed = 42;
+  bool multiport_eval = false;  ///< rate trees with the multi-port period
+  double multiport_ratio = 0.8;
+  /// Heuristic line-up; empty = one_port_heuristics() (or multiport line-up
+  /// when multiport_eval is set).
+  std::vector<HeuristicSpec> heuristics;
+};
+
+std::vector<SweepRecord> run_random_sweep(const RandomSweepConfig& config);
+
+/// Batch sweep over Tiers-style platforms (Table 3: 100 platforms each of
+/// 30 and 65 nodes).
+struct TiersSweepConfig {
+  std::vector<TiersConfig> families = {tiers_config_30(), tiers_config_65()};
+  std::size_t replicates = 100;
+  std::uint64_t base_seed = 1337;
+  bool multiport_eval = false;
+  std::vector<HeuristicSpec> heuristics;
+};
+
+std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config);
+
+/// Honor the BT_REPLICATES environment variable (benches use it so CI runs
+/// stay quick while full paper-scale runs remain one env var away).
+std::size_t replicates_from_env(std::size_t default_value);
+
+}  // namespace bt

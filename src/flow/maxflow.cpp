@@ -1,0 +1,120 @@
+#include "flow/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MaxFlowSolver::MaxFlowSolver(const Digraph& graph) : graph_(graph) {
+  adj_.assign(graph.num_nodes(), {});
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const NodeId u = graph.from(e);
+    const NodeId v = graph.to(e);
+    adj_[u].push_back(ResidualArc{v, adj_[v].size(), 0.0, e});
+    adj_[v].push_back(ResidualArc{u, adj_[u].size() - 1, 0.0, Digraph::npos});
+  }
+  level_.assign(graph.num_nodes(), -1);
+  next_arc_.assign(graph.num_nodes(), 0);
+}
+
+MaxFlowResult MaxFlowSolver::solve(NodeId source, NodeId sink,
+                                   const std::vector<double>& capacity) {
+  BT_REQUIRE(source < graph_.num_nodes(), "max_flow: source out of range");
+  BT_REQUIRE(sink < graph_.num_nodes(), "max_flow: sink out of range");
+  BT_REQUIRE(source != sink, "max_flow: source == sink");
+  BT_REQUIRE(capacity.size() == graph_.num_edges(), "max_flow: capacity size mismatch");
+
+  // (Re)load capacities into the residual network.
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    for (ResidualArc& arc : adj_[u]) {
+      if (arc.original != Digraph::npos) {
+        BT_REQUIRE(capacity[arc.original] >= 0.0, "max_flow: negative capacity");
+        arc.cap = capacity[arc.original];
+      } else {
+        arc.cap = 0.0;
+      }
+    }
+  }
+
+  MaxFlowResult result;
+  while (bfs_levels(source, sink)) {
+    std::fill(next_arc_.begin(), next_arc_.end(), std::size_t{0});
+    while (true) {
+      const double pushed = dfs_push(source, sink, kInf);
+      if (pushed <= kEps) break;
+      result.value += pushed;
+    }
+  }
+
+  // Per-arc flow = capacity - residual.
+  result.flow.assign(graph_.num_edges(), 0.0);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    for (const ResidualArc& arc : adj_[u]) {
+      if (arc.original != Digraph::npos) {
+        result.flow[arc.original] = capacity[arc.original] - arc.cap;
+      }
+    }
+  }
+
+  // Min cut: the last BFS leaves exactly the source side labeled.
+  result.min_cut_side.assign(graph_.num_nodes(), 0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    result.min_cut_side[v] = level_[v] >= 0 ? 1 : 0;
+  }
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (result.min_cut_side[graph_.from(e)] && !result.min_cut_side[graph_.to(e)]) {
+      result.min_cut_edges.push_back(e);
+    }
+  }
+  return result;
+}
+
+bool MaxFlowSolver::bfs_levels(NodeId source, NodeId sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<NodeId> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const ResidualArc& arc : adj_[u]) {
+      if (arc.cap > kEps && level_[arc.to] < 0) {
+        level_[arc.to] = level_[u] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlowSolver::dfs_push(NodeId u, NodeId sink, double limit) {
+  if (u == sink) return limit;
+  for (std::size_t& i = next_arc_[u]; i < adj_[u].size(); ++i) {
+    ResidualArc& arc = adj_[u][i];
+    if (arc.cap > kEps && level_[arc.to] == level_[u] + 1) {
+      const double pushed = dfs_push(arc.to, sink, std::min(limit, arc.cap));
+      if (pushed > kEps) {
+        arc.cap -= pushed;
+        adj_[arc.to][arc.rev].cap += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0.0;
+}
+
+MaxFlowResult max_flow(const Digraph& graph, NodeId source, NodeId sink,
+                       const std::vector<double>& capacity) {
+  MaxFlowSolver solver(graph);
+  return solver.solve(source, sink, capacity);
+}
+
+}  // namespace bt

@@ -1,0 +1,62 @@
+#pragma once
+
+// Maximum flow (Dinic's algorithm) on capacitated digraphs.
+//
+// Used by the cutting-plane solver for the steady-state broadcast LP: for a
+// fixed vector of edge loads n_e, a broadcast of throughput TP is feasible
+// iff maxflow(source -> w) >= TP for every destination w (max-flow/min-cut
+// duality applied per commodity).  The separation oracle needs both the flow
+// value and a minimum cut, which Dinic provides directly from the last level
+// graph.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bt {
+
+/// Result of a max-flow computation.
+struct MaxFlowResult {
+  double value = 0.0;
+  /// Flow on every arc of the input graph (indexed by the graph's arc ids).
+  std::vector<double> flow;
+  /// Arc ids of a minimum source-sink cut (arcs from the source side to the
+  /// sink side, saturated by the flow).
+  std::vector<EdgeId> min_cut_edges;
+  /// min_cut_side[v] = 1 iff v is on the source side of the minimum cut.
+  std::vector<char> min_cut_side;
+};
+
+/// Dinic max-flow from `source` to `sink` with arc capacities `capacity`
+/// (indexed by arc id; capacities must be >= 0).  Antiparallel arcs are
+/// handled (each input arc gets its own residual pair).
+class MaxFlowSolver {
+ public:
+  /// Prepares the residual network once; `solve` can then be called for many
+  /// (source, sink, capacity) combinations on the same structure.
+  explicit MaxFlowSolver(const Digraph& graph);
+
+  MaxFlowResult solve(NodeId source, NodeId sink, const std::vector<double>& capacity);
+
+ private:
+  struct ResidualArc {
+    NodeId to;
+    std::size_t rev;    ///< index of the reverse arc in adj_[to]
+    double cap;         ///< remaining capacity
+    EdgeId original;    ///< arc id in the input graph; npos for reverse arcs
+  };
+
+  bool bfs_levels(NodeId source, NodeId sink);
+  double dfs_push(NodeId u, NodeId sink, double limit);
+
+  const Digraph& graph_;
+  std::vector<std::vector<ResidualArc>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_arc_;
+};
+
+/// One-shot convenience wrapper.
+MaxFlowResult max_flow(const Digraph& graph, NodeId source, NodeId sink,
+                       const std::vector<double>& capacity);
+
+}  // namespace bt

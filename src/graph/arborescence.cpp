@@ -1,0 +1,109 @@
+#include "graph/arborescence.hpp"
+
+#include <queue>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+bool is_spanning_arborescence(const Digraph& g, NodeId root,
+                              const std::vector<EdgeId>& tree_edges, std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  const std::size_t n = g.num_nodes();
+  if (root >= n) return fail("root out of range");
+  if (n == 0) return fail("empty graph");
+  if (tree_edges.size() != n - 1) {
+    return fail("expected n-1 = " + std::to_string(n - 1) + " arcs, got " +
+                std::to_string(tree_edges.size()));
+  }
+  std::vector<EdgeId> parent(n, Digraph::npos);
+  for (EdgeId e : tree_edges) {
+    if (e >= g.num_edges()) return fail("arc id out of range");
+    const NodeId v = g.to(e);
+    if (v == root) return fail("tree arc enters the root");
+    if (parent[v] != Digraph::npos) {
+      return fail("node " + std::to_string(v) + " has two tree parents");
+    }
+    parent[v] = e;
+  }
+  // n-1 arcs, each non-root node has exactly one parent => check reachability.
+  std::vector<char> seen(n, 0);
+  seen[root] = 1;
+  std::size_t reached = 1;
+  // Walk up from every node to the root; memoize via `seen`.
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> trail;
+    NodeId cur = v;
+    while (!seen[cur]) {
+      trail.push_back(cur);
+      if (parent[cur] == Digraph::npos) {
+        return fail("node " + std::to_string(cur) + " has no tree parent");
+      }
+      cur = g.from(parent[cur]);
+      if (trail.size() > n) return fail("cycle in tree arcs");
+    }
+    for (NodeId t : trail) {
+      seen[t] = 1;
+      ++reached;
+    }
+  }
+  if (reached != n) return fail("tree does not span all nodes");
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+std::vector<EdgeId> parent_edge_array(const Digraph& g, NodeId root,
+                                      const std::vector<EdgeId>& tree_edges) {
+  std::string why;
+  BT_REQUIRE(is_spanning_arborescence(g, root, tree_edges, &why),
+             "parent_edge_array: not a spanning arborescence: " + why);
+  std::vector<EdgeId> parent(g.num_nodes(), Digraph::npos);
+  for (EdgeId e : tree_edges) parent[g.to(e)] = e;
+  return parent;
+}
+
+std::vector<std::vector<EdgeId>> children_lists(const Digraph& g,
+                                                const std::vector<EdgeId>& parent_edge) {
+  BT_REQUIRE(parent_edge.size() == g.num_nodes(), "children_lists: size mismatch");
+  std::vector<std::vector<EdgeId>> children(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const EdgeId e = parent_edge[v];
+    if (e == Digraph::npos) continue;
+    BT_REQUIRE(g.to(e) == v, "children_lists: parent arc does not enter its node");
+    children[g.from(e)].push_back(e);
+  }
+  return children;
+}
+
+std::vector<std::size_t> node_depths(const Digraph& g, NodeId root,
+                                     const std::vector<EdgeId>& parent_edge) {
+  const auto order = bfs_order(g, root, parent_edge);
+  std::vector<std::size_t> depth(g.num_nodes(), 0);
+  const auto children = children_lists(g, parent_edge);
+  for (NodeId u : order) {
+    for (EdgeId e : children[u]) depth[g.to(e)] = depth[u] + 1;
+  }
+  return depth;
+}
+
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId root,
+                              const std::vector<EdgeId>& parent_edge) {
+  const auto children = children_lists(g, parent_edge);
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  std::queue<NodeId> queue;
+  queue.push(root);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (EdgeId e : children[u]) queue.push(g.to(e));
+  }
+  return order;
+}
+
+}  // namespace bt

@@ -1,0 +1,42 @@
+#pragma once
+
+// Out-arborescence (rooted spanning tree) utilities.
+//
+// A broadcast tree is an out-arborescence of the platform graph rooted at
+// the source: every non-source node has exactly one incoming tree arc and is
+// reachable from the source through tree arcs.  These helpers validate arc
+// subsets and convert between the two natural representations (arc-id set
+// and parent-arc array).
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bt {
+
+/// Check whether `tree_edges` (arc ids of g) forms a spanning out-arborescence
+/// of g rooted at `root`.  On failure returns false and, if `why` is non-null,
+/// stores a human-readable reason.
+bool is_spanning_arborescence(const Digraph& g, NodeId root,
+                              const std::vector<EdgeId>& tree_edges,
+                              std::string* why = nullptr);
+
+/// parent_edge[v] = tree arc entering v (npos for the root).
+/// Requires is_spanning_arborescence.
+std::vector<EdgeId> parent_edge_array(const Digraph& g, NodeId root,
+                                      const std::vector<EdgeId>& tree_edges);
+
+/// children[u] = arc ids of tree arcs leaving u, from a parent-edge array.
+std::vector<std::vector<EdgeId>> children_lists(const Digraph& g,
+                                                const std::vector<EdgeId>& parent_edge);
+
+/// Depth (number of tree arcs from the root) of every node.
+std::vector<std::size_t> node_depths(const Digraph& g, NodeId root,
+                                     const std::vector<EdgeId>& parent_edge);
+
+/// Nodes in breadth-first order from the root (root first).
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId root,
+                              const std::vector<EdgeId>& parent_edge);
+
+}  // namespace bt

@@ -1,0 +1,66 @@
+#include "graph/digraph.hpp"
+
+#include "util/error.hpp"
+
+namespace bt {
+
+Digraph::Digraph(std::size_t num_nodes) : out_(num_nodes), in_(num_nodes) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return out_.size() - 1;
+}
+
+EdgeId Digraph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  BT_REQUIRE(u != v, "Digraph::add_edge: self-loops are not allowed");
+  const EdgeId e = arcs_.size();
+  arcs_.push_back(Arc{u, v});
+  out_[u].push_back(e);
+  in_[v].push_back(e);
+  return e;
+}
+
+std::pair<EdgeId, EdgeId> Digraph::add_bidirectional(NodeId u, NodeId v) {
+  const EdgeId forward = add_edge(u, v);
+  const EdgeId backward = add_edge(v, u);
+  return {forward, backward};
+}
+
+const Arc& Digraph::arc(EdgeId e) const {
+  BT_REQUIRE(e < arcs_.size(), "Digraph::arc: arc id out of range");
+  return arcs_[e];
+}
+
+const std::vector<EdgeId>& Digraph::out_edges(NodeId u) const {
+  check_node(u);
+  return out_[u];
+}
+
+const std::vector<EdgeId>& Digraph::in_edges(NodeId v) const {
+  check_node(v);
+  return in_[v];
+}
+
+EdgeId Digraph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (EdgeId e : out_[u]) {
+    if (arcs_[e].to == v) return e;
+  }
+  return npos;
+}
+
+double Digraph::density() const {
+  const auto n = static_cast<double>(num_nodes());
+  if (n < 2.0) return 0.0;
+  return static_cast<double>(num_edges()) / (n * (n - 1.0));
+}
+
+void Digraph::check_node(NodeId u) const {
+  BT_REQUIRE(u < out_.size(), "Digraph: node id out of range");
+}
+
+}  // namespace bt

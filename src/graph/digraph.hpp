@@ -1,0 +1,70 @@
+#pragma once
+
+// Directed graph substrate.
+//
+// The platform graph P = (V, E) of the paper is directed (a bidirectional
+// physical link is modeled by two opposite arcs).  Digraph stores the pure
+// structure -- nodes are dense indices [0, n), arcs are dense indices
+// [0, m) -- and exposes out-/in-adjacency as arc-id lists.  All quantitative
+// annotations (link costs T_{u,v}, LP edge loads n_{u,v}, ...) live in
+// side arrays indexed by arc id, owned by the layers above (Platform, ssb).
+
+#include <cstddef>
+#include <vector>
+
+namespace bt {
+
+using NodeId = std::size_t;
+using EdgeId = std::size_t;
+
+/// A directed arc from `from` to `to`.
+struct Arc {
+  NodeId from;
+  NodeId to;
+};
+
+/// Directed graph with dense node and arc ids.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes);
+
+  /// Append a node; returns its id.
+  NodeId add_node();
+
+  /// Append an arc u -> v; returns its id. Self-loops are rejected.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  /// Append the two arcs u -> v and v -> u; returns {id(u->v), id(v->u)}.
+  std::pair<EdgeId, EdgeId> add_bidirectional(NodeId u, NodeId v);
+
+  std::size_t num_nodes() const { return out_.size(); }
+  std::size_t num_edges() const { return arcs_.size(); }
+
+  const Arc& arc(EdgeId e) const;
+  NodeId from(EdgeId e) const { return arc(e).from; }
+  NodeId to(EdgeId e) const { return arc(e).to; }
+
+  /// Arc ids leaving u.
+  const std::vector<EdgeId>& out_edges(NodeId u) const;
+  /// Arc ids entering v.
+  const std::vector<EdgeId>& in_edges(NodeId v) const;
+
+  /// First arc id u -> v, or `npos` if absent.
+  EdgeId find_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const { return find_edge(u, v) != npos; }
+
+  /// Arc density relative to the complete digraph: m / (n * (n-1)).
+  double density() const;
+
+  static constexpr EdgeId npos = static_cast<EdgeId>(-1);
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace bt

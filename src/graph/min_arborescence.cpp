@@ -1,0 +1,135 @@
+#include "graph/min_arborescence.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// One level of the contraction recursion works on its own dense node ids
+/// and edge array; each edge remembers its index in the parent level.
+struct LevelEdge {
+  std::size_t from;
+  std::size_t to;
+  double w;
+  std::size_t parent;  ///< index into the parent level's edge array
+};
+
+/// Returns the indices (into `edges`) of a minimum spanning arborescence
+/// rooted at `root`, or an empty optional-equivalent (ok=false) when some
+/// node has no incoming edge.
+bool chu_liu(std::size_t num_nodes, std::size_t root, const std::vector<LevelEdge>& edges,
+             std::vector<std::size_t>& selected) {
+  selected.clear();
+  if (num_nodes <= 1) return true;
+
+  // 1. Cheapest incoming edge per node.
+  std::vector<std::size_t> best(num_nodes, kNone);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const LevelEdge& e = edges[i];
+    if (e.to == root || e.from == e.to) continue;
+    if (best[e.to] == kNone || e.w < edges[best[e.to]].w) best[e.to] = i;
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    if (v != root && best[v] == kNone) return false;
+  }
+
+  // 2. Find cycles in the best-in graph.
+  std::vector<std::size_t> cycle_id(num_nodes, kNone);
+  std::vector<int> state(num_nodes, 0);  // 0 unvisited, 1 on path, 2 done
+  std::size_t num_cycles = 0;
+  for (std::size_t start = 0; start < num_nodes; ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::size_t> path;
+    std::size_t v = start;
+    while (v != root && state[v] == 0) {
+      state[v] = 1;
+      path.push_back(v);
+      v = edges[best[v]].from;
+    }
+    if (v != root && state[v] == 1) {
+      // Found a new cycle; mark its members.
+      std::size_t c = num_cycles++;
+      std::size_t w = v;
+      do {
+        cycle_id[w] = c;
+        w = edges[best[w]].from;
+      } while (w != v);
+    }
+    for (std::size_t u : path) state[u] = 2;
+  }
+
+  if (num_cycles == 0) {
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      if (v != root) selected.push_back(best[v]);
+    }
+    return true;
+  }
+
+  // 3. Contract every cycle into a super-node.
+  std::vector<std::size_t> new_id(num_nodes, kNone);
+  std::size_t next = num_cycles;  // cycle c -> id c; others get fresh ids
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    new_id[v] = cycle_id[v] != kNone ? cycle_id[v] : next++;
+  }
+  std::vector<LevelEdge> contracted;
+  contracted.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const LevelEdge& e = edges[i];
+    const std::size_t nu = new_id[e.from];
+    const std::size_t nv = new_id[e.to];
+    if (nu == nv) continue;
+    const double reduced = cycle_id[e.to] != kNone ? e.w - edges[best[e.to]].w : e.w;
+    contracted.push_back(LevelEdge{nu, nv, reduced, i});
+  }
+
+  std::vector<std::size_t> sub_selected;
+  if (!chu_liu(next, new_id[root], contracted, sub_selected)) return false;
+
+  // 4. Expand: selected contracted edges map to this level; each cycle keeps
+  // all its best-in edges except the one displaced by the entering edge.
+  std::vector<char> displaced(num_nodes, 0);
+  for (std::size_t idx : sub_selected) {
+    const std::size_t this_level = contracted[idx].parent;
+    selected.push_back(this_level);
+    const std::size_t head = edges[this_level].to;
+    if (cycle_id[head] != kNone) displaced[head] = 1;
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    if (cycle_id[v] != kNone && !displaced[v]) selected.push_back(best[v]);
+  }
+  return true;
+}
+
+}  // namespace
+
+ArborescenceResult min_arborescence(const Digraph& g, NodeId root,
+                                    const std::vector<double>& weight) {
+  BT_REQUIRE(root < g.num_nodes(), "min_arborescence: root out of range");
+  BT_REQUIRE(weight.size() == g.num_edges(), "min_arborescence: weight size mismatch");
+
+  std::vector<LevelEdge> edges;
+  edges.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edges.push_back(LevelEdge{g.from(e), g.to(e), weight[e], e});
+  }
+
+  ArborescenceResult result;
+  std::vector<std::size_t> selected;
+  if (!chu_liu(g.num_nodes(), root, edges, selected)) return result;
+  result.found = true;
+  for (std::size_t idx : selected) {
+    result.edges.push_back(static_cast<EdgeId>(idx));
+    result.weight += weight[idx];
+  }
+  BT_ASSERT(result.edges.size() + 1 == g.num_nodes() || g.num_nodes() == 0,
+            "min_arborescence: wrong arc count after expansion");
+  return result;
+}
+
+}  // namespace bt

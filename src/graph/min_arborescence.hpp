@@ -1,0 +1,28 @@
+#pragma once
+
+// Minimum-weight spanning arborescence (Chu-Liu/Edmonds algorithm).
+//
+// Used as the pricing oracle of the column-generation SSB solver: given dual
+// prices on the one-port constraints, the most violated packing column is
+// the spanning arborescence of minimum total (priced) weight.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bt {
+
+struct ArborescenceResult {
+  bool found = false;
+  double weight = 0.0;
+  /// Arc ids (into the input graph) of the n-1 arborescence arcs.
+  std::vector<EdgeId> edges;
+};
+
+/// Minimum-weight spanning arborescence of `g` rooted at `root` under arc
+/// weights `weight` (any sign).  Returns found == false when some node is
+/// unreachable from the root.  O(V * E).
+ArborescenceResult min_arborescence(const Digraph& g, NodeId root,
+                                    const std::vector<double>& weight);
+
+}  // namespace bt

@@ -1,0 +1,124 @@
+#include "graph/reachability.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+bool arc_active(const EdgeMask& active, EdgeId e) {
+  return active.empty() || active[e] != 0;
+}
+
+}  // namespace
+
+std::vector<char> reachable_from(const Digraph& g, NodeId source, const EdgeMask& active) {
+  BT_REQUIRE(source < g.num_nodes(), "reachable_from: source out of range");
+  BT_REQUIRE(active.empty() || active.size() == g.num_edges(),
+             "reachable_from: mask size mismatch");
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> stack{source};
+  seen[source] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (EdgeId e : g.out_edges(u)) {
+      if (!arc_active(active, e)) continue;
+      const NodeId v = g.to(e);
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool all_reachable_from(const Digraph& g, NodeId source, const EdgeMask& active) {
+  const auto seen = reachable_from(g, source, active);
+  return std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; });
+}
+
+bool all_reachable_without(const Digraph& g, NodeId source, const EdgeMask& active,
+                           EdgeId removed) {
+  BT_REQUIRE(removed < g.num_edges(), "all_reachable_without: arc out of range");
+  EdgeMask mask = active;
+  if (mask.empty()) mask.assign(g.num_edges(), 1);
+  const char saved = mask[removed];
+  mask[removed] = 0;
+  const bool ok = all_reachable_from(g, source, mask);
+  // The mask is a local copy, but restore anyway in case of future refactors
+  // that hoist it out of the loop.
+  mask[removed] = saved;
+  return ok;
+}
+
+std::vector<std::size_t> strongly_connected_components(const Digraph& g,
+                                                       std::size_t* num_components) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnset), lowlink(n, 0), component(n, kUnset);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> scc_stack;
+  std::size_t next_index = 0, next_component = 0;
+
+  // Iterative Tarjan: frame = (node, position in its out-edge list).
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnset) continue;
+    call_stack.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    scc_stack.push_back(start);
+    on_stack[start] = 1;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId u = frame.node;
+      const auto& out = g.out_edges(u);
+      if (frame.edge_pos < out.size()) {
+        const NodeId v = g.to(out[frame.edge_pos++]);
+        if (index[v] == kUnset) {
+          index[v] = lowlink[v] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[v] = 1;
+          call_stack.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          while (true) {
+            const NodeId w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = 0;
+            component[w] = next_component;
+            if (w == u) break;
+          }
+          ++next_component;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.num_nodes() <= 1) return true;
+  std::size_t count = 0;
+  strongly_connected_components(g, &count);
+  return count == 1;
+}
+
+}  // namespace bt

@@ -1,0 +1,42 @@
+#pragma once
+
+// Reachability and connectivity queries over arc subsets.
+//
+// The pruning heuristics of the paper repeatedly ask "is the graph still
+// connected if arc e is removed?".  For a broadcast the meaningful notion is
+// *reachability from the source*: every node must remain reachable from
+// Psource through active arcs.  All routines therefore take an `active`
+// mask indexed by arc id; an empty mask means "all arcs active".
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bt {
+
+/// Boolean per-arc mask; arcs with mask[e] == 0 are ignored.
+using EdgeMask = std::vector<char>;
+
+/// Nodes reachable from `source` via active arcs (BFS).
+std::vector<char> reachable_from(const Digraph& g, NodeId source,
+                                 const EdgeMask& active = {});
+
+/// True iff every node is reachable from `source` via active arcs.
+bool all_reachable_from(const Digraph& g, NodeId source,
+                        const EdgeMask& active = {});
+
+/// True iff every node is *still* reachable from `source` when arc `removed`
+/// is additionally dropped from the active set.  This is the inner test of
+/// the pruning heuristics; it runs one BFS (O(n + m)).
+bool all_reachable_without(const Digraph& g, NodeId source,
+                           const EdgeMask& active, EdgeId removed);
+
+/// Strongly connected components (Tarjan, iterative).  Returns the component
+/// index of every node; components are numbered in reverse topological order.
+std::vector<std::size_t> strongly_connected_components(const Digraph& g,
+                                                       std::size_t* num_components = nullptr);
+
+/// True iff the whole graph is one strongly connected component.
+bool is_strongly_connected(const Digraph& g);
+
+}  // namespace bt

@@ -1,0 +1,72 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+bool ShortestPathTree::reachable(NodeId v) const {
+  BT_REQUIRE(v < dist.size(), "ShortestPathTree::reachable: node out of range");
+  return dist[v] < kInf;
+}
+
+std::vector<EdgeId> ShortestPathTree::path_to(const Digraph& g, NodeId v) const {
+  BT_REQUIRE(reachable(v), "ShortestPathTree::path_to: node unreachable");
+  std::vector<EdgeId> path;
+  NodeId cur = v;
+  while (parent_edge[cur] != Digraph::npos) {
+    const EdgeId e = parent_edge[cur];
+    path.push_back(e);
+    cur = g.from(e);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Digraph& g, NodeId source,
+                          const std::vector<double>& weight) {
+  BT_REQUIRE(source < g.num_nodes(), "dijkstra: source out of range");
+  BT_REQUIRE(weight.size() == g.num_edges(), "dijkstra: weight size mismatch");
+  for (double w : weight) BT_REQUIRE(w >= 0.0, "dijkstra: negative arc weight");
+
+  ShortestPathTree t;
+  t.dist.assign(g.num_nodes(), kInf);
+  t.parent_edge.assign(g.num_nodes(), Digraph::npos);
+  t.dist[source] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > t.dist[u]) continue;  // stale entry
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.to(e);
+      const double candidate = d + weight[e];
+      if (candidate < t.dist[v]) {
+        t.dist[v] = candidate;
+        t.parent_edge[v] = e;
+        heap.emplace(candidate, v);
+      }
+    }
+  }
+  return t;
+}
+
+std::vector<ShortestPathTree> all_pairs_shortest_paths(const Digraph& g,
+                                                       const std::vector<double>& weight) {
+  std::vector<ShortestPathTree> trees;
+  trees.reserve(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) trees.push_back(dijkstra(g, u, weight));
+  return trees;
+}
+
+}  // namespace bt

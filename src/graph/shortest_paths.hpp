@@ -1,0 +1,37 @@
+#pragma once
+
+// Single-source shortest paths (Dijkstra) over non-negative arc weights.
+//
+// The Binomial-Tree heuristic (Algorithm 4 of the paper) schedules transfers
+// between arbitrary node pairs and routes each transfer over the shortest
+// path in the platform graph, weighted by the per-slice link times T_{u,v}.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bt {
+
+/// Result of a single-source Dijkstra run.
+struct ShortestPathTree {
+  /// dist[v]: shortest distance from the source; +inf if unreachable.
+  std::vector<double> dist;
+  /// parent_edge[v]: arc id of the last arc on the shortest path to v,
+  /// Digraph::npos for the source and unreachable nodes.
+  std::vector<EdgeId> parent_edge;
+
+  bool reachable(NodeId v) const;
+  /// Arc ids of the source -> v path, in path order. Requires reachable(v).
+  std::vector<EdgeId> path_to(const Digraph& g, NodeId v) const;
+};
+
+/// Dijkstra from `source` with arc weights `weight` (indexed by arc id,
+/// all weights must be >= 0).
+ShortestPathTree dijkstra(const Digraph& g, NodeId source,
+                          const std::vector<double>& weight);
+
+/// All-pairs wrapper: runs Dijkstra from every node. O(n * m log n).
+std::vector<ShortestPathTree> all_pairs_shortest_paths(const Digraph& g,
+                                                       const std::vector<double>& weight);
+
+}  // namespace bt

@@ -1,0 +1,37 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  BT_REQUIRE(x < parent_.size(), "UnionFind::find: index out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::size_t UnionFind::set_size(std::size_t x) { return size_[find(x)]; }
+
+}  // namespace bt

@@ -1,0 +1,37 @@
+#pragma once
+
+// Disjoint-set forest with union by rank and path compression.
+// Used by generators (backbone construction) and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace bt {
+
+/// Union-find over {0, ..., n-1}.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  std::size_t find(std::size_t x);
+
+  /// Merge the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_sets() const { return num_sets_; }
+
+  /// Size of the set containing x.
+  std::size_t set_size(std::size_t x);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace bt

@@ -1,0 +1,86 @@
+#include "lp/exact_simplex.hpp"
+
+#include "util/error.hpp"
+
+namespace bt {
+
+ExactSolution solve_exact_lp(const ExactLp& lp) {
+  const std::size_t m = lp.a.size();
+  BT_REQUIRE(lp.b.size() == m, "solve_exact_lp: rhs arity mismatch");
+  const std::size_t n = lp.c.size();
+  for (const auto& row : lp.a) {
+    BT_REQUIRE(row.size() == n, "solve_exact_lp: ragged constraint matrix");
+  }
+  for (const Rational& bi : lp.b) {
+    BT_REQUIRE(bi >= Rational(0), "solve_exact_lp: negative rhs not supported");
+  }
+
+  // Tableau layout: columns [structural | slacks | rhs]; last row is the
+  // objective (reduced costs, maximization => entering columns have
+  // positive row entries after negation convention below).
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<Rational>> t(m + 1, std::vector<Rational>(cols, Rational(0)));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = lp.a[i][j];
+    t[i][n + i] = Rational(1);
+    t[i][cols - 1] = lp.b[i];
+  }
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = -lp.c[j];  // min row of -c
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  ExactSolution solution;
+  while (true) {
+    // Bland: smallest-index column with negative objective-row entry.
+    std::size_t entering = cols;
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      if (t[m][j] < Rational(0)) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == cols) break;  // optimal
+
+    // Ratio test, ties broken by smallest basis variable (Bland).
+    std::size_t leaving = m;
+    Rational best_ratio;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][entering] > Rational(0)) {
+        const Rational ratio = t[i][cols - 1] / t[i][entering];
+        if (leaving == m || ratio < best_ratio ||
+            (ratio == best_ratio && basis[i] < basis[leaving])) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving == m) {
+      solution.status = ExactStatus::kUnbounded;
+      return solution;
+    }
+
+    // Pivot.
+    const Rational pivot = t[leaving][entering];
+    for (std::size_t j = 0; j < cols; ++j) t[leaving][j] /= pivot;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == leaving || t[i][entering].is_zero()) continue;
+      const Rational factor = t[i][entering];
+      for (std::size_t j = 0; j < cols; ++j) {
+        t[i][j] -= factor * t[leaving][j];
+      }
+    }
+    basis[leaving] = entering;
+    ++solution.pivots;
+  }
+
+  solution.x.assign(n, Rational(0));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = t[i][cols - 1];
+  }
+  solution.objective = Rational(0);
+  for (std::size_t j = 0; j < n; ++j) solution.objective += lp.c[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace bt

@@ -1,0 +1,41 @@
+#pragma once
+
+// Exact tableau simplex over the rationals.
+//
+// Validation-grade solver for small programs of the form
+//   maximize c.x  subject to  A x <= b,  x >= 0,  b >= 0,
+// i.e. the shape of the master programs in this repository.  Bland's rule
+// guarantees termination; all arithmetic is exact (bt::Rational), so the
+// result certifies the floating-point revised simplex in the tests, echoing
+// the paper's "solve over the rationals with Maple/MuPAD".
+//
+// Dense tableau, O(rows * cols) per pivot: intended for the test-suite's
+// small instances, not for production solves.
+
+#include <vector>
+
+#include "lp/rational.hpp"
+
+namespace bt {
+
+struct ExactLp {
+  /// Dense constraint matrix, rows x cols.
+  std::vector<std::vector<Rational>> a;
+  std::vector<Rational> b;  ///< right-hand sides, must be >= 0
+  std::vector<Rational> c;  ///< objective (maximized)
+};
+
+enum class ExactStatus { kOptimal, kUnbounded };
+
+struct ExactSolution {
+  ExactStatus status = ExactStatus::kOptimal;
+  Rational objective;
+  std::vector<Rational> x;
+  std::size_t pivots = 0;
+};
+
+/// Solve `lp` exactly.  Throws bt::Error on malformed input (ragged matrix,
+/// negative rhs).
+ExactSolution solve_exact_lp(const ExactLp& lp);
+
+}  // namespace bt

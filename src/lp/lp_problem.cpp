@@ -1,0 +1,81 @@
+#include "lp/lp_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+std::size_t LpProblem::add_variable(double objective_coeff, std::string name) {
+  objective_coeff_.push_back(objective_coeff);
+  if (name.empty()) name = "x" + std::to_string(objective_coeff_.size() - 1);
+  names_.push_back(std::move(name));
+  return objective_coeff_.size() - 1;
+}
+
+std::size_t LpProblem::add_constraint(const std::vector<LpTerm>& terms, RowSense sense,
+                                      double rhs) {
+  // Merge duplicate variables so the simplex sees clean columns.
+  std::map<std::size_t, double> merged;
+  for (const LpTerm& t : terms) {
+    BT_REQUIRE(t.var < num_variables(), "LpProblem::add_constraint: unknown variable");
+    merged[t.var] += t.coeff;
+  }
+  Row row;
+  row.sense = sense;
+  row.rhs = rhs;
+  row.terms.reserve(merged.size());
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) row.terms.push_back(LpTerm{var, coeff});
+  }
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+double LpProblem::objective_coeff(std::size_t var) const {
+  BT_REQUIRE(var < num_variables(), "LpProblem::objective_coeff: unknown variable");
+  return objective_coeff_[var];
+}
+
+const std::string& LpProblem::variable_name(std::size_t var) const {
+  BT_REQUIRE(var < num_variables(), "LpProblem::variable_name: unknown variable");
+  return names_[var];
+}
+
+const LpProblem::Row& LpProblem::row(std::size_t i) const {
+  BT_REQUIRE(i < rows_.size(), "LpProblem::row: unknown row");
+  return rows_[i];
+}
+
+double LpProblem::objective_value(const std::vector<double>& x) const {
+  BT_REQUIRE(x.size() == num_variables(), "LpProblem::objective_value: size mismatch");
+  double v = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) v += objective_coeff_[i] * x[i];
+  return v;
+}
+
+double LpProblem::max_violation(const std::vector<double>& x) const {
+  BT_REQUIRE(x.size() == num_variables(), "LpProblem::max_violation: size mismatch");
+  double worst = 0.0;
+  for (double xi : x) worst = std::max(worst, -xi);  // x >= 0
+  for (const Row& row : rows_) {
+    double lhs = 0.0;
+    for (const LpTerm& t : row.terms) lhs += t.coeff * x[t.var];
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case RowSense::kGreaterEqual:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case RowSense::kEqual:
+        worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace bt

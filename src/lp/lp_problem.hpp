@@ -1,0 +1,65 @@
+#pragma once
+
+// Linear program builder.
+//
+// The paper solves the steady-state broadcast program (2) "with standard
+// tools such as Maple or MuPAD"; this repository builds its own solver.
+// LpProblem is the model layer: variables with non-negative domains and an
+// objective coefficient, plus sparse constraint rows.  Solving happens in
+// simplex.hpp.
+
+#include <string>
+#include <vector>
+
+namespace bt {
+
+enum class RowSense { kLessEqual, kGreaterEqual, kEqual };
+enum class Objective { kMaximize, kMinimize };
+
+/// Sparse constraint entry: coefficient on a variable.
+struct LpTerm {
+  std::size_t var;
+  double coeff;
+};
+
+/// A linear program with non-negative variables.
+class LpProblem {
+ public:
+  explicit LpProblem(Objective objective = Objective::kMaximize)
+      : objective_(objective) {}
+
+  /// Add a variable x >= 0 with the given objective coefficient.
+  std::size_t add_variable(double objective_coeff, std::string name = {});
+
+  /// Add a constraint  sum_i terms[i].coeff * x_{terms[i].var}  <sense>  rhs.
+  /// Duplicate variable entries in `terms` are summed.
+  std::size_t add_constraint(const std::vector<LpTerm>& terms, RowSense sense, double rhs);
+
+  Objective objective() const { return objective_; }
+  std::size_t num_variables() const { return objective_coeff_.size(); }
+  std::size_t num_constraints() const { return rows_.size(); }
+
+  double objective_coeff(std::size_t var) const;
+  const std::string& variable_name(std::size_t var) const;
+
+  struct Row {
+    std::vector<LpTerm> terms;
+    RowSense sense;
+    double rhs;
+  };
+  const Row& row(std::size_t i) const;
+
+  /// Evaluate the objective at a point.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max violation of any constraint or variable bound at `x` (0 = feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  Objective objective_;
+  std::vector<double> objective_coeff_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bt

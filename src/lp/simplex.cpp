@@ -1,0 +1,543 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sparse column: (row index, value) pairs.
+struct SparseCol {
+  std::vector<std::uint32_t> rows;
+  std::vector<double> vals;
+
+  void push(std::uint32_t row, double value) {
+    if (value == 0.0) return;
+    rows.push_back(row);
+    vals.push_back(value);
+  }
+  std::size_t nnz() const { return rows.size(); }
+};
+
+/// Internal standard form: minimize c.z subject to A z = b, z >= 0, with an
+/// explicit dense basis inverse and sparse constraint columns.  Rows whose
+/// right-hand side starts non-negative with a +1 slack begin basic; only
+/// >= and = rows require phase-1 artificials.
+class SimplexCore {
+ public:
+  SimplexCore(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options), problem_(problem) {
+    build(problem);
+  }
+
+  LpSolution run() {
+    LpSolution solution;
+    // ---- Phase 1: minimize the sum of artificials (when any exist). ----
+    if (num_artificials_ > 0) {
+      active_cost_ = &phase1_cost_;
+      allow_artificial_entering_ = true;
+      const LpStatus st = iterate(&solution.iterations);
+      if (st != LpStatus::kOptimal) {
+        // Phase 1 is bounded below by 0, so anything else is a limit.
+        solution.status = LpStatus::kIterationLimit;
+        return solution;
+      }
+      if (phase_objective() > 1e-7) {
+        solution.status = LpStatus::kInfeasible;
+        return solution;
+      }
+      purge_artificials();
+    }
+    // ---- Phase 2: minimize the real cost. ----
+    active_cost_ = &cost_;
+    allow_artificial_entering_ = false;
+    const LpStatus st = iterate(&solution.iterations);
+    solution.status = st;
+    if (st != LpStatus::kOptimal) return solution;
+
+    // Extract structural primal values.
+    solution.x.assign(num_structural_, 0.0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < num_structural_) solution.x[basis_[r]] = std::max(0.0, xb_[r]);
+    }
+    solution.objective = problem_.objective_value(solution.x);
+
+    // Duals: y = c_B^T B^{-1}, mapped back through row flips / objective
+    // sense (rows dropped as redundant keep dual 0).
+    std::vector<double> y(num_rows_, 0.0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const double cb = cost_[basis_[r]];
+      if (cb == 0.0) continue;
+      const double* binv_row = &binv_[r * num_rows_];
+      for (std::size_t i = 0; i < num_rows_; ++i) y[i] += cb * binv_row[i];
+    }
+    solution.duals.assign(problem_.num_constraints(), 0.0);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const std::size_t orig = row_origin_[i];
+      double v = row_flip_[i] * y[i];
+      if (problem_.objective() == Objective::kMaximize) v = -v;
+      solution.duals[orig] = v;
+    }
+
+    // Basis labels for warm starts (only when every basic variable has a
+    // stable label and no rows were dropped).
+    if (num_rows_ == problem_.num_constraints()) {
+      solution.basis.resize(num_rows_);
+      bool labelable = true;
+      for (std::size_t r = 0; r < num_rows_ && labelable; ++r) {
+        const std::size_t j = basis_[r];
+        if (j < num_structural_) {
+          solution.basis[r] = j;
+        } else if (j < first_artificial_) {
+          // Slack or surplus: label by its row; surplus columns are not
+          // representable (they never arise in warm-started problems here).
+          const std::size_t row = cols_[j].rows.front();
+          if (slack_col_of_row_[row] == j) {
+            solution.basis[r] = kSlackLabelBase - row;
+          } else {
+            labelable = false;
+          }
+        } else {
+          labelable = false;  // artificial stuck in the basis
+        }
+      }
+      if (!labelable) solution.basis.clear();
+    }
+    return solution;
+  }
+
+ private:
+  // ---------- model construction ----------
+  void build(const LpProblem& problem) {
+    const std::size_t m = problem.num_constraints();
+    num_structural_ = problem.num_variables();
+    num_rows_ = m;
+    row_flip_.assign(m, 1.0);
+    row_origin_.resize(m);
+    b_.resize(m);
+
+    cols_.assign(num_structural_, SparseCol{});
+    cost_.assign(num_structural_, 0.0);
+    const double sense = problem.objective() == Objective::kMaximize ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < num_structural_; ++j) {
+      cost_[j] = sense * problem.objective_coeff(j);
+    }
+    std::vector<RowSense> senses(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      row_origin_[i] = i;
+      const auto& row = problem.row(i);
+      double flip = 1.0;
+      RowSense s = row.sense;
+      if (row.rhs < 0.0) {
+        flip = -1.0;
+        if (s == RowSense::kLessEqual) s = RowSense::kGreaterEqual;
+        else if (s == RowSense::kGreaterEqual) s = RowSense::kLessEqual;
+      }
+      row_flip_[i] = flip;
+      b_[i] = flip * row.rhs;
+      senses[i] = s;
+      for (const LpTerm& t : row.terms) {
+        cols_[t.var].push(static_cast<std::uint32_t>(i), flip * t.coeff);
+      }
+    }
+
+    // Slack / surplus columns, then artificials.
+    basis_.assign(m, static_cast<std::size_t>(-1));
+    slack_col_of_row_.assign(m, static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < m; ++i) {
+      if (senses[i] == RowSense::kLessEqual) {
+        const std::size_t j = add_unit_column(i, +1.0, 0.0);
+        slack_col_of_row_[i] = j;
+        basis_[i] = j;  // slack starts basic (b >= 0)
+      } else if (senses[i] == RowSense::kGreaterEqual) {
+        add_unit_column(i, -1.0, 0.0);  // surplus, cannot start basic
+      }
+    }
+    first_artificial_ = cols_.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basis_[i] == static_cast<std::size_t>(-1)) {
+        const std::size_t j = add_unit_column(i, +1.0, 0.0);
+        basis_[i] = j;
+        ++num_artificials_;
+      }
+    }
+    phase1_cost_.assign(cols_.size(), 0.0);
+    for (std::size_t j = first_artificial_; j < cols_.size(); ++j) phase1_cost_[j] = 1.0;
+
+    if (num_artificials_ == 0) try_warm_start();
+    refactor();
+  }
+
+  /// Replace the default slack basis with the caller-provided labels when
+  /// they decode to a primal-feasible basis of this problem.
+  void try_warm_start() {
+    const std::vector<std::size_t>* warm = options_.warm_basis;
+    if (warm == nullptr || warm->size() != num_rows_) return;
+    std::vector<std::size_t> candidate(num_rows_);
+    std::vector<char> used(cols_.size(), 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      std::size_t col;
+      const std::size_t label = (*warm)[r];
+      if (label < num_structural_) {
+        col = label;
+      } else if (kSlackLabelBase - label < num_rows_) {
+        col = slack_col_of_row_[kSlackLabelBase - label];
+        if (col == static_cast<std::size_t>(-1)) return;  // row has no slack
+      } else {
+        return;  // undecodable label
+      }
+      if (used[col]) return;  // duplicate basic variable
+      used[col] = 1;
+      candidate[r] = col;
+    }
+    const std::vector<std::size_t> saved = basis_;
+    basis_ = candidate;
+    try {
+      refactor();
+    } catch (const Error&) {
+      basis_ = saved;  // singular warm basis: fall back to the slack basis
+      return;
+    }
+    for (double v : xb_) {
+      if (v < -1e-7) {  // warm basis not primal feasible here
+        basis_ = saved;
+        return;
+      }
+    }
+  }
+
+  std::size_t add_unit_column(std::size_t row, double value, double cost) {
+    cols_.emplace_back();
+    cols_.back().push(static_cast<std::uint32_t>(row), value);
+    cost_.push_back(cost);
+    return cols_.size() - 1;
+  }
+
+  // ---------- linear algebra ----------
+  /// Rebuild binv_ by Gauss-Jordan inversion of the basis matrix, then
+  /// recompute xb_.  O(m^3); called rarely.
+  void refactor() {
+    const std::size_t m = num_rows_;
+    std::vector<double> mat(m * m, 0.0);  // basis matrix, row-major
+    for (std::size_t r = 0; r < m; ++r) {
+      const SparseCol& col = cols_[basis_[r]];
+      for (std::size_t k = 0; k < col.nnz(); ++k) mat[col.rows[k] * m + r] = col.vals[k];
+    }
+    binv_.assign(m * m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) binv_[i * m + i] = 1.0;
+    for (std::size_t col = 0; col < m; ++col) {
+      std::size_t piv = col;
+      double best = std::abs(mat[col * m + col]);
+      for (std::size_t r = col + 1; r < m; ++r) {
+        const double v = std::abs(mat[r * m + col]);
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      BT_ASSERT(best > 1e-12, "simplex: singular basis during refactor");
+      if (piv != col) {
+        for (std::size_t k = 0; k < m; ++k) {
+          std::swap(mat[piv * m + k], mat[col * m + k]);
+          std::swap(binv_[piv * m + k], binv_[col * m + k]);
+        }
+      }
+      const double inv = 1.0 / mat[col * m + col];
+      for (std::size_t k = 0; k < m; ++k) {
+        mat[col * m + k] *= inv;
+        binv_[col * m + k] *= inv;
+      }
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r == col) continue;
+        const double f = mat[r * m + col];
+        if (f == 0.0) continue;
+        for (std::size_t k = 0; k < m; ++k) {
+          mat[r * m + k] -= f * mat[col * m + k];
+          binv_[r * m + k] -= f * binv_[col * m + k];
+        }
+      }
+    }
+    recompute_xb();
+  }
+
+  void recompute_xb() {
+    const std::size_t m = num_rows_;
+    xb_.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      double v = 0.0;
+      const double* binv_row = &binv_[r * m];
+      for (std::size_t i = 0; i < m; ++i) v += binv_row[i] * b_[i];
+      xb_[r] = v;
+    }
+  }
+
+  /// w = B^{-1} * column j.  O(m * nnz(col)).
+  void ftran(std::size_t j, std::vector<double>& w) const {
+    const std::size_t m = num_rows_;
+    const SparseCol& col = cols_[j];
+    w.assign(m, 0.0);
+    for (std::size_t k = 0; k < col.nnz(); ++k) {
+      const std::size_t i = col.rows[k];
+      const double v = col.vals[k];
+      for (std::size_t r = 0; r < m; ++r) w[r] += binv_[r * m + i] * v;
+    }
+  }
+
+  /// y = (active cost of basis)^T * B^{-1}.  Only rows with non-zero basic
+  /// cost contribute, which keeps this cheap in both phases.
+  void btran(std::vector<double>& y) const {
+    const std::size_t m = num_rows_;
+    y.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double cb = (*active_cost_)[basis_[r]];
+      if (cb == 0.0) continue;
+      const double* binv_row = &binv_[r * m];
+      for (std::size_t i = 0; i < m; ++i) y[i] += cb * binv_row[i];
+    }
+  }
+
+  double phase_objective() const {
+    double v = 0.0;
+    for (std::size_t r = 0; r < num_rows_; ++r) v += (*active_cost_)[basis_[r]] * xb_[r];
+    return v;
+  }
+
+  // ---------- simplex iterations ----------
+  LpStatus iterate(std::size_t* iteration_counter) {
+    const std::size_t m = num_rows_;
+    const std::size_t n = cols_.size();
+    const double tol = options_.tolerance;
+    const std::size_t max_iter = options_.max_iterations > 0
+                                     ? options_.max_iterations
+                                     : std::max<std::size_t>(2000, 60 * (m + n));
+    std::vector<char> in_basis(n, 0);
+    for (std::size_t r = 0; r < m; ++r) in_basis[basis_[r]] = 1;
+
+    std::vector<double> y, w;
+    bool bland = false;
+    double last_objective = phase_objective();
+    std::size_t stalled = 0;
+    std::size_t since_refactor = 0;
+
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+      if (iteration_counter != nullptr) ++(*iteration_counter);
+      btran(y);
+
+      // Pricing: pick the entering column (sparse dot products).
+      std::size_t entering = static_cast<std::size_t>(-1);
+      double best_reduced = -tol;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (in_basis[j]) continue;
+        if (!allow_artificial_entering_ && j >= first_artificial_) continue;
+        const SparseCol& col = cols_[j];
+        double d = (*active_cost_)[j];
+        for (std::size_t k = 0; k < col.nnz(); ++k) d -= y[col.rows[k]] * col.vals[k];
+        if (bland) {
+          if (d < -tol) {
+            entering = j;
+            break;
+          }
+        } else if (d < best_reduced) {
+          best_reduced = d;
+          entering = j;
+        }
+      }
+      if (entering == static_cast<std::size_t>(-1)) return LpStatus::kOptimal;
+
+      // Ratio test.
+      ftran(entering, w);
+      std::size_t leave_row = static_cast<std::size_t>(-1);
+      double best_ratio = kInf;
+      double best_pivot = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (w[r] > tol) {
+          const double ratio = std::max(0.0, xb_[r]) / w[r];
+          const bool better =
+              ratio < best_ratio - tol ||
+              (ratio < best_ratio + tol &&
+               (w[r] > best_pivot ||
+                (bland && leave_row != static_cast<std::size_t>(-1) &&
+                 basis_[r] < basis_[leave_row])));
+          if (better) {
+            best_ratio = ratio;
+            best_pivot = w[r];
+            leave_row = r;
+          }
+        }
+      }
+      if (leave_row == static_cast<std::size_t>(-1)) return LpStatus::kUnbounded;
+
+      pivot(leave_row, w);
+      in_basis[basis_[leave_row]] = 0;
+      in_basis[entering] = 1;
+      basis_[leave_row] = entering;
+
+      if (++since_refactor >= options_.refactor_period) {
+        refactor();
+        since_refactor = 0;
+      }
+
+      // Cycling guard: persistent stalling switches to Bland's rule.
+      const double objective_now = phase_objective();
+      if (objective_now < last_objective - tol) {
+        stalled = 0;
+        bland = false;
+      } else if (++stalled > 2 * m + 50) {
+        bland = true;
+      }
+      last_objective = objective_now;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  /// Rank-1 update of the basis inverse and basic solution for a pivot on
+  /// `leave_row` with direction `w` (= B^{-1} A_entering).
+  void pivot(std::size_t leave_row, const std::vector<double>& w) {
+    const std::size_t m = num_rows_;
+    const double step = xb_[leave_row] / w[leave_row];
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r != leave_row) xb_[r] -= step * w[r];
+    }
+    xb_[leave_row] = step;
+    const double piv = w[leave_row];
+    double* pivot_row = &binv_[leave_row * m];
+    for (std::size_t k = 0; k < m; ++k) pivot_row[k] /= piv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == leave_row) continue;
+      const double f = w[r];
+      if (f == 0.0) continue;
+      double* row = &binv_[r * m];
+      for (std::size_t k = 0; k < m; ++k) row[k] -= f * pivot_row[k];
+    }
+  }
+
+  /// After phase 1: pivot zero-valued artificials out of the basis; rows
+  /// whose artificial cannot be replaced are redundant and dropped.
+  void purge_artificials() {
+    std::vector<double> w;
+    std::vector<std::size_t> redundant_rows;
+    std::vector<char> is_basic(cols_.size(), 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) is_basic[basis_[r]] = 1;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < first_artificial_) continue;
+      bool replaced = false;
+      for (std::size_t j = 0; j < first_artificial_ && !replaced; ++j) {
+        if (is_basic[j]) continue;
+        ftran(j, w);
+        if (std::abs(w[r]) > 1e-7) {
+          // Degenerate pivot (xb_[r] ~ 0): basis changes, solution does not.
+          is_basic[basis_[r]] = 0;
+          pivot(r, w);
+          basis_[r] = j;
+          is_basic[j] = 1;
+          recompute_xb();
+          replaced = true;
+        }
+      }
+      if (!replaced) redundant_rows.push_back(r);
+    }
+    if (!redundant_rows.empty()) drop_rows(redundant_rows);
+  }
+
+  void drop_rows(const std::vector<std::size_t>& rows) {
+    std::vector<char> dead(num_rows_, 0);
+    for (std::size_t r : rows) dead[r] = 1;
+    std::vector<std::uint32_t> remap(num_rows_, 0);
+    std::vector<std::size_t> keep;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (!dead[r]) {
+        remap[r] = static_cast<std::uint32_t>(keep.size());
+        keep.push_back(r);
+      }
+    }
+    const std::size_t new_m = keep.size();
+    for (SparseCol& col : cols_) {
+      SparseCol nc;
+      for (std::size_t k = 0; k < col.nnz(); ++k) {
+        if (!dead[col.rows[k]]) nc.push(remap[col.rows[k]], col.vals[k]);
+      }
+      col = std::move(nc);
+    }
+    std::vector<double> nb(new_m), nflip(new_m);
+    std::vector<std::size_t> norigin(new_m), nbasis(new_m);
+    for (std::size_t k = 0; k < new_m; ++k) {
+      nb[k] = b_[keep[k]];
+      nflip[k] = row_flip_[keep[k]];
+      norigin[k] = row_origin_[keep[k]];
+      nbasis[k] = basis_[keep[k]];
+    }
+    b_ = std::move(nb);
+    row_flip_ = std::move(nflip);
+    row_origin_ = std::move(norigin);
+    basis_ = std::move(nbasis);
+    num_rows_ = new_m;
+    refactor();
+  }
+
+  // ---------- state ----------
+  SimplexOptions options_;
+  const LpProblem& problem_;
+
+  std::size_t num_structural_ = 0;
+  std::size_t num_rows_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::size_t num_artificials_ = 0;
+
+  std::vector<SparseCol> cols_;  // constraint matrix, sparse columns
+  std::vector<double> cost_;     // phase-2 cost (min sense)
+  std::vector<double> phase1_cost_;
+  std::vector<double> b_;
+  std::vector<double> row_flip_;
+  std::vector<std::size_t> row_origin_;
+  std::vector<std::size_t> slack_col_of_row_;
+
+  std::vector<std::size_t> basis_;  // basic variable per row
+  std::vector<double> binv_;        // dense basis inverse, row-major
+  std::vector<double> xb_;          // basic variable values
+
+  const std::vector<double>* active_cost_ = nullptr;
+  bool allow_artificial_entering_ = true;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  BT_REQUIRE(problem.num_variables() > 0, "solve_lp: no variables");
+  if (problem.num_constraints() == 0) {
+    // Unconstrained: optimum is 0 unless some coefficient improves without
+    // bound (x >= 0 only).
+    LpSolution solution;
+    solution.x.assign(problem.num_variables(), 0.0);
+    const double sense = problem.objective() == Objective::kMaximize ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+      if (sense * problem.objective_coeff(j) > 0.0) {
+        solution.status = LpStatus::kUnbounded;
+        return solution;
+      }
+    }
+    solution.status = LpStatus::kOptimal;
+    solution.objective = 0.0;
+    return solution;
+  }
+  SimplexCore core(problem, options);
+  return core.run();
+}
+
+}  // namespace bt

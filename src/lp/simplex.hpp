@@ -1,0 +1,60 @@
+#pragma once
+
+// Two-phase dense revised simplex.
+//
+// Solves LpProblem instances (non-negative variables, <=/>=/= rows).  The
+// implementation keeps an explicit dense basis inverse, refreshed from
+// scratch periodically for numerical hygiene, uses Dantzig pricing with a
+// Bland's-rule fallback against cycling, and a two-phase start (artificial
+// variables minimized first).  Problem sizes in this repository stay in the
+// hundreds-to-low-thousands of rows, where a dense inverse is both simple
+// and fast.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+
+namespace bt {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Human-readable status name.
+std::string to_string(LpStatus status);
+
+struct SimplexOptions {
+  double tolerance = 1e-9;        ///< feasibility / optimality tolerance
+  std::size_t max_iterations = 0; ///< 0 = automatic (scales with problem size)
+  /// Recompute the basis inverse from scratch every this many pivots.
+  std::size_t refactor_period = 128;
+  /// Optional warm-start basis (labels from a previous LpSolution::basis on
+  /// a problem with the same rows; extra columns may have been added since).
+  /// Honored only when the labeled basis is primal feasible and the problem
+  /// needs no artificials; silently ignored otherwise.
+  const std::vector<std::size_t>* warm_basis = nullptr;
+};
+
+/// Basis label encoding for warm starts: structural variable j is labeled j;
+/// the slack of row i is labeled kSlackLabelBase - i.
+inline constexpr std::size_t kSlackLabelBase = static_cast<std::size_t>(-2);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  /// Objective value in the problem's own sense (max or min).
+  double objective = 0.0;
+  /// Primal values of the structural variables.
+  std::vector<double> x;
+  /// Dual values (one per constraint row); sign convention: for a maximize
+  /// problem duals of binding <= rows are >= 0.
+  std::vector<double> duals;
+  /// Basis labels (one per row) for warm-starting a related problem; empty
+  /// when a row's basic variable has no stable label (e.g. an artificial).
+  std::vector<std::size_t> basis;
+  std::size_t iterations = 0;
+};
+
+/// Solve `problem` with the revised simplex method.
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace bt

@@ -1,0 +1,92 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/reachability.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+Platform::Platform(Digraph graph, std::vector<LinkCost> link_costs, double slice_size,
+                   NodeId source)
+    : graph_(std::move(graph)),
+      link_(std::move(link_costs)),
+      slice_size_(slice_size),
+      source_(source),
+      send_overhead_(graph_.num_nodes(), 0.0),
+      recv_overhead_(graph_.num_nodes(), 0.0) {
+  BT_REQUIRE(link_.size() == graph_.num_edges(), "Platform: one LinkCost per arc required");
+  BT_REQUIRE(slice_size_ > 0.0, "Platform: slice size must be positive");
+  BT_REQUIRE(source_ < graph_.num_nodes(), "Platform: source out of range");
+  for (const LinkCost& c : link_) {
+    BT_REQUIRE(c.alpha >= 0.0 && c.beta >= 0.0, "Platform: negative link cost");
+    BT_REQUIRE(c.alpha > 0.0 || c.beta > 0.0, "Platform: zero-cost link");
+  }
+  set_slice_size(slice_size_);
+  std::string why;
+  BT_REQUIRE(valid(&why), "Platform: invalid platform: " + why);
+}
+
+const LinkCost& Platform::link_cost(EdgeId e) const {
+  BT_REQUIRE(e < link_.size(), "Platform::link_cost: arc out of range");
+  return link_[e];
+}
+
+double Platform::edge_time(EdgeId e) const {
+  BT_REQUIRE(e < slice_time_.size(), "Platform::edge_time: arc out of range");
+  return slice_time_[e];
+}
+
+void Platform::set_slice_size(double slice_size) {
+  BT_REQUIRE(slice_size > 0.0, "Platform::set_slice_size: slice size must be positive");
+  slice_size_ = slice_size;
+  slice_time_.resize(link_.size());
+  for (EdgeId e = 0; e < link_.size(); ++e) slice_time_[e] = link_[e].at(slice_size_);
+}
+
+double Platform::send_overhead(NodeId u) const {
+  BT_REQUIRE(u < send_overhead_.size(), "Platform::send_overhead: node out of range");
+  return send_overhead_[u];
+}
+
+double Platform::recv_overhead(NodeId v) const {
+  BT_REQUIRE(v < recv_overhead_.size(), "Platform::recv_overhead: node out of range");
+  return recv_overhead_[v];
+}
+
+void Platform::set_multiport_overheads(double ratio) {
+  BT_REQUIRE(ratio >= 0.0, "Platform::set_multiport_overheads: negative ratio");
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    double min_out = std::numeric_limits<double>::infinity();
+    for (EdgeId e : graph_.out_edges(u)) min_out = std::min(min_out, slice_time_[e]);
+    send_overhead_[u] = graph_.out_edges(u).empty() ? 0.0 : ratio * min_out;
+
+    double min_in = std::numeric_limits<double>::infinity();
+    for (EdgeId e : graph_.in_edges(u)) min_in = std::min(min_in, slice_time_[e]);
+    recv_overhead_[u] = graph_.in_edges(u).empty() ? 0.0 : ratio * min_in;
+  }
+}
+
+void Platform::set_send_overheads(std::vector<double> send) {
+  BT_REQUIRE(send.size() == graph_.num_nodes(), "set_send_overheads: size mismatch");
+  for (double s : send) BT_REQUIRE(s >= 0.0, "set_send_overheads: negative overhead");
+  send_overhead_ = std::move(send);
+}
+
+void Platform::set_recv_overheads(std::vector<double> recv) {
+  BT_REQUIRE(recv.size() == graph_.num_nodes(), "set_recv_overheads: size mismatch");
+  for (double r : recv) BT_REQUIRE(r >= 0.0, "set_recv_overheads: negative overhead");
+  recv_overhead_ = std::move(recv);
+}
+
+bool Platform::valid(std::string* why) const {
+  if (!all_reachable_from(graph_, source_)) {
+    if (why != nullptr) *why = "not all nodes reachable from the source";
+    return false;
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace bt

@@ -1,0 +1,87 @@
+#pragma once
+
+// Heterogeneous platform model (Section 2 of the paper).
+//
+// A Platform is the directed platform graph P = (V, E) annotated with:
+//  * an affine communication cost per arc, T_{u,v}(L) = alpha + beta * L
+//    (alpha: start-up cost in seconds, beta: inverse bandwidth in s/byte);
+//  * the slice size L chosen at the application level -- once L is fixed the
+//    paper works with the scalar arc weights T_{u,v} = T_{u,v}(L);
+//  * per-node multi-port overheads send_u / recv_u (Section 3.2): the time a
+//    node's CPU/NIC is busy per slice emission (serialized across children),
+//    while the link occupations T_{u,v} may overlap.
+//
+// Under the bidirectional one-port model only the arc weights matter; the
+// multi-port heuristics additionally consult send_u.
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace bt {
+
+/// Affine link cost T(L) = alpha + beta * L.
+struct LinkCost {
+  double alpha = 0.0;  ///< start-up latency (seconds)
+  double beta = 0.0;   ///< inverse bandwidth (seconds per byte)
+
+  double at(double message_size) const { return alpha + beta * message_size; }
+};
+
+/// Platform graph with per-arc costs and per-node multi-port overheads.
+class Platform {
+ public:
+  /// Build from a graph and per-arc costs; `slice_size` is the application
+  /// slice length L in bytes.
+  Platform(Digraph graph, std::vector<LinkCost> link_costs, double slice_size,
+           NodeId source);
+
+  const Digraph& graph() const { return graph_; }
+  NodeId source() const { return source_; }
+  std::size_t num_nodes() const { return graph_.num_nodes(); }
+  std::size_t num_edges() const { return graph_.num_edges(); }
+  double slice_size() const { return slice_size_; }
+
+  /// Affine cost of arc e.
+  const LinkCost& link_cost(EdgeId e) const;
+
+  /// T_{u,v} for a slice: link occupation of arc e per slice (seconds).
+  double edge_time(EdgeId e) const;
+  /// All per-slice arc times, indexed by arc id.
+  const std::vector<double>& edge_times() const { return slice_time_; }
+
+  /// Re-derive the cached per-slice times for a new slice size L.
+  void set_slice_size(double slice_size);
+
+  /// Multi-port: serialized per-slice send overhead of node u (s_u). Zero by
+  /// default, which degenerates the multi-port period into max link time.
+  double send_overhead(NodeId u) const;
+  /// Multi-port: per-slice receive overhead of node v (r_v).
+  double recv_overhead(NodeId v) const;
+
+  /// Configure multi-port overheads the way the paper's experiments do:
+  /// send_u = ratio * min over outgoing arcs of T_{u,w} (Section 5.1 uses
+  /// ratio = 0.8), and symmetrically recv_v = ratio * min over incoming arcs.
+  /// Nodes without outgoing (incoming) arcs get overhead 0.
+  void set_multiport_overheads(double ratio);
+
+  /// Explicit per-node overrides (sizes must equal num_nodes()).
+  void set_send_overheads(std::vector<double> send);
+  void set_recv_overheads(std::vector<double> recv);
+
+  /// True iff every node is reachable from the source (a broadcast is
+  /// feasible).  Constructor enforces this.
+  bool valid(std::string* why = nullptr) const;
+
+ private:
+  Digraph graph_;
+  std::vector<LinkCost> link_;
+  double slice_size_;
+  NodeId source_;
+  std::vector<double> slice_time_;
+  std::vector<double> send_overhead_;
+  std::vector<double> recv_overhead_;
+};
+
+}  // namespace bt

@@ -1,0 +1,136 @@
+#include "platform/platform_io.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+void write_platform(std::ostream& os, const Platform& platform) {
+  const Digraph& g = platform.graph();
+  os << std::setprecision(17);
+  os << "platform " << g.num_nodes() << ' ' << platform.source() << ' '
+     << platform.slice_size() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const LinkCost& c = platform.link_cost(e);
+    os << "edge " << g.from(e) << ' ' << g.to(e) << ' ' << c.alpha << ' ' << c.beta
+       << '\n';
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (platform.send_overhead(u) > 0.0) {
+      os << "send " << u << ' ' << platform.send_overhead(u) << '\n';
+    }
+    if (platform.recv_overhead(u) > 0.0) {
+      os << "recv " << u << ' ' << platform.recv_overhead(u) << '\n';
+    }
+  }
+}
+
+Platform read_platform(std::istream& is) {
+  std::size_t num_nodes = 0;
+  NodeId source = 0;
+  double slice_size = 0.0;
+  bool have_header = false;
+
+  struct ParsedEdge {
+    NodeId from, to;
+    LinkCost cost;
+  };
+  std::vector<ParsedEdge> edges;
+  std::vector<std::pair<NodeId, double>> sends, recvs;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+    auto malformed = [&](const std::string& what) {
+      BT_REQUIRE(false, "read_platform: line " + std::to_string(line_no) + ": " + what);
+    };
+    if (keyword == "platform") {
+      if (!(ls >> num_nodes >> source >> slice_size)) malformed("bad platform header");
+      have_header = true;
+    } else if (keyword == "edge") {
+      ParsedEdge pe{};
+      if (!(ls >> pe.from >> pe.to >> pe.cost.alpha >> pe.cost.beta)) {
+        malformed("bad edge line");
+      }
+      edges.push_back(pe);
+    } else if (keyword == "send" || keyword == "recv") {
+      NodeId u = 0;
+      double overhead = 0.0;
+      if (!(ls >> u >> overhead)) malformed("bad overhead line");
+      (keyword == "send" ? sends : recvs).emplace_back(u, overhead);
+    } else {
+      malformed("unknown keyword '" + keyword + "'");
+    }
+  }
+  BT_REQUIRE(have_header, "read_platform: missing 'platform' header");
+
+  Digraph g(num_nodes);
+  std::vector<LinkCost> costs;
+  costs.reserve(edges.size());
+  for (const ParsedEdge& pe : edges) {
+    g.add_edge(pe.from, pe.to);
+    costs.push_back(pe.cost);
+  }
+  Platform platform(std::move(g), std::move(costs), slice_size, source);
+  if (!sends.empty()) {
+    std::vector<double> send(num_nodes, 0.0);
+    for (const auto& [u, o] : sends) {
+      BT_REQUIRE(u < num_nodes, "read_platform: send node out of range");
+      send[u] = o;
+    }
+    platform.set_send_overheads(std::move(send));
+  }
+  if (!recvs.empty()) {
+    std::vector<double> recv(num_nodes, 0.0);
+    for (const auto& [u, o] : recvs) {
+      BT_REQUIRE(u < num_nodes, "read_platform: recv node out of range");
+      recv[u] = o;
+    }
+    platform.set_recv_overheads(std::move(recv));
+  }
+  return platform;
+}
+
+std::string platform_to_string(const Platform& platform) {
+  std::ostringstream os;
+  write_platform(os, platform);
+  return os.str();
+}
+
+Platform platform_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_platform(is);
+}
+
+std::string platform_to_dot(const Platform& platform, const std::vector<EdgeId>& highlight) {
+  const Digraph& g = platform.graph();
+  std::vector<char> bold(g.num_edges(), 0);
+  for (EdgeId e : highlight) {
+    BT_REQUIRE(e < g.num_edges(), "platform_to_dot: highlight arc out of range");
+    bold[e] = 1;
+  }
+  std::ostringstream os;
+  os << "digraph platform {\n";
+  os << "  node [shape=circle];\n";
+  os << "  " << platform.source() << " [style=filled, fillcolor=lightblue];\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "  " << g.from(e) << " -> " << g.to(e) << " [label=\"" << std::fixed
+       << std::setprecision(2) << platform.edge_time(e) * 1e3 << "ms\"";
+    if (bold[e]) os << ", penwidth=3, color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bt

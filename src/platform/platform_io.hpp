@@ -1,0 +1,34 @@
+#pragma once
+
+// Plain-text (de)serialization of platforms, plus Graphviz export.
+//
+// Format (line oriented, '#' comments allowed):
+//   platform <num_nodes> <source> <slice_size>
+//   edge <from> <to> <alpha> <beta>          (one per arc)
+//   send <node> <overhead>                   (optional, multi-port)
+//   recv <node> <overhead>                   (optional, multi-port)
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace bt {
+
+/// Write `platform` in the text format above.
+void write_platform(std::ostream& os, const Platform& platform);
+
+/// Parse a platform from the text format above.  Throws bt::Error on
+/// malformed input.
+Platform read_platform(std::istream& is);
+
+/// Round-trip helpers via std::string.
+std::string platform_to_string(const Platform& platform);
+Platform platform_from_string(const std::string& text);
+
+/// Graphviz DOT rendering of the platform; arcs in `highlight` (e.g. a
+/// broadcast tree) are drawn bold.  Arc labels show T_{u,v} in milliseconds.
+std::string platform_to_dot(const Platform& platform,
+                            const std::vector<EdgeId>& highlight = {});
+
+}  // namespace bt

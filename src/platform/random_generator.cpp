@@ -1,0 +1,71 @@
+#include "platform/random_generator.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Draw a link cost: pure-bandwidth affine cost from a truncated Gaussian
+/// rate.  Each *arc* gets an independent draw, so the two directions of a
+/// physical link may differ slightly -- heterogeneity is the point.
+LinkCost draw_cost(const RandomPlatformConfig& config, Rng& rng) {
+  const double rate = rng.truncated_gaussian(config.rate_mean, config.rate_stddev,
+                                             config.rate_floor);
+  return LinkCost{config.alpha, 1.0 / rate};
+}
+
+}  // namespace
+
+Platform generate_random_platform(const RandomPlatformConfig& config, Rng& rng) {
+  const std::size_t n = config.num_nodes;
+  BT_REQUIRE(n >= 2, "generate_random_platform: need at least 2 nodes");
+  BT_REQUIRE(config.density > 0.0 && config.density <= 1.0,
+             "generate_random_platform: density outside (0,1]");
+  BT_REQUIRE(config.source < n, "generate_random_platform: source out of range");
+
+  Digraph g(n);
+  std::vector<LinkCost> costs;
+  std::vector<std::vector<char>> linked(n, std::vector<char>(n, 0));
+
+  auto add_link = [&](NodeId a, NodeId b) {
+    g.add_bidirectional(a, b);
+    costs.push_back(draw_cost(config, rng));
+    costs.push_back(draw_cost(config, rng));
+    linked[a][b] = linked[b][a] = 1;
+  };
+
+  // Backbone: random attachment spanning tree over a random node order.
+  const auto order = rng.permutation(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId child = order[i];
+    const NodeId parent = order[rng.index(i)];
+    add_link(parent, child);
+  }
+
+  // Fill: random bidirectional links up to the target arc count.
+  const auto target_arcs =
+      static_cast<std::size_t>(config.density * static_cast<double>(n) *
+                               static_cast<double>(n - 1));
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (!linked[a][b]) candidates.emplace_back(a, b);
+    }
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng.engine());
+  for (const auto& [a, b] : candidates) {
+    if (g.num_edges() + 2 > target_arcs) break;  // backbone may already exceed target
+    add_link(a, b);
+  }
+
+  Platform platform(std::move(g), std::move(costs), config.slice_size, config.source);
+  platform.set_multiport_overheads(config.multiport_ratio);
+  return platform;
+}
+
+}  // namespace bt

@@ -1,0 +1,124 @@
+#include "platform/tiers_generator.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+LinkCost draw_cost(const TiersConfig& config, Rng& rng) {
+  const double rate =
+      rng.truncated_gaussian(config.rate_mean, config.rate_stddev, config.rate_floor);
+  return LinkCost{config.alpha, 1.0 / rate};
+}
+
+}  // namespace
+
+TiersConfig tiers_config_30() {
+  TiersConfig c;
+  c.num_nodes = 30;
+  c.wan_nodes = 4;
+  c.mans_per_wan = 2;
+  c.wan_redundancy = 2;
+  c.man_redundancy = 1;
+  return c;
+}
+
+TiersConfig tiers_config_65() {
+  TiersConfig c;
+  c.num_nodes = 65;
+  c.wan_nodes = 6;
+  c.mans_per_wan = 3;
+  c.wan_redundancy = 4;
+  c.man_redundancy = 2;
+  return c;
+}
+
+Platform generate_tiers_platform(const TiersConfig& config, Rng& rng) {
+  const std::size_t wan = config.wan_nodes;
+  const std::size_t mans = wan * config.mans_per_wan;
+  BT_REQUIRE(wan >= 1, "generate_tiers_platform: need at least one WAN router");
+  BT_REQUIRE(config.num_nodes >= wan + mans,
+             "generate_tiers_platform: not enough nodes for WAN+MAN levels");
+  const std::size_t hosts = config.num_nodes - wan - mans;
+
+  Digraph g(config.num_nodes);
+  std::vector<LinkCost> costs;
+  std::vector<std::vector<char>> linked(config.num_nodes,
+                                        std::vector<char>(config.num_nodes, 0));
+
+  auto add_link = [&](NodeId a, NodeId b) {
+    if (a == b || linked[a][b]) return false;
+    g.add_bidirectional(a, b);
+    costs.push_back(draw_cost(config, rng));
+    costs.push_back(draw_cost(config, rng));
+    linked[a][b] = linked[b][a] = 1;
+    return true;
+  };
+
+  // Level 1 -- WAN core: random spanning tree + redundancy links.
+  // Node ids [0, wan).
+  const auto wan_order = rng.permutation(wan);
+  for (std::size_t i = 1; i < wan; ++i) {
+    add_link(static_cast<NodeId>(wan_order[rng.index(i)]),
+             static_cast<NodeId>(wan_order[i]));
+  }
+  for (std::size_t r = 0; r < config.wan_redundancy && wan >= 2; ++r) {
+    // A few attempts per redundancy link; dense cores simply saturate.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      if (add_link(static_cast<NodeId>(rng.index(wan)),
+                   static_cast<NodeId>(rng.index(wan)))) {
+        break;
+      }
+    }
+  }
+
+  // Level 2 -- MAN routers: ids [wan, wan + mans), star around their WAN
+  // router plus intra-region redundancy.
+  std::vector<std::vector<NodeId>> region_mans(wan);
+  for (std::size_t w = 0; w < wan; ++w) {
+    for (std::size_t k = 0; k < config.mans_per_wan; ++k) {
+      const NodeId man = static_cast<NodeId>(wan + w * config.mans_per_wan + k);
+      add_link(static_cast<NodeId>(w), man);
+      region_mans[w].push_back(man);
+    }
+    for (std::size_t r = 0; r < config.man_redundancy && region_mans[w].size() >= 2; ++r) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const NodeId a = region_mans[w][rng.index(region_mans[w].size())];
+        const NodeId b = region_mans[w][rng.index(region_mans[w].size())];
+        if (add_link(a, b)) break;
+      }
+    }
+  }
+
+  // Level 3 -- LAN hosts: ids [wan + mans, num_nodes), assigned round-robin
+  // across MAN routers (stars; Tiers LANs are trees).
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const NodeId host = static_cast<NodeId>(wan + mans + h);
+    const NodeId man = mans > 0 ? static_cast<NodeId>(wan + (h % mans))
+                                : static_cast<NodeId>(h % wan);
+    add_link(man, host);
+  }
+
+  // Host-level redundancy: a fraction of hosts get a second uplink to a
+  // random other MAN router, keeping the density in the paper's 0.05-0.15
+  // window (Tiers' RL parameter plays the same role).
+  if (mans >= 2) {
+    const std::size_t extra = hosts / 2;
+    for (std::size_t r = 0; r < extra; ++r) {
+      const NodeId host = static_cast<NodeId>(wan + mans + rng.index(hosts));
+      const NodeId man = static_cast<NodeId>(wan + rng.index(mans));
+      add_link(man, host);
+    }
+  }
+
+  Platform platform(std::move(g), std::move(costs), config.slice_size, config.source);
+  platform.set_multiport_overheads(config.multiport_ratio);
+  return platform;
+}
+
+}  // namespace bt

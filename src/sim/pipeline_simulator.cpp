@@ -1,0 +1,150 @@
+#include "sim/pipeline_simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Job sequence of a sender: slice-major, children in tree order.  Job j of
+/// node u transfers slice (j / deg) over u's (j % deg)-th tree arc.
+struct NodeState {
+  std::vector<EdgeId> child_arcs;       ///< tree arcs leaving this node
+  std::size_t next_job = 0;             ///< next (slice, child) pair to start
+  std::size_t slices_received = 0;      ///< prefix of slices fully received
+  bool sending = false;                 ///< one-port: a transfer is in flight
+  double cpu_free = 0.0;                ///< multi-port: CPU available time
+};
+
+struct Event {
+  double time;
+  enum Kind { kTransferComplete, kCpuFree } kind;
+  NodeId node;       ///< sender for both kinds
+  std::size_t job;   ///< job index (kTransferComplete only)
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+class Simulator {
+ public:
+  Simulator(const Platform& platform, const BroadcastTree& tree, std::size_t num_slices,
+            SimModel model)
+      : platform_(platform), num_slices_(num_slices), model_(model) {
+    tree.validate(platform);
+    const Digraph& g = platform.graph();
+    nodes_.resize(g.num_nodes());
+    const auto children = tree.children(platform);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) nodes_[u].child_arcs = children[u];
+    nodes_[tree.root].slices_received = num_slices;  // the source holds everything
+    link_free_.assign(g.num_edges(), 0.0);
+    result_.received.assign(g.num_nodes(), std::vector<double>(num_slices, 0.0));
+    root_ = tree.root;
+  }
+
+  SimResult run() {
+    try_start(root_, 0.0);
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      dispatch(event);
+    }
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  void dispatch(const Event& event) {
+    NodeState& sender = nodes_[event.node];
+    if (event.kind == Event::kCpuFree) {
+      try_start(event.node, event.time);
+      return;
+    }
+    // Transfer complete: the receiver now holds the slice.
+    const std::size_t deg = sender.child_arcs.size();
+    const std::size_t slice = event.job / deg;
+    const EdgeId arc = sender.child_arcs[event.job % deg];
+    const NodeId receiver = platform_.graph().to(arc);
+    NodeState& recv = nodes_[receiver];
+    BT_ASSERT(recv.slices_received == slice, "simulator: out-of-order slice delivery");
+    recv.slices_received = slice + 1;
+    result_.received[receiver][slice] = event.time;
+    ++result_.transfers;
+    if (model_ == SimModel::kOnePort) sender.sending = false;
+    try_start(receiver, event.time);
+    try_start(event.node, event.time);
+  }
+
+  /// Start as many of u's pending jobs as the model allows at time `now`.
+  void try_start(NodeId u, double now) {
+    NodeState& st = nodes_[u];
+    const std::size_t deg = st.child_arcs.size();
+    if (deg == 0) return;
+    while (st.next_job < deg * num_slices_) {
+      const std::size_t slice = st.next_job / deg;
+      const EdgeId arc = st.child_arcs[st.next_job % deg];
+      if (st.slices_received <= slice) return;  // slice not yet received
+      if (model_ == SimModel::kOnePort) {
+        if (st.sending) return;  // out port busy; retriggered on completion
+        st.sending = true;
+        const double done = now + platform_.edge_time(arc);
+        events_.push(Event{done, Event::kTransferComplete, u, st.next_job});
+        ++st.next_job;
+        return;  // one transfer at a time
+      }
+      // Multi-port: needs the CPU (send overhead serializes) and the link.
+      if (st.cpu_free > now) return;  // a kCpuFree event will retrigger
+      if (link_free_[arc] > now) return;  // completion on that link retriggers
+      const double overhead = platform_.send_overhead(u);
+      st.cpu_free = now + overhead;
+      const double done = now + platform_.edge_time(arc);
+      link_free_[arc] = done;
+      events_.push(Event{done, Event::kTransferComplete, u, st.next_job});
+      if (overhead > 0.0) events_.push(Event{st.cpu_free, Event::kCpuFree, u, 0});
+      ++st.next_job;
+      if (overhead > 0.0) return;  // CPU busy until kCpuFree fires
+    }
+  }
+
+  void finalize() {
+    BT_ASSERT(result_.transfers == (nodes_.size() - 1) * num_slices_,
+              "simulator: not all transfers executed (deadlock)");
+    double first = 0.0, last = 0.0;
+    for (NodeId v = 0; v < nodes_.size(); ++v) {
+      if (v == root_) continue;
+      first = std::max(first, result_.received[v].front());
+      last = std::max(last, result_.received[v].back());
+    }
+    result_.first_slice_time = first;
+    result_.completion_time = last;
+    result_.end_to_end_throughput =
+        last > 0.0 ? static_cast<double>(num_slices_) / last : 0.0;
+    if (num_slices_ > 1 && last > first) {
+      result_.steady_throughput = static_cast<double>(num_slices_ - 1) / (last - first);
+    } else {
+      result_.steady_throughput = result_.end_to_end_throughput;
+    }
+  }
+
+  const Platform& platform_;
+  std::size_t num_slices_;
+  SimModel model_;
+  NodeId root_ = 0;
+  std::vector<NodeState> nodes_;
+  std::vector<double> link_free_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate_pipelined_broadcast(const Platform& platform, const BroadcastTree& tree,
+                                       std::size_t num_slices, SimModel model) {
+  BT_REQUIRE(num_slices >= 1, "simulate_pipelined_broadcast: need at least one slice");
+  Simulator sim(platform, tree, num_slices, model);
+  return sim.run();
+}
+
+}  // namespace bt

@@ -1,0 +1,52 @@
+#pragma once
+
+// Discrete-event simulation of a pipelined broadcast along a tree.
+//
+// The closed-form throughput of throughput.hpp is a steady-state argument;
+// the simulator executes the schedule slice by slice and measures what a
+// real pipelined run achieves, including the fill and drain transients the
+// steady-state analysis deliberately ignores.  It supports both platform
+// models of the paper:
+//
+//  * one-port (bidirectional): a node forwards each slice to its children
+//    sequentially, may receive from its parent while sending, and starts
+//    forwarding a slice only after having received it completely;
+//  * multi-port: per-transfer CPU overhead send_u serializes at the sender,
+//    while link occupations T_{u,v} to different children may overlap; each
+//    link carries one slice at a time.
+//
+// Nodes forward slices in increasing slice order, children in tree order
+// (the same assumption the closed form makes).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "platform/platform.hpp"
+
+namespace bt {
+
+enum class SimModel { kOnePort, kMultiPort };
+
+struct SimResult {
+  /// Time the last node finished receiving the last slice.
+  double completion_time = 0.0;
+  /// Time the last node finished receiving the *first* slice (pipeline fill).
+  double first_slice_time = 0.0;
+  /// Steady-state throughput estimate: (num_slices - 1) / (completion_time -
+  /// first_slice_time); equals num_slices when only one slice is simulated.
+  double steady_throughput = 0.0;
+  /// End-to-end throughput: num_slices / completion_time.
+  double end_to_end_throughput = 0.0;
+  /// Number of transfer events executed (n-1 arcs * num_slices).
+  std::size_t transfers = 0;
+  /// received[v][k]: time node v finished receiving slice k.
+  std::vector<std::vector<double>> received;
+};
+
+/// Simulate the pipelined broadcast of `num_slices` slices along `tree`.
+SimResult simulate_pipelined_broadcast(const Platform& platform, const BroadcastTree& tree,
+                                       std::size_t num_slices,
+                                       SimModel model = SimModel::kOnePort);
+
+}  // namespace bt

@@ -1,0 +1,141 @@
+#include "ssb/ssb_column_generation.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/min_arborescence.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// Column coefficients of a tree: its serialized occupation of every node's
+/// out and in port per unit rate.
+struct TreeColumn {
+  std::vector<EdgeId> edges;
+  std::vector<double> out_time;  ///< per node
+  std::vector<double> in_time;   ///< per node
+};
+
+TreeColumn make_column(const Platform& platform, std::vector<EdgeId> edges) {
+  TreeColumn column;
+  column.out_time.assign(platform.num_nodes(), 0.0);
+  column.in_time.assign(platform.num_nodes(), 0.0);
+  for (EdgeId e : edges) {
+    const double t = platform.edge_time(e);
+    column.out_time[platform.graph().from(e)] += t;
+    column.in_time[platform.graph().to(e)] += t;
+  }
+  column.edges = std::move(edges);
+  return column;
+}
+
+}  // namespace
+
+SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
+                                               const SsbColumnGenOptions& options) {
+  const Digraph& g = platform.graph();
+  const std::size_t p = g.num_nodes();
+  BT_REQUIRE(p >= 2, "solve_ssb_column_generation: need at least two nodes");
+  const NodeId source = platform.source();
+
+  // Deduplicate generated trees by sorted arc list: the pricing oracle can
+  // legitimately return an existing tree when the LP is already optimal.
+  std::set<std::vector<EdgeId>> seen;
+  std::vector<TreeColumn> columns;
+  auto add_column = [&](std::vector<EdgeId> edges) {
+    std::vector<EdgeId> key = edges;
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(std::move(key)).second) return false;
+    columns.push_back(make_column(platform, std::move(edges)));
+    return true;
+  };
+
+  // Seed with one arborescence (cheapest total time; any spanning tree works).
+  {
+    const auto seed = min_arborescence(g, source, platform.edge_times());
+    BT_REQUIRE(seed.found, "solve_ssb_column_generation: platform not spanning");
+    add_column(seed.edges);
+  }
+
+  SsbPackingSolution solution;
+  std::vector<double> lambda;
+  std::vector<std::size_t> warm_basis;  // master basis carried across rounds
+
+  while (columns.size() < options.max_columns) {
+    ++solution.separation_rounds;
+
+    // ---- Master: maximize total rate under the 2p port constraints. ----
+    LpProblem lp(Objective::kMaximize);
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      lp.add_variable(1.0, "tree" + std::to_string(j));
+    }
+    // Row layout: out-port of node u = row 2u, in-port = row 2u + 1.  Rows
+    // are created even for nodes without arcs (coefficients all zero rows are
+    // skipped by add_constraint merging; keep them for stable indexing).
+    std::vector<std::size_t> out_row(p), in_row(p);
+    for (NodeId u = 0; u < p; ++u) {
+      std::vector<LpTerm> out_terms, in_terms;
+      for (std::size_t j = 0; j < columns.size(); ++j) {
+        if (columns[j].out_time[u] != 0.0) out_terms.push_back({j, columns[j].out_time[u]});
+        if (columns[j].in_time[u] != 0.0) in_terms.push_back({j, columns[j].in_time[u]});
+      }
+      out_row[u] = lp.add_constraint(out_terms, RowSense::kLessEqual, 1.0);
+      in_row[u] = lp.add_constraint(in_terms, RowSense::kLessEqual, 1.0);
+    }
+
+    // Rows are identical across rounds and only columns are added, so the
+    // previous optimal basis warm-starts each re-solve.
+    SimplexOptions lp_options;
+    if (!warm_basis.empty()) lp_options.warm_basis = &warm_basis;
+    const LpSolution master = solve_lp(lp, lp_options);
+    BT_REQUIRE(master.status == LpStatus::kOptimal,
+               "solve_ssb_column_generation: master LP " + to_string(master.status));
+    solution.lp_iterations += master.iterations;
+    lambda = master.x;
+    warm_basis = master.basis;
+
+    // ---- Pricing: min-weight arborescence under the port duals. ----
+    std::vector<double> price(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const double y_out = std::max(0.0, master.duals[out_row[g.from(e)]]);
+      const double y_in = std::max(0.0, master.duals[in_row[g.to(e)]]);
+      price[e] = platform.edge_time(e) * (y_out + y_in);
+    }
+    const auto priced = min_arborescence(g, source, price);
+    BT_ASSERT(priced.found, "solve_ssb_column_generation: pricing lost spanning property");
+
+    // Reduced cost of the best tree: 1 - priced.weight.  Non-positive means
+    // no improving column exists and the master is optimal.
+    if (priced.weight >= 1.0 - options.tolerance) break;
+    if (!add_column(priced.edges)) break;  // duplicate: numerically converged
+  }
+  BT_REQUIRE(columns.size() < options.max_columns,
+             "solve_ssb_column_generation: column cap hit without convergence");
+
+  // ---- Assemble the solution. ----
+  solution.solved = true;
+  solution.edge_load.assign(g.num_edges(), 0.0);
+  solution.throughput = 0.0;
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const double rate = j < lambda.size() ? lambda[j] : 0.0;
+    solution.throughput += rate;
+    if (rate <= 0.0) continue;
+    for (EdgeId e : columns[j].edges) solution.edge_load[e] += rate;
+    PackedTree tree;
+    tree.edges = columns[j].edges;
+    tree.rate = rate;
+    solution.trees.push_back(std::move(tree));
+  }
+  solution.cuts_generated = columns.size();
+  return solution;
+}
+
+SsbPackingSolution solve_ssb(const Platform& platform) {
+  return solve_ssb_column_generation(platform);
+}
+
+}  // namespace bt

@@ -1,0 +1,60 @@
+#pragma once
+
+// Column-generation solver for the steady-state broadcast optimum, based on
+// the arborescence-packing view of the MTP problem (Edmonds' branching
+// theorem, the structural result behind [5, 6]):
+//
+//   maximize  sum_T lambda_T                        (T: spanning arborescence)
+//   s.t.      sum_T lambda_T * out_u(T) <= 1        (one-port emission,  all u)
+//             sum_T lambda_T * in_u(T)  <= 1        (one-port reception, all u)
+//             lambda >= 0
+//   where  out_u(T) = sum of T_e over T's arcs leaving u, in_u(T) likewise.
+//
+// The master LP has only 2p rows; columns (arborescences) are generated
+// lazily.  Given master duals y^out, y^in, the most violated column is the
+// *minimum-weight spanning arborescence* under arc prices
+// w_e = T_e * (y^out_{from(e)} + y^in_{to(e)}), found with Chu-Liu/Edmonds.
+// Optimality is reached when that minimum weight is >= 1.
+//
+// Besides the optimal throughput TP* and edge loads n_e = sum_{T ∋ e}
+// lambda_T, this solver yields the explicit *multi-tree schedule* -- the set
+// of spanning trees and rates achieving TP* -- which the paper describes as
+// the "very complicated" step it deliberately skips.  The cutting-plane
+// solver (ssb_cutting_plane.hpp) computes the same value and remains as a
+// cross-check; column generation is the production solver because the
+// cutting-plane master stalls on platforms with massively degenerate
+// optimal faces (see DESIGN.md).
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+/// One tree of the optimal fractional packing.
+struct PackedTree {
+  std::vector<EdgeId> edges;  ///< spanning arborescence arcs
+  double rate = 0.0;          ///< lambda_T: slices per time-unit along it
+};
+
+struct SsbPackingSolution : SsbSolution {
+  /// The multi-tree schedule: trees with positive rate; sum of rates = TP*.
+  std::vector<PackedTree> trees;
+};
+
+struct SsbColumnGenOptions {
+  double tolerance = 1e-7;
+  std::size_t max_columns = 5000;
+};
+
+/// Solve the SSB program by arborescence column generation.  Throws
+/// bt::Error if the master LP fails or the column cap is hit.
+SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
+                                               const SsbColumnGenOptions& options = {});
+
+/// Production entry point used by the experiment harness: currently the
+/// column-generation solver.
+SsbPackingSolution solve_ssb(const Platform& platform);
+
+}  // namespace bt

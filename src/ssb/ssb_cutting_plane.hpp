@@ -1,0 +1,40 @@
+#pragma once
+
+// Cutting-plane solver for the steady-state broadcast LP (program (2)).
+//
+// Projecting the commodity variables x^{u,v}_w out of program (2) via
+// max-flow/min-cut duality leaves a compact master LP over the arc loads n_e
+// and the throughput TP:
+//
+//   maximize TP
+//   s.t.  sum_{e in out(u)} T_e n_e <= 1        (one-port emission)
+//         sum_{e in in(u)}  T_e n_e <= 1        (one-port reception)
+//         sum_{e in C} n_e >= TP                (every source->w cut C)
+//
+// Cut constraints are generated lazily: solve the master over the current
+// pool, run Dinic from the source to every destination under capacities n*,
+// and add the min cuts of violated destinations.  On convergence the master
+// value and min_w maxflow(n*) agree, which certifies optimality (both a
+// feasible primal of the projection and a feasible multi-commodity flow of
+// the original program exist at that value).
+//
+// This is the production solver -- it handles every platform size used in
+// the paper's experiments; ssb_direct.hpp validates it on small instances.
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+struct SsbCuttingPlaneOptions {
+  double tolerance = 1e-7;
+  /// Safety cap on separation rounds (each round adds >= 1 new cut).
+  std::size_t max_rounds = 400;
+};
+
+/// Solve the SSB program by lazy cut generation.  Throws bt::Error if the
+/// master LP fails or the round cap is hit without convergence.
+SsbSolution solve_ssb_cutting_plane(const Platform& platform,
+                                    const SsbCuttingPlaneOptions& options = {});
+
+}  // namespace bt

@@ -1,0 +1,29 @@
+#pragma once
+
+// Direct transcription of the steady-state broadcast linear program --
+// program (2) of the paper -- with all per-destination commodity variables
+// x^{u,v}_w.  The LP has Theta(m * p) variables and rows, so this solver is
+// meant for small platforms; its role is to validate the cutting-plane
+// solver (which scales to the paper's experiment sizes) and to expose the
+// full variable set for inspection.
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+/// Extended result: also exposes the commodity variables.
+struct SsbDirectSolution : SsbSolution {
+  /// x[e * num_destinations + k]: slices destined to the k-th destination
+  /// (destinations are all nodes except the source, in increasing node-id
+  /// order) crossing arc e per time-unit.
+  std::vector<double> commodity_flow;
+  /// Destination node of each commodity index.
+  std::vector<NodeId> destinations;
+};
+
+/// Solve program (2) exactly as written (constraints (a)-(j), with the t
+/// variables substituted away).  Throws bt::Error if the LP solver fails.
+SsbDirectSolution solve_ssb_direct(const Platform& platform);
+
+}  // namespace bt

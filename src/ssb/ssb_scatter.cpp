@@ -1,0 +1,90 @@
+#include "ssb/ssb_scatter.hpp"
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+SsbSolution solve_scatter_optimal(const Platform& platform) {
+  const Digraph& g = platform.graph();
+  const NodeId source = platform.source();
+  const std::size_t p = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  BT_REQUIRE(p >= 2, "solve_scatter_optimal: need at least two nodes");
+
+  std::vector<NodeId> destinations;
+  for (NodeId w = 0; w < p; ++w) {
+    if (w != source) destinations.push_back(w);
+  }
+  const std::size_t num_dest = destinations.size();
+
+  LpProblem lp(Objective::kMaximize);
+  auto x_var = [&](EdgeId e, std::size_t k) { return e * num_dest + k; };
+  for (EdgeId e = 0; e < m; ++e) {
+    for (std::size_t k = 0; k < num_dest; ++k) lp.add_variable(0.0);
+  }
+  const std::size_t tp_var = lp.add_variable(1.0, "TP");
+
+  for (std::size_t k = 0; k < num_dest; ++k) {
+    const NodeId w = destinations[k];
+    // Net outflow TP at the source, net inflow TP at w, conservation
+    // elsewhere (net forms; see ssb_direct.cpp for why gross sums are wrong).
+    std::vector<LpTerm> source_row;
+    for (EdgeId e : g.out_edges(source)) source_row.push_back({x_var(e, k), 1.0});
+    for (EdgeId e : g.in_edges(source)) source_row.push_back({x_var(e, k), -1.0});
+    source_row.push_back({tp_var, -1.0});
+    lp.add_constraint(source_row, RowSense::kEqual, 0.0);
+
+    std::vector<LpTerm> dest_row;
+    for (EdgeId e : g.in_edges(w)) dest_row.push_back({x_var(e, k), 1.0});
+    for (EdgeId e : g.out_edges(w)) dest_row.push_back({x_var(e, k), -1.0});
+    dest_row.push_back({tp_var, -1.0});
+    lp.add_constraint(dest_row, RowSense::kEqual, 0.0);
+
+    for (NodeId v = 0; v < p; ++v) {
+      if (v == source || v == w) continue;
+      std::vector<LpTerm> row;
+      for (EdgeId e : g.in_edges(v)) row.push_back({x_var(e, k), 1.0});
+      for (EdgeId e : g.out_edges(v)) row.push_back({x_var(e, k), -1.0});
+      lp.add_constraint(row, RowSense::kEqual, 0.0);
+    }
+  }
+
+  // One-port occupation with n_e = sum_w x_e^w: ports directly constrain the
+  // summed flows, no auxiliary n variables needed.
+  for (NodeId u = 0; u < p; ++u) {
+    std::vector<LpTerm> out_row, in_row;
+    for (EdgeId e : g.out_edges(u)) {
+      for (std::size_t k = 0; k < num_dest; ++k) {
+        out_row.push_back({x_var(e, k), platform.edge_time(e)});
+      }
+    }
+    for (EdgeId e : g.in_edges(u)) {
+      for (std::size_t k = 0; k < num_dest; ++k) {
+        in_row.push_back({x_var(e, k), platform.edge_time(e)});
+      }
+    }
+    if (!out_row.empty()) lp.add_constraint(out_row, RowSense::kLessEqual, 1.0);
+    if (!in_row.empty()) lp.add_constraint(in_row, RowSense::kLessEqual, 1.0);
+  }
+
+  const LpSolution lp_solution = solve_lp(lp);
+  BT_REQUIRE(lp_solution.status == LpStatus::kOptimal,
+             "solve_scatter_optimal: LP not optimal: " + to_string(lp_solution.status));
+
+  SsbSolution solution;
+  solution.solved = true;
+  solution.throughput = lp_solution.objective;
+  solution.lp_iterations = lp_solution.iterations;
+  solution.edge_load.assign(m, 0.0);
+  for (EdgeId e = 0; e < m; ++e) {
+    for (std::size_t k = 0; k < num_dest; ++k) {
+      solution.edge_load[e] += lp_solution.x[x_var(e, k)];
+    }
+  }
+  return solution;
+}
+
+}  // namespace bt

@@ -1,0 +1,21 @@
+#pragma once
+
+// Optimal steady-state *scatter* throughput (extension).
+//
+// Same framework as the broadcast program (2), but scatter messages to
+// different destinations are disjoint, so constraint (d) becomes the sum
+// n_e = sum_w x_e^w (the paper notes this explicitly in Section 4.1).  The
+// resulting LP is an ordinary multicommodity flow -- polynomial without any
+// cut/column machinery -- and bounds every tree-based scatter from above.
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+/// Solve the scatter analogue of program (2): maximize TP such that every
+/// destination receives TP personalized slices per time-unit, with
+/// n_e = sum of per-destination flows on e and the one-port port limits.
+SsbSolution solve_scatter_optimal(const Platform& platform);
+
+}  // namespace bt

@@ -1,0 +1,29 @@
+#pragma once
+
+// Shared result type of the steady-state broadcast (SSB) optimum solvers.
+//
+// Both solvers compute, for a platform under the bidirectional one-port
+// model, the optimal MTP throughput TP* of program (2) of the paper and the
+// per-arc message loads n_{u,v} at an optimal solution.  TP* is the absolute
+// reference all STP heuristics are compared against, and the loads feed the
+// LP-based heuristics (Algorithms 6 and 7).
+
+#include <cstddef>
+#include <vector>
+
+namespace bt {
+
+struct SsbSolution {
+  bool solved = false;
+  /// Optimal steady-state throughput TP* (slices per time-unit).
+  double throughput = 0.0;
+  /// n_{u,v}: fractional slices crossing each arc per time-unit at optimum,
+  /// indexed by arc id.
+  std::vector<double> edge_load;
+  /// Diagnostics.
+  std::size_t lp_iterations = 0;
+  std::size_t separation_rounds = 0;  ///< cutting-plane solver only
+  std::size_t cuts_generated = 0;     ///< cutting-plane solver only
+};
+
+}  // namespace bt

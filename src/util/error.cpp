@@ -1,0 +1,13 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace bt {
+
+void throw_error(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << message << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+}  // namespace bt

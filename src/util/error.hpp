@@ -1,0 +1,34 @@
+#pragma once
+
+// Error handling for the broadcast-trees library.
+//
+// The library throws bt::Error (a std::runtime_error subclass) on programmer
+// and input errors.  BT_REQUIRE is used for precondition checking on public
+// API boundaries; BT_ASSERT for internal invariants (also active in release
+// builds -- the algorithms here are cheap relative to the cost of silently
+// wrong schedules).
+
+#include <stdexcept>
+#include <string>
+
+namespace bt {
+
+/// Exception type thrown by all library components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+
+}  // namespace bt
+
+#define BT_REQUIRE(cond, msg)                             \
+  do {                                                    \
+    if (!(cond)) ::bt::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define BT_ASSERT(cond, msg)                              \
+  do {                                                    \
+    if (!(cond)) ::bt::throw_error(__FILE__, __LINE__, std::string("internal invariant violated: ") + (msg)); \
+  } while (0)

@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  BT_REQUIRE(lo <= hi, "uniform_int: lo > hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  BT_REQUIRE(lo <= hi, "uniform_real: lo > hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  BT_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  BT_REQUIRE(stddev >= 0.0, "gaussian: negative stddev");
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::truncated_gaussian(double mean, double stddev, double floor) {
+  // Resampling keeps the conditional distribution exact; the floor is always
+  // several deviations below the mean in our workloads so this terminates in
+  // a couple of draws.  A hard cap guards against degenerate parameters.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = gaussian(mean, stddev);
+    if (x >= floor) return x;
+  }
+  return floor;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  BT_REQUIRE(n > 0, "index: empty range");
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::split() {
+  const std::uint64_t child_seed = engine_() ^ 0xd1b54a32d192ed03ULL;
+  return Rng(child_seed);
+}
+
+}  // namespace bt

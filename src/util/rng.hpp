@@ -1,0 +1,52 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// All stochastic components of the library (platform generators, workload
+// drivers, tests) draw from bt::Rng so that every experiment is reproducible
+// from a single 64-bit seed.  The generator is a thin wrapper over
+// std::mt19937_64 with convenience samplers.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bt {
+
+/// Seedable pseudo-random generator with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0,1].
+  bool bernoulli(double p);
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Gaussian sample truncated (by resampling) to be >= floor.
+  double truncated_gaussian(double mean, double stddev, double floor);
+
+  /// Uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Pick an index uniformly from [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Derive an independent child generator (for splitting seeds across
+  /// parallel experiment arms without correlation).
+  Rng split();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bt

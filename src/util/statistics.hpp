@@ -1,0 +1,48 @@
+#pragma once
+
+// Streaming and batch descriptive statistics used by the experiment harness
+// to aggregate per-platform results into the mean +- deviation values the
+// paper reports (Table 3) and the averaged series of Figures 4 and 5.
+
+#include <cstddef>
+#include <vector>
+
+namespace bt {
+
+/// Welford streaming accumulator: numerically stable mean and variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute a Summary over `values` (empty input yields an all-zero Summary).
+Summary summarize(const std::vector<double>& values);
+
+/// Quantile with linear interpolation, q in [0,1]. Requires non-empty input.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace bt

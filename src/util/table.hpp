@@ -1,0 +1,40 @@
+#pragma once
+
+// Plain-text table rendering for the benchmark harness.  Benches print the
+// same rows/series the paper reports; TablePrinter produces aligned ASCII
+// output and an optional CSV mirror so results are machine-readable.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bt {
+
+/// Column-aligned ASCII table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a data row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double value, int precision = 3);
+  /// Format a ratio as a percentage string, e.g. 0.82 -> "82%".
+  static std::string pct(double ratio, int precision = 0);
+
+  /// Render as aligned ASCII (with a separator under the header).
+  void render(std::ostream& os) const;
+
+  /// Render as CSV (comma-separated, no quoting of embedded commas needed
+  /// for our numeric content; commas in cells are replaced by ';').
+  void render_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bt

@@ -1,0 +1,10 @@
+#include "util/timer.hpp"
+
+namespace bt {
+
+double Timer::seconds() const {
+  const auto elapsed = clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+}
+
+}  // namespace bt

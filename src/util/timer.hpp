@@ -1,0 +1,27 @@
+#pragma once
+
+// Wall-clock stopwatch used by the harness to report per-phase timings
+// (e.g. LP solve time vs heuristic time in the ablation benches).
+
+#include <chrono>
+
+namespace bt {
+
+/// Monotonic stopwatch; starts at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const;
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bt

@@ -1,0 +1,179 @@
+// Tests for exact rational arithmetic and the exact tableau simplex, plus
+// the certification of the floating-point revised simplex against it.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lp/exact_simplex.hpp"
+#include "lp/lp_problem.hpp"
+#include "lp/rational.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+// ---------------------------------------------------------------- rational --
+
+TEST(Rational, NormalizationAndSigns) {
+  EXPECT_EQ(Rational(6, 4), Rational(3, 2));
+  EXPECT_EQ(Rational(-6, 4), Rational(-3, 2));
+  EXPECT_EQ(Rational(6, -4), Rational(-3, 2));
+  EXPECT_EQ(Rational(-6, -4), Rational(3, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+  EXPECT_THROW(a / Rational(0), Error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(1, 2).sign(), 1);
+  EXPECT_EQ(Rational(-7).sign(), -1);
+  EXPECT_TRUE(Rational(0).is_zero());
+}
+
+TEST(Rational, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) = 1 -- naive multiplication would overflow 64
+  // bits in the numerator times denominator.
+  const Rational big(std::int64_t(1) << 40, 3);
+  const Rational small(3, std::int64_t(1) << 40);
+  EXPECT_EQ(big * small, Rational(1));
+}
+
+TEST(Rational, OverflowIsDetected) {
+  const Rational huge(INT64_MAX, 1);
+  EXPECT_THROW(huge + huge, Error);
+  EXPECT_THROW(huge * Rational(2), Error);
+}
+
+TEST(Rational, Streaming) {
+  std::ostringstream os;
+  os << Rational(3, 4) << ' ' << Rational(5);
+  EXPECT_EQ(os.str(), "3/4 5");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+// ----------------------------------------------------------- exact simplex --
+
+TEST(ExactSimplex, TextbookProblemExactOptimum) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> exactly 36.
+  ExactLp lp;
+  lp.c = {Rational(3), Rational(5)};
+  lp.a = {{Rational(1), Rational(0)},
+          {Rational(0), Rational(2)},
+          {Rational(3), Rational(2)}};
+  lp.b = {Rational(4), Rational(12), Rational(18)};
+  const auto s = solve_exact_lp(lp);
+  ASSERT_EQ(s.status, ExactStatus::kOptimal);
+  EXPECT_EQ(s.objective, Rational(36));
+  EXPECT_EQ(s.x[0], Rational(2));
+  EXPECT_EQ(s.x[1], Rational(6));
+}
+
+TEST(ExactSimplex, FractionalOptimumIsExact) {
+  // max x + y s.t. 3x + y <= 2, x + 3y <= 2  ->  x = y = 1/2, objective 1.
+  ExactLp lp;
+  lp.c = {Rational(1), Rational(1)};
+  lp.a = {{Rational(3), Rational(1)}, {Rational(1), Rational(3)}};
+  lp.b = {Rational(2), Rational(2)};
+  const auto s = solve_exact_lp(lp);
+  ASSERT_EQ(s.status, ExactStatus::kOptimal);
+  EXPECT_EQ(s.objective, Rational(1));
+  EXPECT_EQ(s.x[0], Rational(1, 2));
+  EXPECT_EQ(s.x[1], Rational(1, 2));
+}
+
+TEST(ExactSimplex, DetectsUnboundedness) {
+  ExactLp lp;
+  lp.c = {Rational(1)};
+  lp.a = {{Rational(-1)}};
+  lp.b = {Rational(1)};
+  EXPECT_EQ(solve_exact_lp(lp).status, ExactStatus::kUnbounded);
+}
+
+TEST(ExactSimplex, DegenerateProblemTerminates) {
+  // Many constraints active at the origin; Bland's rule must terminate.
+  ExactLp lp;
+  lp.c = {Rational(1), Rational(1)};
+  lp.a.clear();
+  lp.b.clear();
+  for (int k = 1; k <= 8; ++k) {
+    lp.a.push_back({Rational(k), Rational(1)});
+    lp.b.push_back(Rational(0));
+  }
+  const auto s = solve_exact_lp(lp);
+  ASSERT_EQ(s.status, ExactStatus::kOptimal);
+  EXPECT_EQ(s.objective, Rational(0));
+}
+
+TEST(ExactSimplex, RejectsMalformedInput) {
+  ExactLp lp;
+  lp.c = {Rational(1)};
+  lp.a = {{Rational(1), Rational(2)}};  // ragged vs c
+  lp.b = {Rational(1)};
+  EXPECT_THROW(solve_exact_lp(lp), Error);
+  lp.a = {{Rational(1)}};
+  lp.b = {Rational(-1)};
+  EXPECT_THROW(solve_exact_lp(lp), Error);
+}
+
+// ----------------------------------- certify the floating-point simplex ----
+
+TEST(ExactSimplex, PropertyCertifiesDoubleSimplex) {
+  // Random integer-coefficient programs: the double revised simplex must
+  // match the exact rational optimum to floating-point accuracy.
+  Rng rng(0xEAC7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t vars = 2 + rng.index(4);
+    const std::size_t rows = 2 + rng.index(5);
+    ExactLp exact;
+    LpProblem approx(Objective::kMaximize);
+    exact.c.resize(vars);
+    for (std::size_t j = 0; j < vars; ++j) {
+      const auto cj = rng.uniform_int(0, 9);
+      exact.c[j] = Rational(cj);
+      approx.add_variable(static_cast<double>(cj));
+    }
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::vector<Rational> row(vars);
+      std::vector<LpTerm> terms;
+      for (std::size_t j = 0; j < vars; ++j) {
+        const auto aij = rng.uniform_int(0, 6);
+        row[j] = Rational(aij);
+        if (aij != 0) terms.push_back({j, static_cast<double>(aij)});
+      }
+      const auto bi = rng.uniform_int(1, 20);
+      exact.a.push_back(std::move(row));
+      exact.b.push_back(Rational(bi));
+      approx.add_constraint(terms, RowSense::kLessEqual, static_cast<double>(bi));
+    }
+    const auto exact_solution = solve_exact_lp(exact);
+    const auto approx_solution = solve_lp(approx);
+    if (exact_solution.status == ExactStatus::kUnbounded) {
+      EXPECT_EQ(approx_solution.status, LpStatus::kUnbounded) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(approx_solution.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(approx_solution.objective, exact_solution.objective.to_double(), 1e-7)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,119 @@
+// Tests for the experiments layer details not covered by the end-to-end
+// integration suite: evaluation ordering, table rendering options, sweep
+// record bookkeeping, and the heuristic catalog metadata the renderers use.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiments/aggregate.hpp"
+#include "experiments/evaluation.hpp"
+#include "experiments/sweeps.hpp"
+#include "platform/random_generator.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+TEST(Evaluation, PreservesHeuristicOrder) {
+  Rng rng(31);
+  RandomPlatformConfig config;
+  config.num_nodes = 12;
+  config.density = 0.2;
+  const Platform p = generate_random_platform(config, rng);
+  const auto heuristics = one_port_heuristics();
+  const auto eval = evaluate_platform(p, heuristics);
+  ASSERT_EQ(eval.results.size(), heuristics.size());
+  for (std::size_t i = 0; i < heuristics.size(); ++i) {
+    EXPECT_EQ(eval.results[i].name, heuristics[i].name);
+  }
+}
+
+TEST(Evaluation, SubsetOfHeuristicsWorks) {
+  Rng rng(32);
+  RandomPlatformConfig config;
+  config.num_nodes = 10;
+  config.density = 0.25;
+  const Platform p = generate_random_platform(config, rng);
+  const std::vector<HeuristicSpec> just_one{find_heuristic("grow_tree")};
+  const auto eval = evaluate_platform(p, just_one);
+  ASSERT_EQ(eval.results.size(), 1u);
+  EXPECT_EQ(eval.results[0].name, "grow_tree");
+}
+
+TEST(Catalog, PaperLabelsAreSet) {
+  for (const HeuristicSpec& spec : heuristic_catalog()) {
+    EXPECT_FALSE(spec.paper_label.empty()) << spec.name;
+    EXPECT_TRUE(spec.build != nullptr) << spec.name;
+    EXPECT_TRUE(spec.build_overlay != nullptr) << spec.name;
+  }
+}
+
+TEST(SeriesTable, DeviationColumnRendersWhenRequested) {
+  RandomSweepConfig config;
+  config.sizes = {8};
+  config.densities = {0.25};
+  config.replicates = 3;
+  const auto records = run_random_sweep(config);
+  const auto series = aggregate_ratios(records, GroupBy::kNumNodes);
+  const TablePrinter with = series_table(series, "nodes", {"grow_tree"}, true);
+  std::ostringstream os;
+  with.render(os);
+  EXPECT_NE(os.str().find("±"), std::string::npos);
+  const TablePrinter without = series_table(series, "nodes", {"grow_tree"}, false);
+  std::ostringstream os2;
+  without.render(os2);
+  EXPECT_EQ(os2.str().find("±"), std::string::npos);
+}
+
+TEST(SeriesTable, UnknownHeuristicRendersDash) {
+  RandomSweepConfig config;
+  config.sizes = {8};
+  config.densities = {0.25};
+  config.replicates = 1;
+  const auto records = run_random_sweep(config);
+  const auto series = aggregate_ratios(records, GroupBy::kNumNodes);
+  const TablePrinter table = series_table(series, "nodes", {"does_not_exist"});
+  std::ostringstream os;
+  table.render(os);
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+TEST(TiersSweep, RecordsActualDensity) {
+  TiersSweepConfig config;
+  config.families = {tiers_config_30()};
+  config.replicates = 1;
+  const auto records = run_tiers_sweep(config);
+  ASSERT_FALSE(records.empty());
+  // Tiers records carry the generated platform's real density, not a target.
+  EXPECT_GT(records.front().density, 0.0);
+  EXPECT_LT(records.front().density, 0.5);
+}
+
+TEST(RandomSweep, MultiportEvalUsesMultiportLineUp) {
+  RandomSweepConfig config;
+  config.sizes = {8};
+  config.densities = {0.25};
+  config.replicates = 1;
+  config.multiport_eval = true;
+  const auto records = run_random_sweep(config);
+  std::set<std::string> names;
+  for (const auto& r : records) names.insert(r.heuristic);
+  EXPECT_TRUE(names.count("multiport_grow_tree"));
+  EXPECT_TRUE(names.count("multiport_prune_degree"));
+  EXPECT_FALSE(names.count("prune_simple"));
+}
+
+TEST(RandomSweep, CustomHeuristicLineUp) {
+  RandomSweepConfig config;
+  config.sizes = {8};
+  config.densities = {0.25};
+  config.replicates = 1;
+  config.heuristics = {find_heuristic("binomial")};
+  const auto records = run_random_sweep(config);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records.front().heuristic, "binomial");
+}
+
+}  // namespace
+}  // namespace bt

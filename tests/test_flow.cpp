@@ -1,0 +1,181 @@
+// Tests for the Dinic max-flow solver, including a property test against a
+// brute-force minimum-cut enumerator on random small graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "flow/maxflow.hpp"
+#include "graph/digraph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  const auto r = max_flow(g, 0, 1, {5.0});
+  EXPECT_DOUBLE_EQ(r.value, 5.0);
+  EXPECT_DOUBLE_EQ(r.flow[0], 5.0);
+  ASSERT_EQ(r.min_cut_edges.size(), 1u);
+  EXPECT_EQ(r.min_cut_edges[0], 0u);
+}
+
+TEST(MaxFlow, ClassicDiamond) {
+  // Diamond 0 -> {1,2} -> 3 with the chord 1 -> 2.
+  // Capacities: 0-1:3, 0-2:2, 1-3:2, 2-3:3, 1-2:1.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);
+  const auto r = max_flow(g, 0, 3, {3.0, 2.0, 2.0, 3.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.value, 5.0);
+}
+
+TEST(MaxFlow, DisconnectedSinkIsZero) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto r = max_flow(g, 0, 2, {4.0});
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_TRUE(r.min_cut_edges.empty());
+  EXPECT_TRUE(r.min_cut_side[0]);
+  EXPECT_FALSE(r.min_cut_side[2]);
+}
+
+TEST(MaxFlow, AntiparallelArcs) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // antiparallel pair
+  g.add_edge(1, 2);
+  const auto r = max_flow(g, 0, 2, {2.0, 9.0, 1.5});
+  EXPECT_DOUBLE_EQ(r.value, 1.5);
+}
+
+TEST(MaxFlow, ZeroCapacityArcsIgnored) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto r = max_flow(g, 0, 2, {0.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(MaxFlow, FlowConservationHolds) {
+  Rng rng(77);
+  Digraph g(8);
+  std::vector<double> cap;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = 0; v < 8; ++v) {
+      if (u != v && rng.bernoulli(0.4)) {
+        g.add_edge(u, v);
+        cap.push_back(rng.uniform_real(0.0, 4.0));
+      }
+    }
+  }
+  const auto r = max_flow(g, 0, 7, cap);
+  for (NodeId v = 1; v < 7; ++v) {
+    double in = 0.0, out = 0.0;
+    for (EdgeId e : g.in_edges(v)) in += r.flow[e];
+    for (EdgeId e : g.out_edges(v)) out += r.flow[e];
+    EXPECT_NEAR(in, out, 1e-9) << "node " << v;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(r.flow[e], -1e-9);
+    EXPECT_LE(r.flow[e], cap[e] + 1e-9);
+  }
+}
+
+TEST(MaxFlow, MinCutCapacityEqualsFlowValue) {
+  Rng rng(88);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 4 + rng.index(6);
+    Digraph g(n);
+    std::vector<double> cap;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.5)) {
+          g.add_edge(u, v);
+          cap.push_back(rng.uniform_real(0.1, 5.0));
+        }
+      }
+    }
+    const auto r = max_flow(g, 0, static_cast<NodeId>(n - 1), cap);
+    double cut_capacity = 0.0;
+    for (EdgeId e : r.min_cut_edges) cut_capacity += cap[e];
+    EXPECT_NEAR(r.value, cut_capacity, 1e-8) << "trial " << trial;
+    EXPECT_TRUE(r.min_cut_side[0]);
+    EXPECT_FALSE(r.min_cut_side[n - 1]);
+  }
+}
+
+/// Brute-force min cut: enumerate all 2^(n-2) source/sink side assignments.
+double brute_force_min_cut(const Digraph& g, NodeId s, NodeId t,
+                           const std::vector<double>& cap) {
+  const std::size_t n = g.num_nodes();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<NodeId> movable;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v != s && v != t) movable.push_back(v);
+  }
+  for (std::size_t bits = 0; bits < (std::size_t{1} << movable.size()); ++bits) {
+    std::vector<char> side(n, 0);
+    side[s] = 1;
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      side[movable[i]] = (bits >> i) & 1u;
+    }
+    double capacity = 0.0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (side[g.from(e)] && !side[g.to(e)]) capacity += cap[e];
+    }
+    best = std::min(best, capacity);
+  }
+  return best;
+}
+
+TEST(MaxFlow, PropertyMatchesBruteForceMinCut) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 3 + rng.index(6);  // up to 8 nodes
+    Digraph g(n);
+    std::vector<double> cap;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.45)) {
+          g.add_edge(u, v);
+          cap.push_back(rng.uniform_real(0.0, 3.0));
+        }
+      }
+    }
+    const NodeId sink = static_cast<NodeId>(n - 1);
+    const auto r = max_flow(g, 0, sink, cap);
+    const double reference = brute_force_min_cut(g, 0, sink, cap);
+    EXPECT_NEAR(r.value, reference, 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(MaxFlow, SolverReuseAcrossCalls) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  MaxFlowSolver solver(g);
+  EXPECT_DOUBLE_EQ(solver.solve(0, 2, {2.0, 2.0}).value, 2.0);
+  EXPECT_DOUBLE_EQ(solver.solve(0, 2, {5.0, 1.0}).value, 1.0);
+  EXPECT_DOUBLE_EQ(solver.solve(0, 1, {3.0, 0.0}).value, 3.0);  // new sink
+}
+
+TEST(MaxFlow, RejectsBadInput) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(max_flow(g, 0, 0, {1.0}), Error);
+  EXPECT_THROW(max_flow(g, 0, 5, {1.0}), Error);
+  EXPECT_THROW(max_flow(g, 0, 1, {1.0, 2.0}), Error);
+  EXPECT_THROW(max_flow(g, 0, 1, {-1.0}), Error);
+}
+
+}  // namespace
+}  // namespace bt

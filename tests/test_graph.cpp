@@ -1,0 +1,464 @@
+// Unit and property tests for the graph substrate: digraph structure,
+// union-find, reachability/SCC, Dijkstra, and arborescence validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "graph/arborescence.hpp"
+#include "graph/digraph.hpp"
+#include "graph/min_arborescence.hpp"
+#include "graph/reachability.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/union_find.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+Digraph line_graph(std::size_t n) {
+  Digraph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+// ---------------------------------------------------------------- digraph --
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.from(e), 0u);
+  EXPECT_EQ(g.to(e), 1u);
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(1).size(), 1u);
+  EXPECT_TRUE(g.out_edges(1).empty());
+}
+
+TEST(Digraph, AddNodeGrows) {
+  Digraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(Digraph, BidirectionalAddsTwoArcs) {
+  Digraph g(2);
+  const auto [fwd, bwd] = g.add_bidirectional(0, 1);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.from(fwd), 0u);
+  EXPECT_EQ(g.from(bwd), 1u);
+}
+
+TEST(Digraph, RejectsSelfLoopAndBadIds) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), Error);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+  EXPECT_THROW(g.arc(0), Error);
+}
+
+TEST(Digraph, FindEdge) {
+  Digraph g(3);
+  const EdgeId e = g.add_edge(0, 2);
+  EXPECT_EQ(g.find_edge(0, 2), e);
+  EXPECT_EQ(g.find_edge(2, 0), Digraph::npos);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Digraph, DensityOfCompleteDigraph) {
+  Digraph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+}
+
+// ------------------------------------------------------------- union-find --
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_EQ(uf.set_size(1), 2u);
+}
+
+TEST(UnionFind, ChainsCollapse) {
+  UnionFind uf(100);
+  for (std::size_t i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.set_size(0), 100u);
+  EXPECT_TRUE(uf.same(0, 99));
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), Error);
+}
+
+// ------------------------------------------------------------ reachability --
+
+TEST(Reachability, LineGraphForwardOnly) {
+  const Digraph g = line_graph(4);
+  EXPECT_TRUE(all_reachable_from(g, 0));
+  EXPECT_FALSE(all_reachable_from(g, 1));  // node 0 unreachable from 1
+  const auto seen = reachable_from(g, 2);
+  EXPECT_FALSE(seen[0]);
+  EXPECT_FALSE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+}
+
+TEST(Reachability, MaskDisablesArcs) {
+  const Digraph g = line_graph(3);
+  EdgeMask mask(g.num_edges(), 1);
+  mask[0] = 0;  // cut 0 -> 1
+  EXPECT_FALSE(all_reachable_from(g, 0, mask));
+  EXPECT_TRUE(all_reachable_from(g, 0));  // empty mask = everything active
+}
+
+TEST(Reachability, RemovalProbe) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  const EdgeId b = g.add_edge(0, 1);  // parallel arc
+  g.add_edge(1, 2);
+  EdgeMask all(g.num_edges(), 1);
+  EXPECT_TRUE(all_reachable_without(g, 0, all, a));   // parallel arc survives
+  EXPECT_TRUE(all_reachable_without(g, 0, all, b));
+  EXPECT_FALSE(all_reachable_without(g, 0, all, 2));  // bridge to node 2
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, LineIsAllSingletons) {
+  const Digraph g = line_graph(4);
+  std::size_t count = 0;
+  const auto comp = strongly_connected_components(g, &count);
+  EXPECT_EQ(count, 4u);
+  std::set<std::size_t> distinct(comp.begin(), comp.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, TwoCyclesBridged) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  g.add_edge(1, 2);  // bridge, one direction only
+  g.add_edge(5, 0);  // lone tail
+  std::size_t count = 0;
+  const auto comp = strongly_connected_components(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[0]);
+  // Reverse topological numbering: the sink component (the 2-3-4 cycle)
+  // must be numbered before the 0-1 component that feeds it.
+  EXPECT_LT(comp[2], comp[0]);
+}
+
+TEST(Scc, EmptyAndSingleton) {
+  Digraph empty;
+  EXPECT_TRUE(is_strongly_connected(empty));
+  Digraph one(1);
+  EXPECT_TRUE(is_strongly_connected(one));
+}
+
+// ----------------------------------------------------------------- dijkstra --
+
+TEST(Dijkstra, PicksCheaperIndirectPath) {
+  Digraph g(3);
+  const EdgeId direct = g.add_edge(0, 2);
+  const EdgeId hop1 = g.add_edge(0, 1);
+  const EdgeId hop2 = g.add_edge(1, 2);
+  std::vector<double> w{10.0, 3.0, 3.0};
+  const auto t = dijkstra(g, 0, w);
+  EXPECT_DOUBLE_EQ(t.dist[2], 6.0);
+  const auto path = t.path_to(g, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], hop1);
+  EXPECT_EQ(path[1], hop2);
+  (void)direct;
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto t = dijkstra(g, 0, {1.0});
+  EXPECT_TRUE(t.reachable(1));
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_THROW(t.path_to(g, 2), Error);
+}
+
+TEST(Dijkstra, RejectsNegativeWeights) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(dijkstra(g, 0, {-1.0}), Error);
+}
+
+TEST(Dijkstra, ZeroWeightsAllowed) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto t = dijkstra(g, 0, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t.dist[2], 0.0);
+}
+
+// Property: on random graphs, Dijkstra distances satisfy the triangle
+// inequality over every arc (no relaxable arc remains).
+TEST(Dijkstra, PropertyNoRelaxableArc) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.index(20);
+    Digraph g(n);
+    std::vector<double> w;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.3)) {
+          g.add_edge(u, v);
+          w.push_back(rng.uniform_real(0.1, 10.0));
+        }
+      }
+    }
+    const auto t = dijkstra(g, 0, w);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (t.reachable(g.from(e))) {
+        EXPECT_LE(t.dist[g.to(e)], t.dist[g.from(e)] + w[e] + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(AllPairs, MatchesSingleSource) {
+  Digraph g(4);
+  std::vector<double> w;
+  g.add_edge(0, 1); w.push_back(1.0);
+  g.add_edge(1, 2); w.push_back(2.0);
+  g.add_edge(2, 3); w.push_back(3.0);
+  g.add_edge(0, 3); w.push_back(10.0);
+  const auto all = all_pairs_shortest_paths(g, w);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all[0].dist[3], 6.0);
+  EXPECT_DOUBLE_EQ(all[1].dist[3], 5.0);
+  EXPECT_FALSE(all[3].reachable(0));
+}
+
+// ------------------------------------------------------------ arborescence --
+
+TEST(Arborescence, ValidLine) {
+  const Digraph g = line_graph(4);
+  std::vector<EdgeId> edges{0, 1, 2};
+  EXPECT_TRUE(is_spanning_arborescence(g, 0, edges));
+  const auto parent = parent_edge_array(g, 0, edges);
+  EXPECT_EQ(parent[0], Digraph::npos);
+  EXPECT_EQ(parent[3], 2u);
+  const auto children = children_lists(g, parent);
+  EXPECT_EQ(children[0].size(), 1u);
+  EXPECT_TRUE(children[3].empty());
+  const auto depth = node_depths(g, 0, parent);
+  EXPECT_EQ(depth[3], 3u);
+  const auto order = bfs_order(g, 0, parent);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.size(), 4u);
+}
+
+TEST(Arborescence, RejectsWrongEdgeCount) {
+  const Digraph g = line_graph(3);
+  std::string why;
+  EXPECT_FALSE(is_spanning_arborescence(g, 0, {0}, &why));
+  EXPECT_NE(why.find("n-1"), std::string::npos);
+}
+
+TEST(Arborescence, RejectsDoubleParent) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  std::string why;
+  EXPECT_FALSE(is_spanning_arborescence(g, 0, {1, 2}, &why));  // 2 has two parents...
+  // arcs 1 (0->2) and 2 (1->2) both enter node 2.
+  EXPECT_NE(why.find("two tree parents"), std::string::npos);
+}
+
+TEST(Arborescence, RejectsArcIntoRoot) {
+  Digraph g(2);
+  g.add_edge(1, 0);
+  std::string why;
+  EXPECT_FALSE(is_spanning_arborescence(g, 0, {0}, &why));
+  EXPECT_NE(why.find("root"), std::string::npos);
+}
+
+TEST(Arborescence, RejectsCycleComponent) {
+  Digraph g(4);
+  g.add_edge(0, 1);  // 0
+  g.add_edge(2, 3);  // 1
+  g.add_edge(3, 2);  // 2  (cycle 2<->3, disconnected from the root side)
+  EXPECT_FALSE(is_spanning_arborescence(g, 0, {0, 1, 2}));
+}
+
+TEST(Arborescence, RootOutOfRange) {
+  const Digraph g = line_graph(2);
+  EXPECT_FALSE(is_spanning_arborescence(g, 7, {0}));
+}
+
+TEST(Arborescence, SingleNodeTrivial) {
+  Digraph g(1);
+  EXPECT_TRUE(is_spanning_arborescence(g, 0, {}));
+}
+
+// -------------------------------------------------------- min arborescence --
+
+TEST(MinArborescence, PicksCheapestParents) {
+  Digraph g(3);
+  g.add_edge(0, 1);  // 0: w=5
+  g.add_edge(0, 2);  // 1: w=1
+  g.add_edge(2, 1);  // 2: w=1
+  const auto r = min_arborescence(g, 0, {5.0, 1.0, 1.0});
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.weight, 2.0);
+  std::vector<EdgeId> edges = r.edges;
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(MinArborescence, ResolvesCycleOfCheapArcs) {
+  // Greedy best-in picks the 2-cycle 1<->2; the algorithm must break it and
+  // enter the pair from the root.
+  Digraph g(3);
+  g.add_edge(1, 2);  // 0: w=1
+  g.add_edge(2, 1);  // 1: w=1
+  g.add_edge(0, 1);  // 2: w=10
+  g.add_edge(0, 2);  // 3: w=12
+  const auto r = min_arborescence(g, 0, {1.0, 1.0, 10.0, 12.0});
+  ASSERT_TRUE(r.found);
+  // Enter via 0->1 (10) then 1->2 (1) = 11, cheaper than 0->2 (12) + 2->1 (1).
+  EXPECT_DOUBLE_EQ(r.weight, 11.0);
+  std::vector<EdgeId> edges = r.edges;
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(edges, (std::vector<EdgeId>{0, 2}));
+}
+
+TEST(MinArborescence, UnreachableNodeFails) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(min_arborescence(g, 0, {1.0}).found);
+}
+
+TEST(MinArborescence, ZeroAndNegativeWeights) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto r = min_arborescence(g, 0, {0.0, -2.0, 0.5});
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.weight, -2.0);
+}
+
+TEST(MinArborescence, SingleNodeTrivial) {
+  Digraph g(1);
+  const auto r = min_arborescence(g, 0, {});
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.edges.empty());
+}
+
+/// Brute force: enumerate all parent assignments on small graphs.
+double brute_force_min_arb(const Digraph& g, NodeId root, const std::vector<double>& w) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<EdgeId>> choices(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    choices[v] = g.in_edges(v);
+    if (choices[v].empty()) return std::numeric_limits<double>::infinity();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> pick(n, 0);
+  while (true) {
+    std::vector<EdgeId> edges;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != root) edges.push_back(choices[v][pick[v]]);
+    }
+    if (is_spanning_arborescence(g, root, edges)) {
+      double total = 0.0;
+      for (EdgeId e : edges) total += w[e];
+      best = std::min(best, total);
+    }
+    // Odometer increment.
+    NodeId v = 0;
+    for (; v < n; ++v) {
+      if (v == root) continue;
+      if (++pick[v] < choices[v].size()) break;
+      pick[v] = 0;
+    }
+    if (v == n) break;
+  }
+  return best;
+}
+
+TEST(MinArborescence, PropertyMatchesBruteForce) {
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.index(4);  // up to 5 nodes
+    Digraph g(n);
+    std::vector<double> w;
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        if (a != b && rng.bernoulli(0.6)) {
+          g.add_edge(a, b);
+          w.push_back(rng.uniform_real(0.0, 9.0));
+        }
+      }
+    }
+    const auto r = min_arborescence(g, 0, w);
+    const double reference = brute_force_min_arb(g, 0, w);
+    if (!r.found) {
+      EXPECT_TRUE(std::isinf(reference)) << "trial " << trial;
+      continue;
+    }
+    EXPECT_TRUE(is_spanning_arborescence(g, 0, r.edges)) << "trial " << trial;
+    EXPECT_NEAR(r.weight, reference, 1e-9) << "trial " << trial;
+  }
+}
+
+// Property: a random spanning arborescence built by random attachment always
+// validates, and dropping any arc invalidates it.
+TEST(Arborescence, PropertyRandomTreesValidate) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.index(30);
+    Digraph g(n);
+    std::vector<EdgeId> edges;
+    for (NodeId v = 1; v < n; ++v) {
+      const NodeId parent = static_cast<NodeId>(rng.index(v));
+      edges.push_back(g.add_edge(parent, v));
+    }
+    EXPECT_TRUE(is_spanning_arborescence(g, 0, edges));
+    auto broken = edges;
+    broken.pop_back();
+    EXPECT_FALSE(is_spanning_arborescence(g, 0, broken));
+  }
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,402 @@
+// Tests for the tree-construction heuristics: hand-checkable topologies for
+// each algorithm plus parameterized validity/quality sweeps over random
+// platforms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/heuristics.hpp"
+#include "core/registry.hpp"
+#include "core/throughput.hpp"
+#include "platform/random_generator.hpp"
+#include "platform/tiers_generator.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+Platform make_platform(std::size_t n, const std::vector<std::tuple<NodeId, NodeId, double>>& arcs,
+                       NodeId source = 0) {
+  Digraph g(n);
+  std::vector<LinkCost> costs;
+  for (const auto& [a, b, t] : arcs) {
+    g.add_edge(a, b);
+    costs.push_back({0.0, t});
+  }
+  return Platform(std::move(g), std::move(costs), 1.0, source);
+}
+
+// ------------------------------------------------------------ prune simple --
+
+TEST(PruneSimple, RemovesHeaviestRedundantArc) {
+  // Triangle: 0->1 (1s), 1->2 (1s), 0->2 (5s).  The 5s arc is redundant and
+  // heaviest, so pruning leaves the chain.
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}});
+  const BroadcastTree tree = prune_platform_simple(p);
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(PruneSimple, KeepsHeavyBridge) {
+  // The heavy arc is the only way to reach node 2: it must survive.
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {0, 2, 9.0}, {1, 2, 10.0}});
+  const BroadcastTree tree = prune_platform_simple(p);
+  // Arc 2 (1->2, 10s) removed first; arc 1 (0->2, 9s) becomes a bridge.
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(PruneSimple, AlreadyTreeIsIdentity) {
+  const Platform p = make_platform(4, {{0, 1, 1.0}, {1, 2, 2.0}, {1, 3, 3.0}});
+  const BroadcastTree tree = prune_platform_simple(p);
+  EXPECT_EQ(tree.edges.size(), 3u);
+}
+
+// ------------------------------------------------------------ prune degree --
+
+TEST(PruneDegree, UnloadsTheBusiestNode) {
+  // Source 0 can feed 1,2,3 directly (three medium arcs, out-degree 6) or
+  // offload through the chain.  Degree pruning removes from the node with the
+  // largest weighted out-degree first.
+  const Platform p = make_platform(
+      4, {{0, 1, 2.0}, {0, 2, 2.0}, {0, 3, 2.0}, {1, 2, 2.5}, {2, 3, 2.5}});
+  const BroadcastTree tree = prune_platform_degree(p);
+  tree.validate(p);
+  // The resulting tree should beat the naive star period of 6.
+  EXPECT_LT(one_port_period(p, tree), 6.0);
+}
+
+TEST(PruneDegree, ChainStaysChain) {
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  EXPECT_EQ(prune_platform_degree(p).edges.size(), 2u);
+}
+
+// ---------------------------------------------------------------- grow tree --
+
+TEST(GrowTree, PrefersOffloadingOverWideStar) {
+  // Star arcs of 2s each vs chain arcs of 2.1s: growing by minimum resulting
+  // out-degree should avoid giving the source all three children.
+  const Platform p = make_platform(
+      4, {{0, 1, 2.0}, {0, 2, 2.0}, {0, 3, 2.0}, {1, 2, 2.1}, {2, 3, 2.1}});
+  const BroadcastTree tree = grow_tree(p);
+  const auto degree = BroadcastTree::weighted_out_degrees(p, tree);
+  // Source keeps at most two children (4.0) instead of three (6.0).
+  EXPECT_LE(degree[0], 4.0 + 1e-9);
+  EXPECT_LT(one_port_period(p, tree), 6.0);
+}
+
+TEST(GrowTree, PicksCheapestFirstArc) {
+  const Platform p = make_platform(3, {{0, 1, 5.0}, {0, 2, 1.0}, {2, 1, 1.0}});
+  const BroadcastTree tree = grow_tree(p);
+  // Expected: 0->2 (1s), then 2->1 (1s); never the 5s arc.
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{1, 2}));
+  EXPECT_NEAR(one_port_period(p, tree), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------ binomial tree --
+
+TEST(BinomialTree, CompleteGraphUsesDirectArcs) {
+  // Complete homogeneous digraph on 4 nodes: the binomial schedule is
+  // 0->2 (stage 0), 0->1 and 2->3 (stage 1); all direct arcs exist.
+  std::vector<std::tuple<NodeId, NodeId, double>> arcs;
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a != b) arcs.emplace_back(a, b, 1.0);
+    }
+  }
+  const Platform p = make_platform(4, arcs);
+  const BroadcastTree tree = binomial_tree(p);
+  tree.validate(p);
+  const auto children = tree.children(p);
+  // Source informs 2 children; one of them informs the last node.
+  EXPECT_EQ(children[0].size(), 2u);
+  EXPECT_NEAR(one_port_period(p, tree), 2.0, 1e-12);
+}
+
+TEST(BinomialTree, RoutesThroughMissingArcs) {
+  // Ring 0->1->2->3->0: the binomial transfer 0->2 must be routed via 1.
+  const Platform p =
+      make_platform(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  const BroadcastTree tree = binomial_tree(p);
+  tree.validate(p);
+  // Only the ring arcs exist, so the tree is forced to the chain 0->1->2->3.
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{0, 1, 2}));
+}
+
+TEST(BinomialTree, NonPowerOfTwoSizes) {
+  for (std::size_t n : {2u, 3u, 5u, 6u, 7u, 9u}) {
+    std::vector<std::tuple<NodeId, NodeId, double>> arcs;
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        if (a != b) arcs.emplace_back(a, b, 1.0);
+      }
+    }
+    const Platform p = make_platform(n, arcs);
+    EXPECT_NO_THROW(binomial_tree(p).validate(p)) << "n=" << n;
+  }
+}
+
+TEST(BinomialOverlay, RingAccountsForSharedHops) {
+  // Ring 0->1->2->3->0, all 1s arcs.  Transfers: 0->2 (via 1), 0->1, 2->3.
+  // Hops: (0,1),(1,2) + (0,1) + (2,3): arc 0->1 carries two transfers.
+  const Platform p =
+      make_platform(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  const BroadcastOverlay overlay = binomial_overlay(p);
+  EXPECT_EQ(overlay.arcs.size(), 4u);
+  EXPECT_NEAR(one_port_period(p, overlay), 2.0, 1e-12);  // congestion on 0->1
+  // The sanitized tree hides that congestion: period 1.
+  EXPECT_NEAR(one_port_period(p, binomial_tree(p)), 1.0, 1e-12);
+}
+
+TEST(BinomialOverlay, CompleteGraphEqualsTree) {
+  std::vector<std::tuple<NodeId, NodeId, double>> arcs;
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = 0; b < 8; ++b) {
+      if (a != b) arcs.emplace_back(a, b, 1.0);
+    }
+  }
+  const Platform p = make_platform(8, arcs);
+  // Every transfer is a direct arc: overlay == tree, no multiplicity.
+  const BroadcastOverlay overlay = binomial_overlay(p);
+  EXPECT_EQ(overlay.arcs.size(), 7u);
+  EXPECT_DOUBLE_EQ(one_port_period(p, overlay), one_port_period(p, binomial_tree(p)));
+}
+
+TEST(BinomialOverlay, NeverBeatsSanitizedTree) {
+  Rng rng(4321);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 20;
+    config.density = 0.08;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    const double overlay_tp = one_port_throughput(p, binomial_overlay(p));
+    const double tree_tp = one_port_throughput(p, binomial_tree(p));
+    EXPECT_LE(overlay_tp, tree_tp + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(BinomialTree, NonZeroSource) {
+  std::vector<std::tuple<NodeId, NodeId, double>> arcs;
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = 0; b < 5; ++b) {
+      if (a != b) arcs.emplace_back(a, b, 1.0);
+    }
+  }
+  const Platform p = make_platform(5, arcs, /*source=*/3);
+  const BroadcastTree tree = binomial_tree(p);
+  EXPECT_EQ(tree.root, 3u);
+  tree.validate(p);
+}
+
+// -------------------------------------------------------------- multi-port --
+
+TEST(MultiportGrowTree, WideStarWhenOverheadIsSmall) {
+  // With tiny send overhead, the multi-port source can feed many children in
+  // parallel: the star (period ~ max link) beats any chain.
+  Platform p = make_platform(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  p.set_send_overheads({0.01, 0.01, 0.01, 0.01});
+  const BroadcastTree tree = multiport_grow_tree(p);
+  const auto children = tree.children(p);
+  EXPECT_EQ(children[0].size(), 3u);  // full star
+  EXPECT_NEAR(multiport_period(p, tree), 1.0, 1e-9);
+}
+
+TEST(MultiportGrowTree, NarrowTreeWhenOverheadIsLarge) {
+  // With overhead equal to the link time, 3 children cost 3 * 1.0 serialized
+  // at the source; offloading is better.
+  Platform p = make_platform(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  p.set_send_overheads({1.0, 1.0, 1.0, 1.0});
+  const BroadcastTree tree = multiport_grow_tree(p);
+  const auto children = tree.children(p);
+  EXPECT_LT(children[0].size(), 3u);
+  EXPECT_LT(multiport_period(p, tree), 3.0);
+}
+
+TEST(MultiportPruneDegree, ProducesValidTree) {
+  Rng rng(404);
+  RandomPlatformConfig config;
+  config.num_nodes = 20;
+  config.density = 0.15;
+  const Platform p = generate_random_platform(config, rng);
+  const BroadcastTree tree = multiport_prune_degree(p);
+  tree.validate(p);
+  EXPECT_GT(multiport_throughput(p, tree), 0.0);
+}
+
+// ---------------------------------------------------------------- LP-based --
+
+TEST(LpGrowTree, FollowsHeaviestLoads) {
+  //  0->1 and 1->2 carry load 1, the shortcut 0->2 carries load 0.1.
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  const BroadcastTree tree = lp_grow_tree(p, {1.0, 1.0, 0.1});
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(LpPrune, DropsLightestLoads) {
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  const BroadcastTree tree = lp_prune(p, {1.0, 1.0, 0.1});
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(LpHeuristics, RejectSizeMismatch) {
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  EXPECT_THROW(lp_prune(p, {1.0}), Error);
+  EXPECT_THROW(lp_grow_tree(p, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(LpHeuristics, WithRealLoadsFromSolver) {
+  Rng rng(606);
+  RandomPlatformConfig config;
+  config.num_nodes = 15;
+  config.density = 0.2;
+  const Platform p = generate_random_platform(config, rng);
+  const auto ssb = solve_ssb(p);
+  ASSERT_TRUE(ssb.solved);
+  const BroadcastTree grown = lp_grow_tree(p, ssb.edge_load);
+  const BroadcastTree pruned = lp_prune(p, ssb.edge_load);
+  grown.validate(p);
+  pruned.validate(p);
+  EXPECT_LE(one_port_throughput(p, grown), ssb.throughput + 1e-9);
+  EXPECT_LE(one_port_throughput(p, pruned), ssb.throughput + 1e-9);
+}
+
+// ------------------------------------------------------------ STA baselines --
+
+TEST(FastestNodeFirst, FastForwarderNearTheTop) {
+  // Node 1 forwards in 0.1s, node 2 in 10s.  FNF must inform node 1 early
+  // and let it do the forwarding.
+  const Platform p = make_platform(
+      4, {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 0.1}, {2, 3, 10.0}, {1, 2, 0.1}});
+  const BroadcastTree tree = fastest_node_first(p);
+  tree.validate(p);
+  const auto children = tree.children(p);
+  // Node 1 (the fast forwarder) gets at least one child.
+  EXPECT_FALSE(children[1].empty());
+}
+
+TEST(FastestEdgeFirst, GreedyEarliestCompletion) {
+  const Platform p = make_platform(3, {{0, 1, 5.0}, {0, 2, 1.0}, {2, 1, 1.0}});
+  const BroadcastTree tree = fastest_edge_first(p);
+  // 0->2 completes at 1, then 2->1 at 2 beats 0->1 at... port of 0 is free
+  // at 1, so 0->1 would complete at 6; 2->1 wins.
+  EXPECT_EQ(tree.edges, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(StaBaselines, ValidOnRandomPlatforms) {
+  Rng rng(707);
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 12;
+    config.density = 0.2;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    fastest_node_first(p).validate(p);
+    fastest_edge_first(p).validate(p);
+  }
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(Registry, CatalogHasAllPaperHeuristics) {
+  const auto& catalog = heuristic_catalog();
+  EXPECT_GE(catalog.size(), 10u);
+  for (const char* name :
+       {"prune_simple", "prune_degree", "grow_tree", "binomial", "lp_prune",
+        "lp_grow_tree", "multiport_grow_tree", "multiport_prune_degree",
+        "fastest_node_first", "fastest_edge_first"}) {
+    EXPECT_NO_THROW(find_heuristic(name)) << name;
+  }
+  EXPECT_THROW(find_heuristic("nope"), Error);
+}
+
+TEST(Registry, LineUpsMatchThePaper) {
+  const auto one_port = one_port_heuristics();
+  EXPECT_EQ(one_port.size(), 6u);
+  const auto multi = multiport_heuristics();
+  EXPECT_EQ(multi.size(), 5u);
+  for (const auto& spec : one_port) EXPECT_FALSE(spec.multiport);
+}
+
+TEST(Registry, BinomialIsRatedAsOverlay) {
+  const Platform p =
+      make_platform(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  const auto& spec = find_heuristic("binomial");
+  const BroadcastOverlay overlay = spec.build_overlay(p, nullptr);
+  EXPECT_EQ(overlay.arcs.size(), 4u);  // multiset of routed hops, not a tree
+  // Every other heuristic's overlay is exactly its tree.
+  const auto& grow = find_heuristic("grow_tree");
+  EXPECT_EQ(grow.build_overlay(p, nullptr).arcs.size(), 3u);
+}
+
+TEST(Registry, LpSpecsRequireLoads) {
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  const auto& spec = find_heuristic("lp_prune");
+  EXPECT_TRUE(spec.needs_lp_loads);
+  EXPECT_THROW(spec.build(p, nullptr), Error);
+  const std::vector<double> loads{1.0, 1.0};
+  EXPECT_NO_THROW(spec.build(p, &loads).validate(p));
+}
+
+// ----------------------------------------------- parameterized validity sweep --
+
+struct SweepParam {
+  std::size_t num_nodes;
+  double density;
+};
+
+class HeuristicValiditySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(HeuristicValiditySweep, AllHeuristicsProduceValidTrees) {
+  const SweepParam param = GetParam();
+  Rng rng(param.num_nodes * 1000 + static_cast<std::uint64_t>(param.density * 100));
+  RandomPlatformConfig config;
+  config.num_nodes = param.num_nodes;
+  config.density = param.density;
+  const Platform p = generate_random_platform(config, rng);
+  const auto ssb = solve_ssb(p);
+  ASSERT_TRUE(ssb.solved);
+
+  for (const HeuristicSpec& spec : heuristic_catalog()) {
+    const std::vector<double>* loads = spec.needs_lp_loads ? &ssb.edge_load : nullptr;
+    const BroadcastTree tree = spec.build(p, loads);
+    EXPECT_NO_THROW(tree.validate(p)) << spec.name;
+    // One-port throughput of any single tree never beats the MTP optimum.
+    EXPECT_LE(one_port_throughput(p, tree), ssb.throughput + 1e-7) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, HeuristicValiditySweep,
+    ::testing::Values(SweepParam{6, 0.3}, SweepParam{10, 0.08}, SweepParam{10, 0.20},
+                      SweepParam{20, 0.08}, SweepParam{20, 0.16}, SweepParam{30, 0.06},
+                      SweepParam{30, 0.12}, SweepParam{40, 0.08}, SweepParam{50, 0.04}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "n" + std::to_string(info.param.num_nodes) + "_d" +
+             std::to_string(static_cast<int>(info.param.density * 100));
+    });
+
+// The advanced heuristics should clearly beat Binomial-Tree on heterogeneous
+// platforms (the paper's headline qualitative finding).
+TEST(Quality, AdvancedBeatsBinomialOnAverage) {
+  Rng rng(808);
+  double advanced_sum = 0.0, binomial_sum = 0.0;
+  const int trials = 8;
+  for (int trial = 0; trial < trials; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 25;
+    config.density = 0.12;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    advanced_sum += one_port_throughput(p, prune_platform_degree(p));
+    binomial_sum += one_port_throughput(p, binomial_tree(p));
+  }
+  EXPECT_GT(advanced_sum / trials, 1.5 * binomial_sum / trials);
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,164 @@
+// End-to-end integration tests: the full evaluation pipeline (generator ->
+// SSB optimum -> heuristics -> ratios -> aggregation) that the benches use.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "experiments/aggregate.hpp"
+#include "experiments/evaluation.hpp"
+#include "experiments/sweeps.hpp"
+#include "platform/random_generator.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+TEST(Evaluation, ProducesRatiosInUnitIntervalOnePort) {
+  Rng rng(9001);
+  RandomPlatformConfig config;
+  config.num_nodes = 18;
+  config.density = 0.12;
+  const Platform p = generate_random_platform(config, rng);
+  const auto eval = evaluate_platform(p, one_port_heuristics());
+  EXPECT_GT(eval.optimal_throughput, 0.0);
+  ASSERT_EQ(eval.results.size(), 6u);
+  for (const auto& r : eval.results) {
+    EXPECT_GT(r.throughput, 0.0) << r.name;
+    EXPECT_GT(r.ratio, 0.0) << r.name;
+    EXPECT_LE(r.ratio, 1.0 + 1e-7) << r.name;  // single tree <= MTP optimum
+  }
+}
+
+TEST(Evaluation, MultiportRatiosMayExceedOne) {
+  // The paper plots multi-port heuristic throughput against the *one-port*
+  // LP optimum; ratios above 1 are expected and must not be clamped.
+  Rng rng(9002);
+  RandomPlatformConfig config;
+  config.num_nodes = 20;
+  config.density = 0.16;
+  config.multiport_ratio = 0.2;  // cheap overheads favor wide multi-port trees
+  const Platform p = generate_random_platform(config, rng);
+  const auto eval = evaluate_platform(p, multiport_heuristics(), /*multiport_eval=*/true);
+  double best = 0.0;
+  for (const auto& r : eval.results) best = std::max(best, r.ratio);
+  EXPECT_GT(best, 0.2);
+}
+
+TEST(RandomSweep, RecordLayoutComplete) {
+  RandomSweepConfig config;
+  config.sizes = {8, 12};
+  config.densities = {0.15, 0.25};
+  config.replicates = 2;
+  const auto records = run_random_sweep(config);
+  // sizes * densities * replicates * 6 heuristics.
+  EXPECT_EQ(records.size(), 2u * 2u * 2u * 6u);
+  std::set<std::string> names;
+  for (const auto& r : records) {
+    names.insert(r.heuristic);
+    EXPECT_GT(r.optimal, 0.0);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_NEAR(r.ratio, r.throughput / r.optimal, 1e-12);
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(RandomSweep, DeterministicAcrossRuns) {
+  RandomSweepConfig config;
+  config.sizes = {10};
+  config.densities = {0.2};
+  config.replicates = 2;
+  const auto a = run_random_sweep(config);
+  const auto b = run_random_sweep(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].ratio, b[i].ratio);
+  }
+}
+
+TEST(TiersSweep, ProducesBothFamilies) {
+  TiersSweepConfig config;
+  config.replicates = 2;
+  const auto records = run_tiers_sweep(config);
+  std::set<std::size_t> sizes;
+  for (const auto& r : records) sizes.insert(r.num_nodes);
+  EXPECT_EQ(sizes, (std::set<std::size_t>{30, 65}));
+}
+
+TEST(Aggregate, GroupsBySizeAndDensity) {
+  RandomSweepConfig config;
+  config.sizes = {8, 12};
+  config.densities = {0.15, 0.25};
+  config.replicates = 2;
+  const auto records = run_random_sweep(config);
+
+  const auto by_size = aggregate_ratios(records, GroupBy::kNumNodes);
+  ASSERT_TRUE(by_size.count("grow_tree"));
+  EXPECT_EQ(by_size.at("grow_tree").size(), 2u);  // two sizes
+  // Each cell aggregates densities * replicates samples.
+  EXPECT_EQ(by_size.at("grow_tree").begin()->second.count, 4u);
+
+  const auto by_density = aggregate_ratios(records, GroupBy::kDensity);
+  EXPECT_EQ(by_density.at("lp_prune").size(), 2u);
+}
+
+TEST(Aggregate, SeriesTableRendersAllColumns) {
+  RandomSweepConfig config;
+  config.sizes = {8};
+  config.densities = {0.2};
+  config.replicates = 2;
+  const auto records = run_random_sweep(config);
+  const auto series = aggregate_ratios(records, GroupBy::kNumNodes);
+  std::vector<std::string> order;
+  for (const auto& spec : one_port_heuristics()) order.push_back(spec.name);
+  const TablePrinter table = series_table(series, "nodes", order);
+  EXPECT_EQ(table.rows(), 1u);
+  std::ostringstream os;
+  table.render(os);
+  for (const auto& name : order) {
+    EXPECT_NE(os.str().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Aggregate, TiersTableHasPercentCells) {
+  TiersSweepConfig config;
+  config.replicates = 2;
+  config.families = {tiers_config_30()};
+  const auto records = run_tiers_sweep(config);
+  std::vector<std::string> order;
+  for (const auto& spec : one_port_heuristics()) order.push_back(spec.name);
+  const TablePrinter table = tiers_table(records, order);
+  std::ostringstream os;
+  table.render(os);
+  EXPECT_NE(os.str().find('%'), std::string::npos);
+  EXPECT_NE(os.str().find("30"), std::string::npos);
+}
+
+TEST(ReplicatesFromEnv, DefaultsWhenUnset) {
+  unsetenv("BT_REPLICATES");
+  EXPECT_EQ(replicates_from_env(7), 7u);
+  setenv("BT_REPLICATES", "3", 1);
+  EXPECT_EQ(replicates_from_env(7), 3u);
+  unsetenv("BT_REPLICATES");
+}
+
+// Headline qualitative reproduction at reduced scale: on random platforms
+// the advanced heuristics dominate Binomial-Tree and the simple pruning
+// degrades with size (Figure 4a's story).
+TEST(PaperShape, AdvancedHeuristicsDominateBinomial) {
+  RandomSweepConfig config;
+  config.sizes = {20};
+  config.densities = {0.12};
+  config.replicates = 4;
+  const auto records = run_random_sweep(config);
+  const auto series = aggregate_ratios(records, GroupBy::kNumNodes);
+  const double binomial = series.at("binomial").at(20).mean;
+  for (const char* name : {"prune_degree", "grow_tree", "lp_prune", "lp_grow_tree"}) {
+    EXPECT_GT(series.at(name).at(20).mean, binomial) << name;
+    EXPECT_GT(series.at(name).at(20).mean, 0.4) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bt

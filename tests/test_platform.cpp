@@ -1,0 +1,269 @@
+// Tests for the platform model, the random (Table 2) generator, the
+// Tiers-style generator, and text/DOT serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "graph/reachability.hpp"
+#include "platform/platform.hpp"
+#include "platform/platform_io.hpp"
+#include "platform/random_generator.hpp"
+#include "platform/tiers_generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+Platform tiny_platform() {
+  Digraph g(3);
+  g.add_edge(0, 1);  // e0
+  g.add_edge(1, 2);  // e1
+  g.add_edge(0, 2);  // e2
+  return Platform(std::move(g), {{0.001, 1e-8}, {0.0, 2e-8}, {0.002, 5e-8}},
+                  /*slice_size=*/1e6, /*source=*/0);
+}
+
+// ---------------------------------------------------------------- platform --
+
+TEST(Platform, AffineCostEvaluation) {
+  const Platform p = tiny_platform();
+  // T = alpha + beta * L with L = 1e6.
+  EXPECT_NEAR(p.edge_time(0), 0.001 + 1e-8 * 1e6, 1e-15);
+  EXPECT_NEAR(p.edge_time(1), 2e-8 * 1e6, 1e-15);
+  EXPECT_NEAR(p.edge_time(2), 0.002 + 5e-8 * 1e6, 1e-15);
+  EXPECT_EQ(p.edge_times().size(), 3u);
+}
+
+TEST(Platform, SliceSizeRescaling) {
+  Platform p = tiny_platform();
+  const double before = p.edge_time(1);
+  p.set_slice_size(2e6);
+  EXPECT_NEAR(p.edge_time(1), 2.0 * before, 1e-15);
+  EXPECT_THROW(p.set_slice_size(0.0), Error);
+}
+
+TEST(Platform, RejectsInvalidConstruction) {
+  {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    // Wrong cost arity.
+    EXPECT_THROW(Platform(std::move(g), {}, 1e6, 0), Error);
+  }
+  {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    // Zero-cost link.
+    EXPECT_THROW(Platform(std::move(g), {{0.0, 0.0}}, 1e6, 0), Error);
+  }
+  {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(2, 1);  // node 2 unreachable from 0
+    EXPECT_THROW(Platform(std::move(g), {{0, 1e-8}, {0, 1e-8}}, 1e6, 0), Error);
+  }
+  {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    EXPECT_THROW(Platform(std::move(g), {{0, 1e-8}}, 1e6, 7), Error);  // bad source
+  }
+}
+
+TEST(Platform, MultiportOverheadsFromRatio) {
+  Platform p = tiny_platform();
+  p.set_multiport_overheads(0.8);
+  // Node 0's fastest outgoing link is e0 (0.011 s).
+  EXPECT_NEAR(p.send_overhead(0), 0.8 * p.edge_time(0), 1e-12);
+  EXPECT_NEAR(p.send_overhead(1), 0.8 * p.edge_time(1), 1e-12);
+  EXPECT_DOUBLE_EQ(p.send_overhead(2), 0.0);  // no outgoing arcs
+  // Node 2's incoming arcs are e1 and e2; e1 is faster.
+  EXPECT_NEAR(p.recv_overhead(2), 0.8 * p.edge_time(1), 1e-12);
+}
+
+TEST(Platform, ExplicitOverrides) {
+  Platform p = tiny_platform();
+  p.set_send_overheads({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(p.send_overhead(1), 0.2);
+  EXPECT_THROW(p.set_send_overheads({0.1}), Error);
+  EXPECT_THROW(p.set_recv_overheads({-1.0, 0.0, 0.0}), Error);
+}
+
+// --------------------------------------------------------- random generator --
+
+TEST(RandomGenerator, ProducesValidConnectedPlatform) {
+  Rng rng(5);
+  RandomPlatformConfig config;
+  config.num_nodes = 20;
+  config.density = 0.12;
+  const Platform p = generate_random_platform(config, rng);
+  EXPECT_EQ(p.num_nodes(), 20u);
+  EXPECT_TRUE(p.valid());
+  // Bidirectional construction: strongly connected.
+  EXPECT_TRUE(is_strongly_connected(p.graph()));
+}
+
+TEST(RandomGenerator, HitsTargetDensity) {
+  Rng rng(6);
+  RandomPlatformConfig config;
+  config.num_nodes = 40;
+  config.density = 0.16;
+  const Platform p = generate_random_platform(config, rng);
+  // 40*39*0.16 = 249.6 target arcs; pairs add 2 arcs, so within 2.
+  EXPECT_NEAR(p.graph().density(), 0.16, 2.5 / (40.0 * 39.0));
+}
+
+TEST(RandomGenerator, SparseRequestFallsBackToBackbone) {
+  Rng rng(7);
+  RandomPlatformConfig config;
+  config.num_nodes = 10;
+  config.density = 0.04;  // below the 2(n-1) backbone
+  const Platform p = generate_random_platform(config, rng);
+  EXPECT_EQ(p.graph().num_edges(), 2u * 9u);  // exactly the backbone
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(RandomGenerator, DeterministicGivenSeed) {
+  RandomPlatformConfig config;
+  config.num_nodes = 15;
+  config.density = 0.2;
+  Rng rng1(99), rng2(99);
+  const Platform a = generate_random_platform(config, rng1);
+  const Platform b = generate_random_platform(config, rng2);
+  EXPECT_EQ(platform_to_string(a), platform_to_string(b));
+}
+
+TEST(RandomGenerator, RatesWithinTruncatedGaussianSupport) {
+  Rng rng(11);
+  RandomPlatformConfig config;
+  config.num_nodes = 30;
+  config.density = 0.2;
+  const Platform p = generate_random_platform(config, rng);
+  for (EdgeId e = 0; e < p.num_edges(); ++e) {
+    const double rate = 1.0 / p.link_cost(e).beta;
+    EXPECT_GE(rate, config.rate_floor);
+    EXPECT_LE(rate, config.rate_mean + 10.0 * config.rate_stddev);
+  }
+}
+
+TEST(RandomGenerator, MultiportOverheadsFollowRatio) {
+  Rng rng(12);
+  RandomPlatformConfig config;
+  config.num_nodes = 12;
+  config.density = 0.2;
+  config.multiport_ratio = 0.8;
+  const Platform p = generate_random_platform(config, rng);
+  for (NodeId u = 0; u < p.num_nodes(); ++u) {
+    double min_out = std::numeric_limits<double>::infinity();
+    for (EdgeId e : p.graph().out_edges(u)) min_out = std::min(min_out, p.edge_time(e));
+    if (!p.graph().out_edges(u).empty()) {
+      EXPECT_NEAR(p.send_overhead(u), 0.8 * min_out, 1e-12);
+    }
+  }
+}
+
+TEST(RandomGenerator, RejectsBadConfig) {
+  Rng rng(1);
+  RandomPlatformConfig config;
+  config.num_nodes = 1;
+  EXPECT_THROW(generate_random_platform(config, rng), Error);
+  config.num_nodes = 10;
+  config.density = 0.0;
+  EXPECT_THROW(generate_random_platform(config, rng), Error);
+}
+
+// ---------------------------------------------------------- tiers generator --
+
+TEST(TiersGenerator, Config30MatchesPaper) {
+  Rng rng(21);
+  const Platform p = generate_tiers_platform(tiers_config_30(), rng);
+  EXPECT_EQ(p.num_nodes(), 30u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(is_strongly_connected(p.graph()));
+  // Paper: Tiers platforms have density between 0.05 and 0.15.
+  EXPECT_GE(p.graph().density(), 0.05);
+  EXPECT_LE(p.graph().density(), 0.15);
+}
+
+TEST(TiersGenerator, Config65MatchesPaper) {
+  Rng rng(22);
+  const Platform p = generate_tiers_platform(tiers_config_65(), rng);
+  EXPECT_EQ(p.num_nodes(), 65u);
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(is_strongly_connected(p.graph()));
+  EXPECT_GE(p.graph().density(), 0.03);
+  EXPECT_LE(p.graph().density(), 0.15);
+}
+
+TEST(TiersGenerator, HierarchyIsSparse) {
+  Rng rng(23);
+  const Platform p = generate_tiers_platform(tiers_config_30(), rng);
+  // Far sparser than a complete graph; hierarchical structure caps arcs.
+  EXPECT_LT(p.num_edges(), 30u * 29u / 4u);
+}
+
+TEST(TiersGenerator, DeterministicGivenSeed) {
+  Rng a(31), b(31);
+  const Platform pa = generate_tiers_platform(tiers_config_30(), a);
+  const Platform pb = generate_tiers_platform(tiers_config_30(), b);
+  EXPECT_EQ(platform_to_string(pa), platform_to_string(pb));
+}
+
+TEST(TiersGenerator, RejectsImpossibleLayout) {
+  Rng rng(1);
+  TiersConfig c;
+  c.num_nodes = 5;
+  c.wan_nodes = 4;
+  c.mans_per_wan = 3;  // 4 + 12 > 5
+  EXPECT_THROW(generate_tiers_platform(c, rng), Error);
+}
+
+// ---------------------------------------------------------------------- io --
+
+TEST(PlatformIo, RoundTripPreservesEverything) {
+  Platform p = tiny_platform();
+  p.set_multiport_overheads(0.8);
+  const std::string text = platform_to_string(p);
+  const Platform q = platform_from_string(text);
+  EXPECT_EQ(q.num_nodes(), p.num_nodes());
+  EXPECT_EQ(q.num_edges(), p.num_edges());
+  EXPECT_EQ(q.source(), p.source());
+  EXPECT_DOUBLE_EQ(q.slice_size(), p.slice_size());
+  for (EdgeId e = 0; e < p.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(q.edge_time(e), p.edge_time(e));
+  }
+  for (NodeId u = 0; u < p.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(q.send_overhead(u), p.send_overhead(u));
+    EXPECT_DOUBLE_EQ(q.recv_overhead(u), p.recv_overhead(u));
+  }
+}
+
+TEST(PlatformIo, ParsesCommentsAndBlankLines) {
+  const std::string text =
+      "# a platform\n"
+      "platform 2 0 1000000\n"
+      "\n"
+      "edge 0 1 0.0 1e-8  # fast link\n";
+  const Platform p = platform_from_string(text);
+  EXPECT_EQ(p.num_nodes(), 2u);
+  EXPECT_EQ(p.num_edges(), 1u);
+}
+
+TEST(PlatformIo, RejectsMalformedInput) {
+  EXPECT_THROW(platform_from_string("edge 0 1 0 1e-8\n"), Error);  // no header
+  EXPECT_THROW(platform_from_string("platform 2 0\n"), Error);     // short header
+  EXPECT_THROW(platform_from_string("platform 2 0 1e6\nfrobnicate\n"), Error);
+}
+
+TEST(PlatformIo, DotContainsHighlights) {
+  const Platform p = tiny_platform();
+  const std::string dot = platform_to_dot(p, {0});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);
+  EXPECT_THROW(platform_to_dot(p, {17}), Error);
+}
+
+}  // namespace
+}  // namespace bt

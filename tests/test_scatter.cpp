@@ -1,0 +1,158 @@
+// Tests for the scatter/gather extension: closed-form tree periods, the
+// scatter LP optimum, and their relationships to broadcast.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/heuristics.hpp"
+#include "core/scatter.hpp"
+#include "core/throughput.hpp"
+#include "platform/random_generator.hpp"
+#include "ssb/ssb_scatter.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+Platform make_platform(std::size_t n,
+                       const std::vector<std::tuple<NodeId, NodeId, double>>& arcs) {
+  Digraph g(n);
+  std::vector<LinkCost> costs;
+  for (const auto& [a, b, t] : arcs) {
+    g.add_edge(a, b);
+    costs.push_back({0.0, t});
+  }
+  return Platform(std::move(g), std::move(costs), 1.0, 0);
+}
+
+TEST(Scatter, SubtreeSizes) {
+  // 0 -> 1 -> {2, 3}
+  const Platform p = make_platform(4, {{0, 1, 1.0}, {1, 2, 1.0}, {1, 3, 1.0}});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1, 2};
+  const auto size = subtree_sizes(p, tree);
+  EXPECT_EQ(size[0], 4u);
+  EXPECT_EQ(size[1], 3u);
+  EXPECT_EQ(size[2], 1u);
+  EXPECT_EQ(size[3], 1u);
+}
+
+TEST(Scatter, ChainPeriodWeightsBySubtree) {
+  // Chain 0 ->(0.5) 1 ->(0.25) 2: arc 0->1 carries 2 slices per round.
+  const Platform p = make_platform(3, {{0, 1, 0.5}, {1, 2, 0.25}});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};
+  EXPECT_NEAR(scatter_period(p, tree), 1.0, 1e-12);  // 2 * 0.5 dominates
+  EXPECT_NEAR(scatter_throughput(p, tree), 1.0, 1e-12);
+}
+
+TEST(Scatter, StarPeriodIsSumOfArcs) {
+  const Platform p = make_platform(3, {{0, 1, 0.5}, {0, 2, 0.25}});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};
+  // Leaves: each arc carries one slice; emission sum = 0.75.
+  EXPECT_NEAR(scatter_period(p, tree), 0.75, 1e-12);
+}
+
+TEST(Scatter, ScatterNeverFasterThanBroadcastOnATree) {
+  // Broadcast sends one slice per round over each arc; scatter sends
+  // |subtree| >= 1: scatter period dominates the broadcast period.
+  Rng rng(111);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 15;
+    config.density = 0.15;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    const BroadcastTree tree = grow_tree(p);
+    EXPECT_GE(scatter_period(p, tree), one_port_period(p, tree) - 1e-12);
+  }
+}
+
+TEST(Gather, MirrorsScatterOnSymmetricLinks) {
+  // Bidirectional equal-cost links: gather over the reverse arcs has the
+  // same period as scatter.
+  Digraph g(4);
+  std::vector<LinkCost> costs;
+  auto link = [&](NodeId a, NodeId b, double t) {
+    g.add_bidirectional(a, b);
+    costs.push_back({0.0, t});
+    costs.push_back({0.0, t});
+  };
+  link(0, 1, 0.3);
+  link(1, 2, 0.2);
+  link(1, 3, 0.4);
+  const Platform p(std::move(g), std::move(costs), 1.0, 0);
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 2, 4};  // forward arcs of each link
+  EXPECT_NEAR(gather_period(p, tree), scatter_period(p, tree), 1e-12);
+}
+
+TEST(Gather, RequiresReverseArcs) {
+  const Platform p = make_platform(2, {{0, 1, 1.0}});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0};
+  EXPECT_THROW(gather_period(p, tree), Error);
+}
+
+TEST(ScatterLp, SingleArcIsLinkLimited) {
+  const Platform p = make_platform(2, {{0, 1, 0.5}});
+  const auto s = solve_scatter_optimal(p);
+  ASSERT_TRUE(s.solved);
+  EXPECT_NEAR(s.throughput, 2.0, 1e-7);
+}
+
+TEST(ScatterLp, StarIsPortLimited) {
+  // 3 leaves over 0.25s arcs: the source port fits 4 slices/s total, and a
+  // scatter round needs 3 distinct slices: TP = (1/0.25) / 3.
+  const Platform p = make_platform(4, {{0, 1, 0.25}, {0, 2, 0.25}, {0, 3, 0.25}});
+  const auto s = solve_scatter_optimal(p);
+  EXPECT_NEAR(s.throughput, 4.0 / 3.0, 1e-7);
+}
+
+TEST(ScatterLp, ChainMatchesClosedForm) {
+  const Platform p = make_platform(3, {{0, 1, 0.5}, {1, 2, 0.25}});
+  const auto s = solve_scatter_optimal(p);
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};
+  // On a chain the only routing is the chain itself.
+  EXPECT_NEAR(s.throughput, scatter_throughput(p, tree), 1e-7);
+}
+
+TEST(ScatterLp, BoundsEveryTreeScatter) {
+  Rng rng(222);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 10;
+    config.density = 0.25;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    const auto s = solve_scatter_optimal(p);
+    for (const BroadcastTree& tree :
+         {grow_tree(p), prune_platform_degree(p), binomial_tree(p)}) {
+      EXPECT_LE(scatter_throughput(p, tree), s.throughput + 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ScatterLp, ScatterOptimumBelowBroadcastOptimumScale) {
+  // Scatter moves p-1 distinct slices through the source port per round, so
+  // its optimum is at most the broadcast optimum (which ships 1 slice per
+  // round along each tree) and at least optimum/(p-1)-ish on stars.
+  const Platform p = make_platform(4, {{0, 1, 0.25}, {0, 2, 0.25}, {0, 3, 0.25}});
+  const auto scatter = solve_scatter_optimal(p);
+  // Broadcast on the star: source out-sum 0.75 -> TP 4/3 as well (every arc
+  // must carry every slice).  They coincide here.
+  EXPECT_NEAR(scatter.throughput, 4.0 / 3.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace bt

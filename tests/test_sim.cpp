@@ -1,0 +1,209 @@
+// Tests for the discrete-event pipelined-broadcast simulator: exact times on
+// hand-checkable topologies and agreement with the closed-form steady-state
+// throughput on random platforms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/heuristics.hpp"
+#include "core/registry.hpp"
+#include "core/throughput.hpp"
+#include "platform/random_generator.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+Platform make_platform(std::size_t n,
+                       const std::vector<std::tuple<NodeId, NodeId, double>>& arcs) {
+  Digraph g(n);
+  std::vector<LinkCost> costs;
+  for (const auto& [a, b, t] : arcs) {
+    g.add_edge(a, b);
+    costs.push_back({0.0, t});
+  }
+  return Platform(std::move(g), std::move(costs), 1.0, 0);
+}
+
+BroadcastTree chain_tree(std::size_t n) {
+  BroadcastTree tree;
+  tree.root = 0;
+  for (EdgeId e = 0; e + 1 < n; ++e) tree.edges.push_back(e);
+  return tree;
+}
+
+TEST(Simulator, SingleSliceChainTiming) {
+  const Platform p = make_platform(3, {{0, 1, 0.5}, {1, 2, 0.25}});
+  const auto r = simulate_pipelined_broadcast(p, chain_tree(3), 1);
+  EXPECT_NEAR(r.completion_time, 0.75, 1e-12);
+  EXPECT_NEAR(r.received[1][0], 0.5, 1e-12);
+  EXPECT_NEAR(r.received[2][0], 0.75, 1e-12);
+  EXPECT_EQ(r.transfers, 2u);
+}
+
+TEST(Simulator, PipeliningOverlapsChain) {
+  // Chain 0 -> 1 -> 2, both arcs 1s.  K slices: node 2 gets slice k at k+2.
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  const auto r = simulate_pipelined_broadcast(p, chain_tree(3), 5);
+  EXPECT_NEAR(r.completion_time, 2.0 + 4.0, 1e-12);
+  EXPECT_NEAR(r.first_slice_time, 2.0, 1e-12);
+  EXPECT_NEAR(r.steady_throughput, 1.0, 1e-12);
+}
+
+TEST(Simulator, OnePortSerializesSiblings) {
+  // Star with 2 children, 1s arcs: the source alternates; period 2.
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {0, 2, 1.0}});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};
+  const auto r = simulate_pipelined_broadcast(p, tree, 4);
+  // Slice k reaches child 1 at 2k+1, child 2 at 2k+2.
+  EXPECT_NEAR(r.received[1][3], 7.0, 1e-12);
+  EXPECT_NEAR(r.received[2][3], 8.0, 1e-12);
+  EXPECT_NEAR(r.steady_throughput, 0.5, 1e-12);
+}
+
+TEST(Simulator, MultiPortOverlapsSiblings) {
+  // Same star, multi-port with overhead 0.25: sends overlap on the links,
+  // the CPU serializes 2 * 0.25 per round; period = max(0.5, 1.0) = 1.
+  Platform p = make_platform(3, {{0, 1, 1.0}, {0, 2, 1.0}});
+  p.set_send_overheads({0.25, 0.0, 0.0});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};
+  const auto r = simulate_pipelined_broadcast(p, tree, 6, SimModel::kMultiPort);
+  EXPECT_NEAR(r.steady_throughput, 1.0, 1e-9);
+  // Child 2's transfer starts at the CPU-free time 0.25.
+  EXPECT_NEAR(r.received[2][0], 1.25, 1e-12);
+}
+
+TEST(Simulator, MultiPortCpuBound) {
+  // Overhead 0.6 with 3 children: CPU period 1.8 exceeds the 1s links.
+  Platform p = make_platform(4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}});
+  p.set_send_overheads({0.6, 0.0, 0.0, 0.0});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1, 2};
+  const auto r = simulate_pipelined_broadcast(p, tree, 8, SimModel::kMultiPort);
+  EXPECT_NEAR(r.steady_throughput, 1.0 / 1.8, 1e-9);
+  EXPECT_NEAR(multiport_period(p, tree), 1.8, 1e-12);
+}
+
+TEST(Simulator, SingleSliceMatchesStaMakespanTreeOrder) {
+  Rng rng(121);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 15;
+    config.density = 0.15;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    const BroadcastTree tree = grow_tree(p);
+    const auto r = simulate_pipelined_broadcast(p, tree, 1);
+    EXPECT_NEAR(r.completion_time,
+                sta_makespan(p, tree, p.slice_size(), ChildOrder::kTreeOrder), 1e-9);
+  }
+}
+
+TEST(Simulator, SteadyThroughputMatchesClosedFormOnePort) {
+  Rng rng(232);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 12 + 2 * static_cast<std::size_t>(trial % 4);
+    config.density = 0.15;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    for (const char* name : {"grow_tree", "prune_degree", "binomial"}) {
+      const BroadcastTree tree = find_heuristic(name).build(p, nullptr);
+      const auto r = simulate_pipelined_broadcast(p, tree, 200);
+      const double analytic = one_port_throughput(p, tree);
+      EXPECT_NEAR(r.steady_throughput / analytic, 1.0, 0.02)
+          << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(Simulator, SteadyThroughputMatchesClosedFormMultiPort) {
+  Rng rng(343);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 15;
+    config.density = 0.15;
+    config.multiport_ratio = 0.8;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    const BroadcastTree tree = multiport_grow_tree(p);
+    const auto r = simulate_pipelined_broadcast(p, tree, 300, SimModel::kMultiPort);
+    const double analytic = multiport_throughput(p, tree);
+    EXPECT_NEAR(r.steady_throughput / analytic, 1.0, 0.02) << "trial " << trial;
+  }
+}
+
+TEST(Simulator, EndToEndThroughputApproachesSteadyState) {
+  const Platform p = make_platform(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  const auto few = simulate_pipelined_broadcast(p, chain_tree(3), 5);
+  const auto many = simulate_pipelined_broadcast(p, chain_tree(3), 500);
+  EXPECT_LT(few.end_to_end_throughput, few.steady_throughput);
+  EXPECT_GT(many.end_to_end_throughput, 0.95 * many.steady_throughput);
+}
+
+TEST(Simulator, CompletionBoundedByClosedFormFormula) {
+  // fill + (K-1) * period is an upper bound on the ASAP completion, and the
+  // completion can never beat (K-1) periods of the bottleneck node.
+  Rng rng(454);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 10;
+    config.density = 0.2;
+    Rng prng = rng.split();
+    const Platform p = generate_random_platform(config, prng);
+    const BroadcastTree tree = prune_platform_degree(p);
+    const std::size_t slices = 50;
+    const auto r = simulate_pipelined_broadcast(p, tree, slices);
+    const double bound = pipelined_completion_time(p, tree, slices);
+    const double period = one_port_period(p, tree);
+    EXPECT_LE(r.completion_time, bound + 1e-9) << "trial " << trial;
+    EXPECT_GE(r.completion_time,
+              static_cast<double>(slices - 1) * period - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Simulator, CompletionFormulaExactOnChain) {
+  const Platform p = make_platform(4, {{0, 1, 0.3}, {1, 2, 0.7}, {2, 3, 0.4}});
+  const auto r = simulate_pipelined_broadcast(p, chain_tree(4), 25);
+  EXPECT_NEAR(r.completion_time, pipelined_completion_time(p, chain_tree(4), 25), 1e-9);
+}
+
+TEST(Simulator, ReceivedTimesAreMonotonic) {
+  Rng rng(565);
+  RandomPlatformConfig config;
+  config.num_nodes = 12;
+  config.density = 0.2;
+  const Platform p = generate_random_platform(config, rng);
+  const BroadcastTree tree = grow_tree(p);
+  const auto r = simulate_pipelined_broadcast(p, tree, 30);
+  for (NodeId v = 0; v < p.num_nodes(); ++v) {
+    if (v == tree.root) continue;
+    for (std::size_t k = 1; k < 30; ++k) {
+      EXPECT_LT(r.received[v][k - 1], r.received[v][k]) << "node " << v;
+    }
+  }
+}
+
+TEST(Simulator, RejectsBadInput) {
+  const Platform p = make_platform(2, {{0, 1, 1.0}});
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0};
+  EXPECT_THROW(simulate_pipelined_broadcast(p, tree, 0), Error);
+  BroadcastTree bad;
+  bad.root = 0;
+  EXPECT_THROW(simulate_pipelined_broadcast(p, bad, 1), Error);
+}
+
+}  // namespace
+}  // namespace bt

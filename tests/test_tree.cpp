@@ -1,0 +1,237 @@
+// Tests for BroadcastTree and the throughput / makespan evaluators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/broadcast_tree.hpp"
+#include "core/throughput.hpp"
+#include "platform/platform.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+namespace {
+
+/// Source 0 with children 1 and 2; node 1 with child 3.
+///   arc times: 0->1: 0.1, 0->2: 0.3, 1->3: 0.2, plus unused extra arcs.
+Platform small_tree_platform() {
+  Digraph g(4);
+  std::vector<LinkCost> costs;
+  auto add = [&](NodeId a, NodeId b, double t) {
+    g.add_edge(a, b);
+    costs.push_back({0.0, t});
+  };
+  add(0, 1, 0.1);  // e0
+  add(0, 2, 0.3);  // e1
+  add(1, 3, 0.2);  // e2
+  add(2, 3, 0.9);  // e3 (alternative, unused by the test tree)
+  add(3, 0, 1.0);  // e4 (back arc, never in a tree)
+  return Platform(std::move(g), std::move(costs), 1.0, 0);
+}
+
+BroadcastTree small_tree() {
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1, 2};
+  return tree;
+}
+
+TEST(BroadcastTree, ValidationAcceptsGoodTree) {
+  const Platform p = small_tree_platform();
+  EXPECT_NO_THROW(small_tree().validate(p));
+}
+
+TEST(BroadcastTree, ValidationRejectsBadRoot) {
+  const Platform p = small_tree_platform();
+  BroadcastTree tree = small_tree();
+  tree.root = 1;
+  EXPECT_THROW(tree.validate(p), Error);
+}
+
+TEST(BroadcastTree, ValidationRejectsNonSpanning) {
+  const Platform p = small_tree_platform();
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};  // misses node 3
+  EXPECT_THROW(tree.validate(p), Error);
+}
+
+TEST(BroadcastTree, ParentAndChildrenViews) {
+  const Platform p = small_tree_platform();
+  const BroadcastTree tree = small_tree();
+  const auto parent = tree.parent_edges(p);
+  EXPECT_EQ(parent[0], Digraph::npos);
+  EXPECT_EQ(parent[3], 2u);
+  const auto children = tree.children(p);
+  EXPECT_EQ(children[0].size(), 2u);
+  EXPECT_EQ(children[1].size(), 1u);
+  EXPECT_TRUE(children[3].empty());
+}
+
+TEST(BroadcastTree, WeightedOutDegrees) {
+  const Platform p = small_tree_platform();
+  const auto degree = BroadcastTree::weighted_out_degrees(p, small_tree());
+  EXPECT_NEAR(degree[0], 0.4, 1e-12);
+  EXPECT_NEAR(degree[1], 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(degree[2], 0.0);
+  EXPECT_DOUBLE_EQ(degree[3], 0.0);
+}
+
+TEST(BroadcastTree, DescribeMentionsEveryNode) {
+  const Platform p = small_tree_platform();
+  const std::string text = describe_tree(p, small_tree());
+  for (const char* token : {"P0", "P1", "P2", "P3", "source"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+// ------------------------------------------------------------- throughput --
+
+TEST(Throughput, OnePortPeriodIsMaxWeightedOutDegree) {
+  const Platform p = small_tree_platform();
+  const BroadcastTree tree = small_tree();
+  EXPECT_NEAR(one_port_period(p, tree), 0.4, 1e-12);
+  EXPECT_NEAR(one_port_throughput(p, tree), 2.5, 1e-12);
+}
+
+TEST(Throughput, MultiportPeriodUsesOverheads) {
+  Platform p = small_tree_platform();
+  const BroadcastTree tree = small_tree();
+  // Without overheads the multi-port period is the largest tree-arc time.
+  EXPECT_NEAR(multiport_period(p, tree), 0.3, 1e-12);
+  // With large send overheads the source's 2 * send_0 dominates.
+  p.set_send_overheads({0.25, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(multiport_period(p, tree), 0.5, 1e-12);
+  EXPECT_NEAR(multiport_throughput(p, tree), 2.0, 1e-12);
+}
+
+TEST(Throughput, MultiportNeverSlowerThanOnePortWithoutOverheads) {
+  Platform p = small_tree_platform();
+  p.set_send_overheads({0.0, 0.0, 0.0, 0.0});
+  const BroadcastTree tree = small_tree();
+  EXPECT_LE(multiport_period(p, tree), one_port_period(p, tree) + 1e-12);
+}
+
+// ---------------------------------------------------------------- overlays --
+
+TEST(Overlay, FromTreeMatchesTreeThroughput) {
+  const Platform p = small_tree_platform();
+  const BroadcastTree tree = small_tree();
+  const BroadcastOverlay overlay = BroadcastOverlay::from_tree(tree);
+  overlay.validate(p);
+  EXPECT_DOUBLE_EQ(one_port_period(p, overlay), one_port_period(p, tree));
+  EXPECT_DOUBLE_EQ(multiport_period(p, overlay), multiport_period(p, tree));
+}
+
+TEST(Overlay, MultiplicityCongestsPorts) {
+  const Platform p = small_tree_platform();
+  BroadcastOverlay overlay;
+  overlay.root = 0;
+  // Arc e0 (0->1, 0.1s) used twice, plus e1 and e2 once.
+  overlay.arcs = {0, 0, 1, 2};
+  overlay.validate(p);
+  const auto loads = overlay.port_loads(p);
+  EXPECT_NEAR(loads.out_time[0], 2 * 0.1 + 0.3, 1e-12);
+  EXPECT_NEAR(loads.in_time[1], 2 * 0.1, 1e-12);
+  EXPECT_EQ(loads.out_multiplicity[0], 3u);
+  EXPECT_NEAR(one_port_period(p, overlay), 0.5, 1e-12);
+}
+
+TEST(Overlay, ReceptionCanBind) {
+  // Node 2 receives over two slow in-arcs: reception serialization binds
+  // even though each sender is lightly loaded.
+  Digraph g(3);
+  std::vector<LinkCost> costs;
+  g.add_edge(0, 1);
+  costs.push_back({0.0, 0.1});
+  g.add_edge(0, 2);
+  costs.push_back({0.0, 0.4});
+  g.add_edge(1, 2);
+  costs.push_back({0.0, 0.4});
+  const Platform p(std::move(g), std::move(costs), 1.0, 0);
+  BroadcastOverlay overlay;
+  overlay.root = 0;
+  overlay.arcs = {0, 1, 2};
+  const auto loads = overlay.port_loads(p);
+  EXPECT_NEAR(loads.in_time[2], 0.8, 1e-12);
+  EXPECT_NEAR(one_port_period(p, overlay), 0.8, 1e-12);
+}
+
+TEST(Overlay, MultiportUsesMultiplicityTimesOverhead) {
+  Platform p = small_tree_platform();
+  p.set_send_overheads({0.2, 0.0, 0.0, 0.0});
+  BroadcastOverlay overlay;
+  overlay.root = 0;
+  overlay.arcs = {0, 0, 1, 2};  // 3 hops out of the source
+  EXPECT_NEAR(multiport_period(p, overlay), 0.6, 1e-12);  // 3 * 0.2 > links
+}
+
+TEST(Overlay, ValidationRejectsUncoveredNodes) {
+  const Platform p = small_tree_platform();
+  BroadcastOverlay overlay;
+  overlay.root = 0;
+  overlay.arcs = {0, 2};  // node 2 never reached
+  EXPECT_THROW(overlay.validate(p), Error);
+  overlay.arcs = {0, 1, 17};
+  EXPECT_THROW(overlay.validate(p), Error);  // bad arc id
+  overlay.root = 1;
+  overlay.arcs = {0, 1, 2};
+  EXPECT_THROW(overlay.validate(p), Error);  // wrong root
+}
+
+// ---------------------------------------------------------------- makespan --
+
+TEST(Makespan, ChainAddsUp) {
+  Digraph g(3);
+  std::vector<LinkCost> costs;
+  g.add_edge(0, 1);
+  costs.push_back({0.0, 0.5});
+  g.add_edge(1, 2);
+  costs.push_back({0.0, 0.25});
+  const Platform p(std::move(g), std::move(costs), 1.0, 0);
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0, 1};
+  EXPECT_NEAR(sta_makespan(p, tree, 1.0), 0.75, 1e-12);
+  // Doubling the message doubles bandwidth terms (alpha = 0).
+  EXPECT_NEAR(sta_makespan(p, tree, 2.0), 1.5, 1e-12);
+}
+
+TEST(Makespan, SequentialSendsAtRoot) {
+  const Platform p = small_tree_platform();
+  const BroadcastTree tree = small_tree();
+  // Heaviest subtree first: branch via node 1 costs 0.1 + 0.2 = 0.3 vs the
+  // 0.3 direct arc to 2.  Either order yields max(0.1+0.2+? ...):
+  //  - send to 1 first: 1 done at 0.1, 2 done at 0.4, 3 done at 0.3.
+  //  - send to 2 first: 2 done at 0.3, 1 done at 0.4, 3 done at 0.6.
+  const double ms = sta_makespan(p, tree, 1.0, ChildOrder::kHeaviestSubtree);
+  EXPECT_LE(ms, 0.6 + 1e-12);
+  EXPECT_GE(ms, 0.4 - 1e-12);
+  // Tree order (e0 before e1): matches the first scenario.
+  EXPECT_NEAR(sta_makespan(p, tree, 1.0, ChildOrder::kTreeOrder), 0.4, 1e-12);
+}
+
+TEST(Makespan, AffineStartupCounted) {
+  Digraph g(2);
+  std::vector<LinkCost> costs{{0.5, 1.0}};
+  g.add_edge(0, 1);
+  const Platform p(std::move(g), std::move(costs), 1.0, 0);
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0};
+  EXPECT_NEAR(sta_makespan(p, tree, 2.0), 0.5 + 2.0, 1e-12);
+  EXPECT_THROW(sta_makespan(p, tree, 0.0), Error);
+}
+
+TEST(Makespan, PipelinedCompletionFormula) {
+  const Platform p = small_tree_platform();
+  const BroadcastTree tree = small_tree();
+  const double fill = sta_makespan(p, tree, 1.0, ChildOrder::kTreeOrder);
+  const double period = one_port_period(p, tree);
+  EXPECT_NEAR(pipelined_completion_time(p, tree, 1), fill, 1e-12);
+  EXPECT_NEAR(pipelined_completion_time(p, tree, 10), fill + 9 * period, 1e-12);
+  EXPECT_THROW(pipelined_completion_time(p, tree, 0), Error);
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,242 @@
+// Unit tests for the utility substrate: deterministic RNG, statistics,
+// table rendering, timers, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bt {
+namespace {
+
+/// Keep the optimizer from discarding a busy-wait accumulator.
+void benchmark_guard(double& value) {
+  asm volatile("" : "+m"(value));
+}
+
+// ---------------------------------------------------------------- errors --
+
+TEST(Error, RequireThrowsWithLocation) {
+  try {
+    BT_REQUIRE(false, "boom");
+    FAIL() << "BT_REQUIRE(false) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(BT_REQUIRE(true, "never"));
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(3, 2), Error);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.gaussian(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, TruncatedGaussianRespectsFloor) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.truncated_gaussian(1.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(23);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream should not replay the parent's outputs.
+  Rng parent_copy(31);
+  (void)parent_copy.split();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform_int(0, 1 << 30) == parent.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+// ------------------------------------------------------------- statistics --
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic data set: sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0, 10.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+// ------------------------------------------------------------------ table --
+
+TEST(TablePrinter, AlignedRendering) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvRendering) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TablePrinter, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::pct(0.7), "70%");
+  EXPECT_EQ(TablePrinter::pct(0.705, 1), "70.5%");
+}
+
+// ------------------------------------------------------------------ timer --
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  // Busy-wait a tiny amount; just check monotonicity and non-negativity.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  benchmark_guard(sink);
+  const double first = t.seconds();
+  EXPECT_GE(first, 0.0);
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  benchmark_guard(sink);
+  EXPECT_GE(t.seconds(), first);
+  t.reset();
+  EXPECT_LT(t.seconds(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace bt
