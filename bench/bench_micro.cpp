@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/registry.hpp"
+#include "core/tree_optimizer.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/min_arborescence.hpp"
 #include "lp/simplex.hpp"
@@ -107,6 +108,23 @@ BENCHMARK_CAPTURE(BM_Heuristic, binomial, "binomial")->Arg(30)->Arg(50);
 BENCHMARK_CAPTURE(BM_Heuristic, lp_prune, "lp_prune")->Arg(30)->Arg(50);
 BENCHMARK_CAPTURE(BM_Heuristic, lp_grow_tree, "lp_grow_tree")->Arg(30)->Arg(50);
 BENCHMARK_CAPTURE(BM_Heuristic, multiport_grow, "multiport_grow_tree")->Arg(30)->Arg(50);
+
+void BM_TreeOptimizer(benchmark::State& state) {
+  // Local search on the weakest heuristic's tree: the densest source of
+  // accepted moves, so this tracks the incremental-bottleneck rewrite
+  // (delta-maintained loads + top-period table instead of O(n) rescans
+  // per candidate move).
+  const auto platform = make_platform(static_cast<std::size_t>(state.range(0)), 0.12);
+  const auto tree = bt::find_heuristic("prune_simple").build(platform, nullptr);
+  std::size_t moves = 0;
+  for (auto _ : state) {
+    const auto r = bt::optimize_tree_one_port(platform, tree);
+    moves = r.moves;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["moves"] = static_cast<double>(moves);
+}
+BENCHMARK(BM_TreeOptimizer)->Arg(30)->Arg(50)->Arg(65)->Arg(100);
 
 void BM_PipelineSimulator(benchmark::State& state) {
   const auto platform = make_platform(30, 0.12);

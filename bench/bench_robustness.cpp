@@ -2,21 +2,16 @@
 //
 // The paper's conclusion claims a single broadcast tree "may well be more
 // robust to small changes in link performances" than the optimal multi-tree
-// schedule.  Protocol: perturb every link estimate by up to a factor
-// (1 + eps); plan on the perturbed platform (trees via the heuristics, the
-// MTP schedule via column generation); execute on the true platform; report
-// achieved / true-optimal throughput.
+// schedule.  Protocol (run_robustness_sweep): perturb every link estimate by
+// up to a factor (1 + eps); plan on the perturbed platform (trees via the
+// heuristics, the MTP schedule via column generation); execute on the true
+// platform; report achieved / true-optimal throughput.
 
 #include <iostream>
 #include <map>
 
-#include "core/registry.hpp"
-#include "core/throughput.hpp"
 #include "experiments/robustness.hpp"
 #include "experiments/sweeps.hpp"
-#include "platform/random_generator.hpp"
-#include "ssb/ssb_column_generation.hpp"
-#include "util/rng.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -24,49 +19,33 @@
 int main() {
   using namespace bt;
   Timer timer;
-  const std::size_t replicates = replicates_from_env(5);
+
+  RobustnessSweepConfig config;
+  config.replicates = replicates_from_env(5);
 
   std::cout << "E9 -- robustness to link-estimate noise\n"
             << "plan on a platform whose rates are off by up to (1+eps), execute on\n"
-            << "the true one; " << replicates
+            << "the true one; " << config.replicates
             << " random platform(s) of 30 nodes, density 0.12\n\n";
 
-  std::vector<std::string> planners{"prune_degree", "grow_tree", "lp_prune"};
+  const std::vector<RobustnessRecord> records = run_robustness_sweep(config);
+
+  // Group achieved ratios by (eps, planner); iteration below recovers the
+  // eps order of the config.
+  std::map<double, std::map<std::string, RunningStats>> stats;
+  for (const RobustnessRecord& r : records) stats[r.eps][r.planner].add(r.achieved_ratio);
+
   std::vector<std::string> header{"eps"};
-  for (const auto& name : planners) header.push_back(name);
+  for (const auto& name : config.planners) header.push_back(name);
   header.push_back("MTP schedule");
   TablePrinter table(std::move(header));
 
-  for (double eps : {0.0, 0.1, 0.25, 0.5, 1.0}) {
-    std::map<std::string, RunningStats> stats;
-    RunningStats mtp_stats;
-    Rng rng(0xE9 ^ static_cast<std::uint64_t>(eps * 1000));
-    for (std::size_t rep = 0; rep < replicates; ++rep) {
-      RandomPlatformConfig config;
-      config.num_nodes = 30;
-      config.density = 0.12;
-      Rng prng = rng.split();
-      const Platform truth = generate_random_platform(config, prng);
-      Rng noise = rng.split();
-      const Platform estimate = perturb_platform(truth, eps, noise);
-
-      const auto true_opt = solve_ssb(truth);
-      const auto planned_opt = solve_ssb(estimate);
-
-      for (const auto& name : planners) {
-        const HeuristicSpec& spec = find_heuristic(name);
-        const std::vector<double>* loads =
-            spec.needs_lp_loads ? &planned_opt.edge_load : nullptr;
-        const BroadcastTree tree = spec.build(estimate, loads);  // planned blind
-        const double achieved = one_port_throughput(truth, tree);
-        stats[name].add(achieved / true_opt.throughput);
-      }
-      // The multi-tree schedule planned on the estimate, executed on truth.
-      mtp_stats.add(packing_throughput_on(truth, planned_opt) / true_opt.throughput);
-    }
+  for (double eps : config.eps_values) {
     std::vector<std::string> row{TablePrinter::fmt(eps, 2)};
-    for (const auto& name : planners) row.push_back(TablePrinter::fmt(stats[name].mean(), 3));
-    row.push_back(TablePrinter::fmt(mtp_stats.mean(), 3));
+    for (const auto& name : config.planners) {
+      row.push_back(TablePrinter::fmt(stats[eps][name].mean(), 3));
+    }
+    row.push_back(TablePrinter::fmt(stats[eps][mtp_planner_name()].mean(), 3));
     table.add_row(std::move(row));
   }
   table.render(std::cout);

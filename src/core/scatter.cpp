@@ -21,6 +21,8 @@ std::vector<std::size_t> subtree_sizes(const Platform& platform, const Broadcast
 }
 
 double scatter_period(const Platform& platform, const BroadcastTree& tree) {
+  BT_REQUIRE(!tree.edges.empty(),
+             "scatter_period: degenerate tree with no arcs has no steady-state period");
   const Digraph& g = platform.graph();
   const auto size = subtree_sizes(platform, tree);
   const auto children = tree.children(platform);
@@ -36,7 +38,7 @@ double scatter_period(const Platform& platform, const BroadcastTree& tree) {
     }
     period = std::max(period, emission);
   }
-  BT_ASSERT(period > 0.0, "scatter_period: tree with no arcs");
+  BT_ASSERT(period > 0.0, "scatter_period: zero period on a non-empty tree");
   return period;
 }
 
@@ -45,6 +47,8 @@ double scatter_throughput(const Platform& platform, const BroadcastTree& tree) {
 }
 
 double gather_period(const Platform& platform, const BroadcastTree& tree) {
+  BT_REQUIRE(!tree.edges.empty(),
+             "gather_period: degenerate tree with no arcs has no steady-state period");
   const Digraph& g = platform.graph();
   const auto size = subtree_sizes(platform, tree);
   const auto children = tree.children(platform);
@@ -64,7 +68,7 @@ double gather_period(const Platform& platform, const BroadcastTree& tree) {
     }
     period = std::max(period, reception);
   }
-  BT_ASSERT(period > 0.0, "gather_period: tree with no arcs");
+  BT_ASSERT(period > 0.0, "gather_period: zero period on a non-empty tree");
   return period;
 }
 

@@ -17,6 +17,10 @@
 // time-reversed operation on the reversed tree and has the same period when
 // the reverse arcs have the same cost; we evaluate it on the reverse arcs
 // explicitly so asymmetric links are honored.
+//
+// Degenerate inputs: a tree with no arcs (single-node platform) has no
+// steady state, so the period / throughput functions throw bt::Error --
+// the same policy as throughput.hpp.
 
 #include <vector>
 

@@ -8,10 +8,12 @@
 namespace bt {
 
 double one_port_period(const Platform& platform, const BroadcastTree& tree) {
+  BT_REQUIRE(!tree.edges.empty(),
+             "one_port_period: degenerate tree with no arcs has no steady-state period");
   const auto degree = BroadcastTree::weighted_out_degrees(platform, tree);
   double period = 0.0;
   for (double d : degree) period = std::max(period, d);
-  BT_ASSERT(period > 0.0, "one_port_period: tree with no arcs");
+  BT_ASSERT(period > 0.0, "one_port_period: zero period on a non-empty tree");
   return period;
 }
 
@@ -20,6 +22,8 @@ double one_port_throughput(const Platform& platform, const BroadcastTree& tree) 
 }
 
 double multiport_period(const Platform& platform, const BroadcastTree& tree) {
+  BT_REQUIRE(!tree.edges.empty(),
+             "multiport_period: degenerate tree with no arcs has no steady-state period");
   const Digraph& g = platform.graph();
   std::vector<double> max_link(platform.num_nodes(), 0.0);
   std::vector<std::size_t> out_degree(platform.num_nodes(), 0);
@@ -36,7 +40,7 @@ double multiport_period(const Platform& platform, const BroadcastTree& tree) {
                  max_link[u]);
     period = std::max(period, node_period);
   }
-  BT_ASSERT(period > 0.0, "multiport_period: tree with no arcs");
+  BT_ASSERT(period > 0.0, "multiport_period: zero period on a non-empty tree");
   return period;
 }
 
@@ -45,12 +49,14 @@ double multiport_throughput(const Platform& platform, const BroadcastTree& tree)
 }
 
 double one_port_period(const Platform& platform, const BroadcastOverlay& overlay) {
+  BT_REQUIRE(!overlay.arcs.empty(),
+             "one_port_period: degenerate overlay with no arcs has no steady-state period");
   const auto loads = overlay.port_loads(platform);
   double period = 0.0;
   for (NodeId u = 0; u < platform.num_nodes(); ++u) {
     period = std::max({period, loads.out_time[u], loads.in_time[u]});
   }
-  BT_ASSERT(period > 0.0, "one_port_period: overlay with no arcs");
+  BT_ASSERT(period > 0.0, "one_port_period: zero period on a non-empty overlay");
   return period;
 }
 
@@ -59,6 +65,8 @@ double one_port_throughput(const Platform& platform, const BroadcastOverlay& ove
 }
 
 double multiport_period(const Platform& platform, const BroadcastOverlay& overlay) {
+  BT_REQUIRE(!overlay.arcs.empty(),
+             "multiport_period: degenerate overlay with no arcs has no steady-state period");
   const Digraph& g = platform.graph();
   std::vector<double> max_link(platform.num_nodes(), 0.0);
   std::vector<std::size_t> multiplicity(platform.num_nodes(), 0);
@@ -75,7 +83,7 @@ double multiport_period(const Platform& platform, const BroadcastOverlay& overla
                                    platform.send_overhead(u),
                                max_link[u]));
   }
-  BT_ASSERT(period > 0.0, "multiport_period: overlay with no arcs");
+  BT_ASSERT(period > 0.0, "multiport_period: zero period on a non-empty overlay");
   return period;
 }
 

@@ -18,6 +18,11 @@
 // STA (single tree, atomic): the whole message is sent at once; makespan is
 // the time the last node finishes receiving, with each node forwarding to
 // its children sequentially after its own reception completes.
+//
+// Degenerate inputs: a tree (or overlay) with no arcs -- the single-node
+// broadcast -- has no steady state to measure, so every period / throughput
+// function below throws bt::Error instead of dividing by a zero period.
+// This mirrors the SSB solvers, which require at least two nodes.
 
 #include <vector>
 
@@ -27,6 +32,7 @@
 namespace bt {
 
 /// Steady-state period of `tree` under the bidirectional one-port model.
+/// Throws bt::Error on a degenerate tree with no arcs.
 double one_port_period(const Platform& platform, const BroadcastTree& tree);
 
 /// Steady-state throughput (slices per second) under one-port; 1 / period.
@@ -67,10 +73,13 @@ double sta_makespan(const Platform& platform, const BroadcastTree& tree,
 
 /// Upper bound on the time to pipeline `num_slices` slices along the tree
 /// (one-port): pipeline fill (the first slice's makespan in tree order) +
-/// (num_slices - 1) periods.  It is tight whenever the slowest-filling branch
-/// contains the bottleneck node (true for chains, stars, and most balanced
-/// trees); otherwise the true completion -- measured by the discrete-event
-/// simulator -- can be up to one fill-time smaller.
+/// (num_slices - 1) periods.  It is exact whenever the slowest-filling branch
+/// contains the bottleneck node (chains, stars, most balanced trees);
+/// otherwise it over-estimates the simulated completion by the fill
+/// difference between the fill-critical branch and the bottleneck branch,
+/// which is strictly less than one fill time.  Both the exactness cases and
+/// the worst-case gap are pinned against sim/pipeline_simulator in
+/// tests/test_pipeline_bound.cpp.  Throws bt::Error on a no-arc tree.
 double pipelined_completion_time(const Platform& platform, const BroadcastTree& tree,
                                  std::size_t num_slices);
 

@@ -1,6 +1,7 @@
 #include "core/tree_optimizer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <vector>
 
@@ -27,17 +28,43 @@ double node_period(const Platform& platform, NodeId u, const NodeLoad& load,
                   load.max_link);
 }
 
-/// Nodes inside the subtree rooted at v (including v) for the given parent
-/// array.
-std::vector<char> subtree_mask(const Platform& platform,
-                               const std::vector<EdgeId>& parent, NodeId v) {
-  const Digraph& g = platform.graph();
-  std::vector<char> mask(g.num_nodes(), 0);
-  // children lists from the parent array.
-  std::vector<std::vector<NodeId>> children(g.num_nodes());
-  for (NodeId w = 0; w < g.num_nodes(); ++w) {
-    if (parent[w] != Digraph::npos) children[g.from(parent[w])].push_back(w);
+/// The three largest node periods with their owners.  Excluding at most two
+/// nodes (the detach and re-attach endpoints of a candidate move) always
+/// leaves the true maximum of the remaining graph among the top three, so a
+/// candidate's full-tree period is O(1) instead of an O(n) rescan.
+struct TopPeriods {
+  std::array<double, 3> value{{0.0, 0.0, 0.0}};
+  std::array<NodeId, 3> node{{Digraph::npos, Digraph::npos, Digraph::npos}};
+
+  void offer(double period, NodeId u) {
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (node[i] == Digraph::npos || period > value[i]) {
+        for (std::size_t j = value.size() - 1; j > i; --j) {
+          value[j] = value[j - 1];
+          node[j] = node[j - 1];
+        }
+        value[i] = period;
+        node[i] = u;
+        return;
+      }
+    }
   }
+
+  /// Largest period over all nodes other than `a` and `b` (0 when none).
+  double max_excluding(NodeId a, NodeId b) const {
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (node[i] == Digraph::npos) break;
+      if (node[i] != a && node[i] != b) return value[i];
+    }
+    return 0.0;
+  }
+};
+
+/// Nodes inside the subtree rooted at v (including v), walking the
+/// pre-built children lists.
+std::vector<char> subtree_mask(const std::vector<std::vector<NodeId>>& children,
+                               NodeId v) {
+  std::vector<char> mask(children.size(), 0);
   std::vector<NodeId> stack{v};
   mask[v] = 1;
   while (!stack.empty()) {
@@ -61,20 +88,18 @@ TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
 
   auto parent = tree.parent_edges(platform);
 
-  // Node loads from the parent array.
+  // Node loads from the parent array, built once and delta-maintained on
+  // every accepted move (only the old and new parent of the moved subtree
+  // root change).
   std::vector<NodeLoad> load(n);
-  auto rebuild_loads = [&]() {
-    std::fill(load.begin(), load.end(), NodeLoad{});
-    for (NodeId v = 0; v < n; ++v) {
-      const EdgeId e = parent[v];
-      if (e == Digraph::npos) continue;
-      NodeLoad& l = load[g.from(e)];
-      l.sum += platform.edge_time(e);
-      ++l.count;
-      l.max_link = std::max(l.max_link, platform.edge_time(e));
-    }
-  };
-  rebuild_loads();
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeId e = parent[v];
+    if (e == Digraph::npos) continue;
+    NodeLoad& l = load[g.from(e)];
+    l.sum += platform.edge_time(e);
+    ++l.count;
+    l.max_link = std::max(l.max_link, platform.edge_time(e));
+  }
 
   auto current_period = [&]() {
     double period = 0.0;
@@ -87,8 +112,20 @@ TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
   TreeOptimizeResult result;
   result.initial_period = current_period();
 
+  // Children lists, rebuilt once per move iteration (every candidate's
+  // subtree mask and max_link recomputation walks them).
+  std::vector<std::vector<NodeId>> children(n);
+
   for (std::size_t move = 0; move < max_moves; ++move) {
-    const double period = current_period();
+    for (auto& list : children) list.clear();
+    TopPeriods top;
+    double period = 0.0;
+    for (NodeId w = 0; w < n; ++w) {
+      if (parent[w] != Digraph::npos) children[g.from(parent[w])].push_back(w);
+      const double pw = node_period(platform, w, load[w], multiport);
+      top.offer(pw, w);
+      period = std::max(period, pw);
+    }
     const double eps = 1e-12 * std::max(1.0, period);
 
     // Candidate moves: detach a child v of a bottleneck node b and re-attach
@@ -100,9 +137,8 @@ TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
     for (NodeId b = 0; b < n; ++b) {
       if (node_period(platform, b, load[b], multiport) < period - eps) continue;
       // b is a bottleneck; try each of its children.
-      for (NodeId v = 0; v < n; ++v) {
-        if (parent[v] == Digraph::npos || g.from(parent[v]) != b) continue;
-        const auto in_subtree = subtree_mask(platform, parent, v);
+      for (NodeId v : children[b]) {
+        const auto in_subtree = subtree_mask(children, v);
         // Simulate the detachment of v from b.
         NodeLoad b_load = load[b];
         b_load.sum -= platform.edge_time(parent[v]);
@@ -110,12 +146,13 @@ TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
         if (b_load.count > 0) {
           // max_link may shrink; recompute from b's remaining children.
           b_load.max_link = 0.0;
-          for (NodeId w = 0; w < n; ++w) {
-            if (w != v && parent[w] != Digraph::npos && g.from(parent[w]) == b) {
+          for (NodeId w : children[b]) {
+            if (w != v) {
               b_load.max_link = std::max(b_load.max_link, platform.edge_time(parent[w]));
             }
           }
         }
+        const double b_period = node_period(platform, b, b_load, multiport);
         for (EdgeId f : g.in_edges(v)) {
           const NodeId u = g.from(f);
           if (u == b || in_subtree[u]) continue;  // would disconnect / cycle
@@ -123,14 +160,11 @@ TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
           u_load.sum += platform.edge_time(f);
           ++u_load.count;
           u_load.max_link = std::max(u_load.max_link, platform.edge_time(f));
-          // New period: max over u, b and everything else.
-          double candidate = std::max(node_period(platform, b, b_load, multiport),
-                                      node_period(platform, u, u_load, multiport));
-          for (NodeId w = 0; w < n && candidate < best_period; ++w) {
-            if (w == b || w == u) continue;
-            candidate = std::max(candidate,
-                                 node_period(platform, w, load[w], multiport));
-          }
+          // New period: max over u, b and everything else (the latter from
+          // the top-period table -- no full-graph rescan per candidate).
+          const double candidate =
+              std::max({b_period, node_period(platform, u, u_load, multiport),
+                        top.max_excluding(b, u)});
           if (candidate < best_period) {
             best_period = candidate;
             best_new_arc = f;
@@ -141,8 +175,24 @@ TreeOptimizeResult optimize(const Platform& platform, BroadcastTree tree,
     }
 
     if (best_new_arc == Digraph::npos) break;  // local optimum
+
+    // Apply the move with delta load updates on the two affected parents.
+    const EdgeId old_arc = parent[best_child];
+    const NodeId old_parent = g.from(old_arc);
+    NodeLoad& from_load = load[old_parent];
+    from_load.sum -= platform.edge_time(old_arc);
+    --from_load.count;
+    from_load.max_link = 0.0;
+    for (NodeId w : children[old_parent]) {
+      if (w != best_child) {
+        from_load.max_link = std::max(from_load.max_link, platform.edge_time(parent[w]));
+      }
+    }
+    NodeLoad& to_load = load[g.from(best_new_arc)];
+    to_load.sum += platform.edge_time(best_new_arc);
+    ++to_load.count;
+    to_load.max_link = std::max(to_load.max_link, platform.edge_time(best_new_arc));
     parent[best_child] = best_new_arc;
-    rebuild_loads();
     ++result.moves;
   }
 

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bt {
 
@@ -14,12 +15,30 @@ RatioSeries aggregate_ratios(const std::vector<SweepRecord>& records, GroupBy gr
                            : r.density;
     buckets[r.heuristic][key].push_back(r.ratio);
   }
+  // Summarize the buckets, in parallel once there is enough data to amortize
+  // the dispatch: each task owns one pre-inserted Summary slot (std::map
+  // nodes are stable), so the series is identical for any thread count.
+  // Below the threshold the serial loop is faster and never touches the
+  // shared pool.
   RatioSeries series;
+  if (records.size() < 65536) {
+    for (const auto& [heuristic, by_key] : buckets) {
+      for (const auto& [key, values] : by_key) {
+        series[heuristic][key] = summarize(values);
+      }
+    }
+    return series;
+  }
+  std::vector<const std::vector<double>*> values;
+  std::vector<Summary*> slots;
   for (const auto& [heuristic, by_key] : buckets) {
-    for (const auto& [key, values] : by_key) {
-      series[heuristic][key] = summarize(values);
+    for (const auto& [key, bucket] : by_key) {
+      values.push_back(&bucket);
+      slots.push_back(&series[heuristic][key]);
     }
   }
+  parallel_for(global_thread_pool(), slots.size(),
+               [&](std::size_t i) { *slots[i] = summarize(*values[i]); });
   return series;
 }
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "core/registry.hpp"
+#include "core/throughput.hpp"
+#include "platform/random_generator.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bt {
 
@@ -53,6 +57,67 @@ double packing_throughput_on(const Platform& truth, const SsbPackingSolution& pl
   // scaled down by the overload factor.
   const double scale = worst_occupation > 1.0 ? 1.0 / worst_occupation : 1.0;
   return planned_rate * scale;
+}
+
+std::vector<RobustnessRecord> run_robustness_sweep(const RobustnessSweepConfig& config) {
+  // Pre-split the per-replicate generators in deterministic (eps, replicate)
+  // order on the calling thread; afterwards every task owns two independent
+  // streams (platform draw, noise draw) and can run on any worker.
+  struct Task {
+    double eps = 0.0;
+    std::size_t rep = 0;
+    Rng platform_rng{0};
+    Rng noise_rng{0};
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(config.eps_values.size() * config.replicates);
+  for (double eps : config.eps_values) {
+    Rng rng(config.base_seed ^ static_cast<std::uint64_t>(eps * 1000));
+    for (std::size_t rep = 0; rep < config.replicates; ++rep) {
+      Task task;
+      task.eps = eps;
+      task.rep = rep;
+      task.platform_rng = rng.split();
+      task.noise_rng = rng.split();
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  std::vector<std::vector<RobustnessRecord>> per_task(tasks.size());
+  ThreadPool pool(config.num_threads);
+  parallel_for(pool, tasks.size(), [&](std::size_t i) {
+    Task& task = tasks[i];
+    RandomPlatformConfig pc;
+    pc.num_nodes = config.num_nodes;
+    pc.density = config.density;
+    pc.multiport_ratio = config.multiport_ratio;
+    const Platform truth = generate_random_platform(pc, task.platform_rng);
+    const Platform estimate =
+        perturb_platform(truth, task.eps, task.noise_rng, config.multiport_ratio);
+
+    const SsbPackingSolution true_opt = solve_ssb(truth);
+    const SsbPackingSolution planned_opt = solve_ssb(estimate);
+
+    auto emit = [&](const std::string& planner, double achieved) {
+      RobustnessRecord record;
+      record.eps = task.eps;
+      record.replicate = task.rep;
+      record.planner = planner;
+      record.achieved_ratio = achieved / true_opt.throughput;
+      per_task[i].push_back(std::move(record));
+    };
+    for (const std::string& name : config.planners) {
+      const HeuristicSpec& spec = find_heuristic(name);
+      const std::vector<double>* loads =
+          spec.needs_lp_loads ? &planned_opt.edge_load : nullptr;
+      const BroadcastTree tree = spec.build(estimate, loads);  // planned blind
+      emit(name, one_port_throughput(truth, tree));
+    }
+    // The multi-tree schedule planned on the estimate, executed on truth.
+    emit(mtp_planner_name(), packing_throughput_on(truth, planned_opt));
+  });
+
+  return concatenate_in_order(std::move(per_task));
 }
 
 }  // namespace bt

@@ -10,6 +10,8 @@
 // copy of the platform and *executed* on the true one.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "platform/platform.hpp"
 #include "ssb/ssb_column_generation.hpp"
@@ -30,5 +32,35 @@ Platform perturb_platform(const Platform& platform, double eps, Rng& rng,
 /// constraint of the true platform is met, i.e.
 /// TP = sum(rates) / max_u max(out-occupation, in-occupation).
 double packing_throughput_on(const Platform& truth, const SsbPackingSolution& plan);
+
+/// Planner label used for the optimal multi-tree schedule in the records.
+inline const char* mtp_planner_name() { return "mtp_schedule"; }
+
+/// One (noise level, replicate, planner) measurement of the E9 protocol.
+struct RobustnessRecord {
+  double eps = 0.0;           ///< link-estimate noise bound (factor 1 + eps)
+  std::size_t replicate = 0;  ///< platform index within the eps level
+  std::string planner;        ///< heuristic code name or mtp_planner_name()
+  double achieved_ratio = 0.0;  ///< throughput on truth / true optimum
+};
+
+/// Full E9 protocol: for every eps and replicate, draw a random platform
+/// ("truth"), perturb it into the estimate the planner sees, plan trees and
+/// the MTP schedule on the estimate, execute on truth.
+struct RobustnessSweepConfig {
+  std::vector<double> eps_values = {0.0, 0.1, 0.25, 0.5, 1.0};
+  std::size_t replicates = 5;
+  std::size_t num_nodes = 30;
+  double density = 0.12;
+  double multiport_ratio = 0.8;
+  std::vector<std::string> planners = {"prune_degree", "grow_tree", "lp_prune"};
+  std::uint64_t base_seed = 0xE9;
+  /// Worker threads; 0 = BT_THREADS / hardware concurrency.  Per-replicate
+  /// generators are pre-split with Rng::split before dispatch, so the
+  /// records are bitwise-identical for every thread count.
+  std::size_t num_threads = 0;
+};
+
+std::vector<RobustnessRecord> run_robustness_sweep(const RobustnessSweepConfig& config);
 
 }  // namespace bt

@@ -6,6 +6,7 @@
 #include "experiments/evaluation.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bt {
 
@@ -34,28 +35,44 @@ std::vector<SweepRecord> run_random_sweep(const RandomSweepConfig& config) {
           ? config.heuristics
           : (config.multiport_eval ? multiport_heuristics() : one_port_heuristics());
 
-  std::vector<SweepRecord> records;
+  // Enumerate all (size, density, replicate) cells up front; every cell's
+  // seed depends only on its coordinates, so the cells are embarrassingly
+  // parallel and scheduling order cannot change any record.
+  struct Cell {
+    std::size_t size = 0;
+    double density = 0.0;
+    std::size_t rep = 0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config.sizes.size() * config.densities.size() * config.replicates);
   for (std::size_t size : config.sizes) {
     for (double density : config.densities) {
       for (std::size_t rep = 0; rep < config.replicates; ++rep) {
-        // One independent stream per cell replicate: reproducible regardless
-        // of sweep order or subsetting.
-        const std::uint64_t seed = config.base_seed ^ (size * 0x9e3779b9ULL) ^
-                                   static_cast<std::uint64_t>(density * 1e6) ^
-                                   (rep * 0x85ebca6bULL);
-        Rng rng(seed);
-        RandomPlatformConfig pc;
-        pc.num_nodes = size;
-        pc.density = density;
-        pc.multiport_ratio = config.multiport_ratio;
-        const Platform platform = generate_random_platform(pc, rng);
-        const PlatformEvaluation eval =
-            evaluate_platform(platform, heuristics, config.multiport_eval);
-        append_records(records, eval, size, density, rep);
+        cells.push_back({size, density, rep});
       }
     }
   }
-  return records;
+
+  std::vector<std::vector<SweepRecord>> per_cell(cells.size());
+  ThreadPool pool(config.num_threads);
+  parallel_for(pool, cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    // One independent stream per cell replicate: reproducible regardless
+    // of sweep order or subsetting.
+    const std::uint64_t seed = config.base_seed ^ (cell.size * 0x9e3779b9ULL) ^
+                               static_cast<std::uint64_t>(cell.density * 1e6) ^
+                               (cell.rep * 0x85ebca6bULL);
+    Rng rng(seed);
+    RandomPlatformConfig pc;
+    pc.num_nodes = cell.size;
+    pc.density = cell.density;
+    pc.multiport_ratio = config.multiport_ratio;
+    const Platform platform = generate_random_platform(pc, rng);
+    const PlatformEvaluation eval =
+        evaluate_platform(platform, heuristics, config.multiport_eval);
+    append_records(per_cell[i], eval, cell.size, cell.density, cell.rep);
+  });
+  return concatenate_in_order(std::move(per_cell));
 }
 
 std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config) {
@@ -64,19 +81,32 @@ std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config) {
           ? config.heuristics
           : (config.multiport_eval ? multiport_heuristics() : one_port_heuristics());
 
-  std::vector<SweepRecord> records;
+  struct Cell {
+    const TiersConfig* family = nullptr;
+    std::size_t rep = 0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config.families.size() * config.replicates);
   for (const TiersConfig& family : config.families) {
     for (std::size_t rep = 0; rep < config.replicates; ++rep) {
-      const std::uint64_t seed = config.base_seed ^ (family.num_nodes * 0xc2b2ae35ULL) ^
-                                 (rep * 0x27d4eb2fULL);
-      Rng rng(seed);
-      const Platform platform = generate_tiers_platform(family, rng);
-      const PlatformEvaluation eval =
-          evaluate_platform(platform, heuristics, config.multiport_eval);
-      append_records(records, eval, family.num_nodes, platform.graph().density(), rep);
+      cells.push_back({&family, rep});
     }
   }
-  return records;
+
+  std::vector<std::vector<SweepRecord>> per_cell(cells.size());
+  ThreadPool pool(config.num_threads);
+  parallel_for(pool, cells.size(), [&](std::size_t i) {
+    const TiersConfig& family = *cells[i].family;
+    const std::size_t rep = cells[i].rep;
+    const std::uint64_t seed = config.base_seed ^ (family.num_nodes * 0xc2b2ae35ULL) ^
+                               (rep * 0x27d4eb2fULL);
+    Rng rng(seed);
+    const Platform platform = generate_tiers_platform(family, rng);
+    const PlatformEvaluation eval =
+        evaluate_platform(platform, heuristics, config.multiport_eval);
+    append_records(per_cell[i], eval, family.num_nodes, platform.graph().density(), rep);
+  });
+  return concatenate_in_order(std::move(per_cell));
 }
 
 std::size_t replicates_from_env(std::size_t default_value) {

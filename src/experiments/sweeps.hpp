@@ -37,6 +37,9 @@ struct RandomSweepConfig {
   /// Heuristic line-up; empty = one_port_heuristics() (or multiport line-up
   /// when multiport_eval is set).
   std::vector<HeuristicSpec> heuristics;
+  /// Worker threads; 0 = BT_THREADS / hardware concurrency.  The records are
+  /// bitwise-identical for every thread count (per-cell seeding).
+  std::size_t num_threads = 0;
 };
 
 std::vector<SweepRecord> run_random_sweep(const RandomSweepConfig& config);
@@ -49,6 +52,9 @@ struct TiersSweepConfig {
   std::uint64_t base_seed = 1337;
   bool multiport_eval = false;
   std::vector<HeuristicSpec> heuristics;
+  /// Worker threads; 0 = BT_THREADS / hardware concurrency (deterministic
+  /// for every value).
+  std::size_t num_threads = 0;
 };
 
 std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config);

@@ -1,0 +1,122 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_thread_count();
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BT_REQUIRE(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const char* env = std::getenv("BT_THREADS");
+  if (env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    BT_REQUIRE(parsed > 0, "BT_THREADS must be a positive integer");
+    return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || pool.num_threads() == 1) {
+    // Run inline: identical results by construction, no queueing overhead.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Batch-local completion state: concurrent parallel_for calls on a shared
+  // pool must not wait on (or steal exceptions from) each other's tasks.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  } batch;
+  batch.remaining = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&body, &batch, i] {
+      std::exception_ptr error;
+      try {
+        body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      if (error && !batch.first_error) batch.first_error = error;
+      if (--batch.remaining == 0) batch.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace bt

@@ -1,0 +1,92 @@
+#pragma once
+
+// Fixed-size worker pool for the experiment layer.
+//
+// Sweeps evaluate hundreds of independent (platform, heuristic) cells; each
+// cell derives everything it needs from its own RNG seed, so cells can run
+// on any thread in any order and still produce bitwise-identical records.
+// The contract parallel_for relies on: the caller pre-computes all per-task
+// seeds (Rng::split in task order, or a per-cell seed formula) *before*
+// dispatch, tasks write only to their own slot of a pre-sized output vector,
+// and results are concatenated in task order afterwards.
+//
+// BT_THREADS caps the pool size (default: hardware concurrency), mirroring
+// how BT_REPLICATES scales the experiment workloads.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bt {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers; 0 means default_thread_count().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; runs on some worker as soon as one is free.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.  Rethrows the first
+  /// exception any task raised since the last wait().
+  void wait();
+
+  /// BT_THREADS when set (must be positive), else hardware concurrency,
+  /// else 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Run body(i) for every i in [0, count) across the pool and block until all
+/// complete.  Task i must touch only state owned by index i (see the header
+/// comment); the first exception a body raises is rethrown on the calling
+/// thread.  Completion tracking is scoped to this call, so independent
+/// parallel_for batches may share one pool concurrently (e.g. the global
+/// pool) without observing each other's progress or errors.  Do not call it
+/// from inside a pool task of the same pool -- with every worker blocked in
+/// a nested wait the pool deadlocks.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Flatten per-task result buckets in task order -- the second half of the
+/// parallel_for contract (pre-sized slots in, deterministic concatenation
+/// out).
+template <typename Record>
+std::vector<Record> concatenate_in_order(std::vector<std::vector<Record>> per_task) {
+  std::vector<Record> flat;
+  std::size_t total = 0;
+  for (const auto& part : per_task) total += part.size();
+  flat.reserve(total);
+  for (auto& part : per_task) {
+    for (Record& r : part) flat.push_back(std::move(r));
+  }
+  return flat;
+}
+
+/// Shared process-wide pool sized by default_thread_count(); lazily built.
+ThreadPool& global_thread_pool();
+
+}  // namespace bt

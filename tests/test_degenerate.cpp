@@ -1,0 +1,136 @@
+// Degenerate-platform coverage: single node, source without out-arcs, and
+// disconnected graphs, exercised across every registered heuristic and both
+// throughput models.  Pins the library-wide policy: infeasible platforms are
+// rejected at Platform construction; the single-node platform is valid, all
+// heuristics return the trivial empty tree on it, and every steady-state
+// period / throughput evaluation of a no-arc tree throws bt::Error (there is
+// no steady state to measure).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/scatter.hpp"
+#include "core/throughput.hpp"
+#include "core/tree_optimizer.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+#include "ssb/ssb_direct.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+namespace {
+
+Platform single_node_platform() {
+  return Platform(Digraph(1), {}, /*slice_size=*/1.0, /*source=*/0);
+}
+
+TEST(Degenerate, SingleNodePlatformIsConstructible) {
+  const Platform p = single_node_platform();
+  EXPECT_EQ(p.num_nodes(), 1u);
+  EXPECT_EQ(p.num_edges(), 0u);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Degenerate, SourceWithoutOutArcsIsRejected) {
+  // n = 2 with only the arc 1 -> 0: node 1 is unreachable from the source.
+  Digraph g(2);
+  g.add_edge(1, 0);
+  EXPECT_THROW(Platform(std::move(g), {{0.0, 1.0}}, 1.0, 0), Error);
+}
+
+TEST(Degenerate, DisconnectedGraphIsRejected) {
+  // n = 3 with a single arc 0 -> 1: node 2 is isolated.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(Platform(std::move(g), {{0.0, 1.0}}, 1.0, 0), Error);
+}
+
+TEST(Degenerate, EveryHeuristicReturnsTrivialTreeOnSingleNode) {
+  const Platform p = single_node_platform();
+  const std::vector<double> no_loads;  // zero arcs -> empty load vector
+  for (const HeuristicSpec& spec : heuristic_catalog()) {
+    const std::vector<double>* loads = spec.needs_lp_loads ? &no_loads : nullptr;
+    const BroadcastTree tree = spec.build(p, loads);
+    EXPECT_EQ(tree.root, 0u) << spec.name;
+    EXPECT_TRUE(tree.edges.empty()) << spec.name;
+    EXPECT_NO_THROW(tree.validate(p)) << spec.name;
+    const BroadcastOverlay overlay = spec.build_overlay(p, loads);
+    EXPECT_TRUE(overlay.arcs.empty()) << spec.name;
+  }
+}
+
+TEST(Degenerate, BothThroughputModelsThrowOnNoArcTree) {
+  const Platform p = single_node_platform();
+  BroadcastTree tree;
+  tree.root = 0;
+  EXPECT_THROW(one_port_period(p, tree), Error);
+  EXPECT_THROW(one_port_throughput(p, tree), Error);
+  EXPECT_THROW(multiport_period(p, tree), Error);
+  EXPECT_THROW(multiport_throughput(p, tree), Error);
+}
+
+TEST(Degenerate, BothThroughputModelsThrowOnNoArcOverlay) {
+  const Platform p = single_node_platform();
+  BroadcastOverlay overlay;
+  overlay.root = 0;
+  EXPECT_THROW(one_port_period(p, overlay), Error);
+  EXPECT_THROW(one_port_throughput(p, overlay), Error);
+  EXPECT_THROW(multiport_period(p, overlay), Error);
+  EXPECT_THROW(multiport_throughput(p, overlay), Error);
+}
+
+TEST(Degenerate, ScatterAndGatherThrowOnNoArcTree) {
+  const Platform p = single_node_platform();
+  BroadcastTree tree;
+  tree.root = 0;
+  EXPECT_THROW(scatter_period(p, tree), Error);
+  EXPECT_THROW(scatter_throughput(p, tree), Error);
+  EXPECT_THROW(gather_period(p, tree), Error);
+  EXPECT_THROW(gather_throughput(p, tree), Error);
+}
+
+TEST(Degenerate, PipelinedCompletionThrowsOnNoArcTree) {
+  const Platform p = single_node_platform();
+  BroadcastTree tree;
+  tree.root = 0;
+  EXPECT_THROW(pipelined_completion_time(p, tree, 5), Error);
+}
+
+TEST(Degenerate, SsbSolversRequireTwoNodes) {
+  const Platform p = single_node_platform();
+  EXPECT_THROW(solve_ssb(p), Error);
+  EXPECT_THROW(solve_ssb_cutting_plane(p), Error);
+  EXPECT_THROW(solve_ssb_direct(p), Error);
+}
+
+TEST(Degenerate, OptimizerKeepsTrivialTree) {
+  const Platform p = single_node_platform();
+  BroadcastTree tree;
+  tree.root = 0;
+  const auto one = optimize_tree_one_port(p, tree);
+  EXPECT_EQ(one.moves, 0u);
+  EXPECT_TRUE(one.tree.edges.empty());
+  const auto multi = optimize_tree_multiport(p, tree);
+  EXPECT_EQ(multi.moves, 0u);
+  EXPECT_TRUE(multi.tree.edges.empty());
+}
+
+TEST(Degenerate, TwoNodePlatformStillMeasurable) {
+  // The smallest non-degenerate platform: both models agree with the single
+  // arc's figures.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  Platform p(std::move(g), {{0.0, 0.5}}, 1.0, 0);
+  BroadcastTree tree;
+  tree.root = 0;
+  tree.edges = {0};
+  EXPECT_NEAR(one_port_period(p, tree), 0.5, 1e-12);
+  EXPECT_NEAR(one_port_throughput(p, tree), 2.0, 1e-12);
+  EXPECT_NEAR(multiport_period(p, tree), 0.5, 1e-12);  // zero send overhead
+  EXPECT_NEAR(scatter_period(p, tree), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace bt

@@ -8,12 +8,26 @@
 
 #include "experiments/aggregate.hpp"
 #include "experiments/evaluation.hpp"
+#include "experiments/robustness.hpp"
 #include "experiments/sweeps.hpp"
 #include "platform/random_generator.hpp"
 #include "util/rng.hpp"
 
 namespace bt {
 namespace {
+
+bool same_records(const std::vector<SweepRecord>& a, const std::vector<SweepRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].num_nodes != b[i].num_nodes || a[i].density != b[i].density ||
+        a[i].replicate != b[i].replicate || a[i].heuristic != b[i].heuristic ||
+        a[i].throughput != b[i].throughput || a[i].optimal != b[i].optimal ||
+        a[i].ratio != b[i].ratio) {
+      return false;
+    }
+  }
+  return true;
+}
 
 TEST(Evaluation, PreservesHeuristicOrder) {
   Rng rng(31);
@@ -113,6 +127,70 @@ TEST(RandomSweep, CustomHeuristicLineUp) {
   const auto records = run_random_sweep(config);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records.front().heuristic, "binomial");
+}
+
+// ----------------------------------------------------- parallel determinism --
+
+TEST(RandomSweep, BitwiseIdenticalAcrossThreadCounts) {
+  RandomSweepConfig config;
+  config.sizes = {8, 10};
+  config.densities = {0.2, 0.3};
+  config.replicates = 2;
+  config.num_threads = 1;
+  const auto serial = run_random_sweep(config);
+  config.num_threads = 4;
+  const auto parallel = run_random_sweep(config);
+  EXPECT_TRUE(same_records(serial, parallel));
+}
+
+TEST(TiersSweep, BitwiseIdenticalAcrossThreadCounts) {
+  TiersSweepConfig config;
+  config.families = {tiers_config_30()};
+  config.replicates = 3;
+  config.num_threads = 1;
+  const auto serial = run_tiers_sweep(config);
+  config.num_threads = 4;
+  const auto parallel = run_tiers_sweep(config);
+  EXPECT_TRUE(same_records(serial, parallel));
+}
+
+TEST(RobustnessSweep, BitwiseIdenticalAcrossThreadCounts) {
+  RobustnessSweepConfig config;
+  config.eps_values = {0.0, 0.25};
+  config.replicates = 2;
+  config.num_nodes = 12;
+  config.density = 0.2;
+  config.num_threads = 1;
+  const auto serial = run_robustness_sweep(config);
+  config.num_threads = 4;
+  const auto parallel = run_robustness_sweep(config);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].eps, parallel[i].eps);
+    EXPECT_EQ(serial[i].replicate, parallel[i].replicate);
+    EXPECT_EQ(serial[i].planner, parallel[i].planner);
+    EXPECT_EQ(serial[i].achieved_ratio, parallel[i].achieved_ratio);
+  }
+}
+
+TEST(RobustnessSweep, NoNoiseMeansOptimalMtpSchedule) {
+  RobustnessSweepConfig config;
+  config.eps_values = {0.0};
+  config.replicates = 2;
+  config.num_nodes = 12;
+  config.density = 0.2;
+  const auto records = run_robustness_sweep(config);
+  ASSERT_EQ(records.size(), config.replicates * (config.planners.size() + 1));
+  for (const RobustnessRecord& r : records) {
+    EXPECT_EQ(r.eps, 0.0);
+    EXPECT_GT(r.achieved_ratio, 0.0);
+    // Trees cannot beat the MTP optimum; planning without noise keeps the
+    // MTP schedule itself exactly optimal.
+    EXPECT_LE(r.achieved_ratio, 1.0 + 1e-7) << r.planner;
+    if (r.planner == mtp_planner_name()) {
+      EXPECT_NEAR(r.achieved_ratio, 1.0, 1e-7);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Regression tests pinning pipelined_completion_time against the
+// discrete-event simulator (satellite of the throughput edge-case fixes).
+//
+// The closed form fill + (num_slices - 1) * period is an *upper* bound on
+// the simulated completion time; its over-estimate is strictly less than
+// one pipeline-fill time and vanishes whenever the slowest-filling branch
+// contains the bottleneck node.  These tests pin both the exactness cases
+// (chain, star) and the documented worst-case gap on an unbalanced tree
+// whose fill-critical branch is not the bottleneck branch.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/throughput.hpp"
+#include "sim/pipeline_simulator.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+namespace {
+
+Platform make_platform(std::size_t n,
+                       const std::vector<std::tuple<NodeId, NodeId, double>>& arcs) {
+  Digraph g(n);
+  std::vector<LinkCost> costs;
+  for (const auto& [a, b, t] : arcs) {
+    g.add_edge(a, b);
+    costs.push_back({0.0, t});
+  }
+  return Platform(std::move(g), std::move(costs), 1.0, 0);
+}
+
+BroadcastTree all_arcs_tree(const Platform& p) {
+  BroadcastTree tree;
+  tree.root = p.source();
+  for (EdgeId e = 0; e < p.num_edges(); ++e) tree.edges.push_back(e);
+  tree.validate(p);
+  return tree;
+}
+
+void expect_upper_bound_within_one_fill(const Platform& p, const BroadcastTree& tree,
+                                        std::size_t num_slices) {
+  const double closed = pipelined_completion_time(p, tree, num_slices);
+  const SimResult sim = simulate_pipelined_broadcast(p, tree, num_slices);
+  const double fill = sta_makespan(p, tree, p.slice_size(), ChildOrder::kTreeOrder);
+  EXPECT_GE(closed, sim.completion_time - 1e-9);         // never optimistic
+  EXPECT_LT(closed, sim.completion_time + fill + 1e-9);  // gap < one fill time
+}
+
+TEST(PipelineBound, ExactOnChain) {
+  const Platform p =
+      make_platform(5, {{0, 1, 0.4}, {1, 2, 0.3}, {2, 3, 0.5}, {3, 4, 0.2}});
+  const BroadcastTree chain = all_arcs_tree(p);
+  for (std::size_t slices : {1u, 2u, 7u, 40u}) {
+    const SimResult sim = simulate_pipelined_broadcast(p, chain, slices);
+    EXPECT_NEAR(pipelined_completion_time(p, chain, slices), sim.completion_time, 1e-9)
+        << slices;
+  }
+}
+
+TEST(PipelineBound, ExactOnStar) {
+  const Platform p =
+      make_platform(4, {{0, 1, 0.5}, {0, 2, 0.8}, {0, 3, 0.3}});
+  const BroadcastTree star = all_arcs_tree(p);
+  for (std::size_t slices : {1u, 3u, 25u}) {
+    const SimResult sim = simulate_pipelined_broadcast(p, star, slices);
+    EXPECT_NEAR(pipelined_completion_time(p, star, slices), sim.completion_time, 1e-9)
+        << slices;
+  }
+}
+
+TEST(PipelineBound, UnbalancedTreeGapIsPositiveButUnderOneFill) {
+  // Branch A: a 15-hop chain of cheap arcs -- it decides the pipeline fill
+  // but sustains a small per-node period.  Branch B: a 3-child star behind
+  // node 16 -- the bottleneck (period 3.0) but quick to fill.  The closed
+  // form charges the last slice to the fill-critical branch, so it
+  // over-estimates by the fill difference between the branches.
+  std::vector<std::tuple<NodeId, NodeId, double>> arcs;
+  for (NodeId v = 0; v < 15; ++v) arcs.push_back({v, v + 1, 0.3});
+  arcs.push_back({0, 16, 0.3});
+  arcs.push_back({16, 17, 1.0});
+  arcs.push_back({16, 18, 1.0});
+  arcs.push_back({16, 19, 1.0});
+  const Platform p = make_platform(20, arcs);
+  const BroadcastTree tree = all_arcs_tree(p);
+
+  const std::size_t slices = 30;
+  const double closed = pipelined_completion_time(p, tree, slices);
+  const SimResult sim = simulate_pipelined_broadcast(p, tree, slices);
+  const double fill = sta_makespan(p, tree, p.slice_size(), ChildOrder::kTreeOrder);
+  EXPECT_GT(closed, sim.completion_time + 1e-9);  // the bound is not tight here
+  EXPECT_LT(closed - sim.completion_time, fill);  // but off by less than one fill
+  expect_upper_bound_within_one_fill(p, tree, slices);
+}
+
+TEST(PipelineBound, UpperBoundHoldsAcrossShapesAndSliceCounts) {
+  const Platform chainy = make_platform(
+      6, {{0, 1, 0.2}, {1, 2, 0.7}, {1, 3, 0.1}, {3, 4, 0.9}, {3, 5, 0.4}});
+  const BroadcastTree tree = all_arcs_tree(chainy);
+  for (std::size_t slices : {1u, 2u, 5u, 17u, 64u}) {
+    expect_upper_bound_within_one_fill(chainy, tree, slices);
+  }
+}
+
+TEST(PipelineBound, SingleSliceEqualsTreeOrderMakespan) {
+  const Platform p =
+      make_platform(4, {{0, 1, 0.5}, {1, 2, 0.8}, {0, 3, 0.3}});
+  const BroadcastTree tree = all_arcs_tree(p);
+  EXPECT_NEAR(pipelined_completion_time(p, tree, 1),
+              sta_makespan(p, tree, p.slice_size(), ChildOrder::kTreeOrder), 1e-12);
+}
+
+TEST(PipelineBound, RejectsZeroSlices) {
+  const Platform p = make_platform(2, {{0, 1, 0.5}});
+  const BroadcastTree tree = all_arcs_tree(p);
+  EXPECT_THROW(pipelined_completion_time(p, tree, 0), Error);
+}
+
+}  // namespace
+}  // namespace bt

@@ -1,0 +1,132 @@
+// Tests for the experiment-layer worker pool: task execution, blocking
+// waits, exception propagation, deterministic parallel_for usage, and the
+// BT_THREADS sizing contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bt {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorJoinsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No explicit wait: the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw Error("task failed"); });
+  }
+  EXPECT_THROW(pool.wait(), Error);
+  // The error is consumed: the pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 16,
+                            [](std::size_t i) {
+                              if (i == 7) throw Error("body failed");
+                            }),
+               Error);
+}
+
+TEST(ParallelFor, ConcurrentBatchesOnSharedPoolStayIndependent) {
+  // Completion and errors are batch-scoped: a failing batch launched from
+  // another thread must neither leak its exception into this thread's batch
+  // nor block it.
+  ThreadPool pool(4);
+  std::atomic<int> ok_count{0};
+  std::thread failing([&pool] {
+    EXPECT_THROW(parallel_for(pool, 32,
+                              [](std::size_t i) {
+                                if (i % 2 == 0) throw Error("batch failed");
+                              }),
+                 Error);
+  });
+  parallel_for(pool, 64, [&ok_count](std::size_t) { ok_count.fetch_add(1); });
+  failing.join();
+  EXPECT_EQ(ok_count.load(), 64);
+}
+
+TEST(ParallelFor, PreSplitRngsMatchSerialExecution) {
+  // The experiment-layer pattern: split one generator per task up front,
+  // then consume the splits on arbitrary threads.  Results must match the
+  // serial loop exactly.
+  const std::size_t tasks = 64;
+  Rng parent_a(99), parent_b(99);
+  std::vector<Rng> rngs_a, rngs_b;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    rngs_a.push_back(parent_a.split());
+    rngs_b.push_back(parent_b.split());
+  }
+  std::vector<double> serial(tasks), parallel(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) serial[i] = rngs_a[i].uniform_real(0.0, 1.0);
+  ThreadPool pool(4);
+  parallel_for(pool, tasks,
+               [&](std::size_t i) { parallel[i] = rngs_b[i].uniform_real(0.0, 1.0); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsBtThreads) {
+  ASSERT_EQ(setenv("BT_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ThreadPool pool;  // num_threads = 0 resolves through the env variable
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ASSERT_EQ(setenv("BT_THREADS", "0", 1), 0);
+  EXPECT_THROW(ThreadPool::default_thread_count(), Error);
+  ASSERT_EQ(unsetenv("BT_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bt
