@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/registry.hpp"
+#include "core/throughput.hpp"
 #include "core/tree_optimizer.hpp"
 #include "flow/maxflow.hpp"
 #include "graph/min_arborescence.hpp"
@@ -44,8 +45,10 @@ void BM_MaxFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxFlow)->Arg(10)->Arg(30)->Arg(50)->Arg(65);
 
-void BM_Simplex(benchmark::State& state) {
+void BM_Simplex(benchmark::State& state, bt::LpEngine engine) {
   // Random dense LP: max c.x, A x <= b with `rows` constraints over 20 vars.
+  // Captured twice to track the sparse LU engine against the dense-inverse
+  // reference.
   const auto rows = static_cast<std::size_t>(state.range(0));
   bt::Rng rng(7);
   bt::LpProblem lp(bt::Objective::kMaximize);
@@ -57,11 +60,17 @@ void BM_Simplex(benchmark::State& state) {
     }
     lp.add_constraint(terms, bt::RowSense::kLessEqual, rng.uniform_real(5.0, 20.0));
   }
+  bt::SimplexOptions options;
+  options.engine = engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bt::solve_lp(lp));
+    benchmark::DoNotOptimize(bt::solve_lp(lp, options));
   }
 }
-BENCHMARK(BM_Simplex)->Arg(20)->Arg(60)->Arg(120);
+BENCHMARK_CAPTURE(BM_Simplex, sparse_lu, bt::LpEngine::kSparse)->Arg(20)->Arg(60)->Arg(120);
+BENCHMARK_CAPTURE(BM_Simplex, dense_reference, bt::LpEngine::kDenseReference)
+    ->Arg(20)
+    ->Arg(60)
+    ->Arg(120);
 
 void BM_SsbCuttingPlane(benchmark::State& state) {
   const auto platform = make_platform(static_cast<std::size_t>(state.range(0)), 0.12);
@@ -125,6 +134,40 @@ void BM_TreeOptimizer(benchmark::State& state) {
   state.counters["moves"] = static_cast<double>(moves);
 }
 BENCHMARK(BM_TreeOptimizer)->Arg(30)->Arg(50)->Arg(65)->Arg(100);
+
+void BM_StaMakespan(benchmark::State& state) {
+  // kHeaviestSubtree exercises the subtree-weight precomputation (one
+  // bottom-up pass; formerly a memoized recursion called from inside the
+  // sort comparator, with deep-recursion risk on chain trees).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto platform = make_platform(n, 0.12);
+  const auto tree = bt::find_heuristic("grow_tree").build(platform, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bt::sta_makespan(platform, tree, 1.0, bt::ChildOrder::kHeaviestSubtree));
+  }
+}
+BENCHMARK(BM_StaMakespan)->Arg(30)->Arg(100)->Arg(300);
+
+void BM_StaMakespanChain(benchmark::State& state) {
+  // Worst case for the old recursive subtree weights: a pure chain.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  bt::Digraph g(n);
+  std::vector<bt::LinkCost> costs;
+  for (bt::NodeId v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1);
+    costs.push_back({0.0, 0.5});
+  }
+  const bt::Platform platform(std::move(g), std::move(costs), 1.0, 0);
+  bt::BroadcastTree tree;
+  tree.root = 0;
+  for (bt::EdgeId e = 0; e < platform.num_edges(); ++e) tree.edges.push_back(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bt::sta_makespan(platform, tree, 1.0, bt::ChildOrder::kHeaviestSubtree));
+  }
+}
+BENCHMARK(BM_StaMakespanChain)->Arg(1000)->Arg(10000)->Arg(50000);
 
 void BM_PipelineSimulator(benchmark::State& state) {
   const auto platform = make_platform(30, 0.12);

@@ -91,42 +91,31 @@ double multiport_throughput(const Platform& platform, const BroadcastOverlay& ov
   return 1.0 / multiport_period(platform, overlay);
 }
 
-namespace {
-
-/// Recursive cost of a subtree for the kHeaviestSubtree order: an upper
-/// bound on the time to drain the subtree once its root holds the message.
-double subtree_weight(const Platform& platform,
-                      const std::vector<std::vector<EdgeId>>& children, NodeId u,
-                      std::vector<double>& memo, std::vector<char>& computed) {
-  if (computed[u]) return memo[u];
-  double total = 0.0;
-  for (EdgeId e : children[u]) {
-    const NodeId v = platform.graph().to(e);
-    total += platform.edge_time(e) +
-             subtree_weight(platform, children, v, memo, computed);
-  }
-  memo[u] = total;
-  computed[u] = 1;
-  return total;
-}
-
-}  // namespace
-
 double sta_makespan(const Platform& platform, const BroadcastTree& tree,
                     double message_size, ChildOrder order) {
   BT_REQUIRE(message_size > 0.0, "sta_makespan: message size must be positive");
   const Digraph& g = platform.graph();
   auto children = tree.children(platform);
+  const auto parent = tree.parent_edges(platform);
+  const auto bfs = bfs_order(g, tree.root, parent);
 
   if (order == ChildOrder::kHeaviestSubtree) {
-    std::vector<double> memo(platform.num_nodes(), 0.0);
-    std::vector<char> computed(platform.num_nodes(), 0);
+    // Subtree drain-time upper bound per node, computed bottom-up in one
+    // pass over the reversed BFS order (children settle before parents), so
+    // the sort comparator below is a plain table lookup.  The weights are
+    // order-independent sums, so sorting the child lists afterwards is safe.
+    std::vector<double> weight(platform.num_nodes(), 0.0);
+    for (auto it = bfs.rbegin(); it != bfs.rend(); ++it) {
+      double total = 0.0;
+      for (EdgeId e : children[*it]) {
+        total += platform.edge_time(e) + weight[g.to(e)];
+      }
+      weight[*it] = total;
+    }
     for (auto& list : children) {
       std::sort(list.begin(), list.end(), [&](EdgeId a, EdgeId b) {
-        const double wa = platform.link_cost(a).at(message_size) +
-                          subtree_weight(platform, children, g.to(a), memo, computed);
-        const double wb = platform.link_cost(b).at(message_size) +
-                          subtree_weight(platform, children, g.to(b), memo, computed);
+        const double wa = platform.link_cost(a).at(message_size) + weight[g.to(a)];
+        const double wb = platform.link_cost(b).at(message_size) + weight[g.to(b)];
         if (wa != wb) return wa > wb;
         return a < b;
       });
@@ -135,8 +124,6 @@ double sta_makespan(const Platform& platform, const BroadcastTree& tree,
 
   // Forward pass in BFS order: parent finishes receiving, then emits to its
   // children back-to-back (one-port).
-  const auto parent = tree.parent_edges(platform);
-  const auto bfs = bfs_order(g, tree.root, parent);
   std::vector<double> received(platform.num_nodes(), 0.0);
   double makespan = 0.0;
   for (NodeId u : bfs) {

@@ -14,15 +14,62 @@ constexpr double kEps = 1e-12;
 }  // namespace
 
 MaxFlowSolver::MaxFlowSolver(const Digraph& graph) : graph_(graph) {
-  adj_.assign(graph.num_nodes(), {});
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+  const std::size_t n = graph.num_nodes();
+  const std::size_t m = graph.num_edges();
+  // CSR layout: node u's residual arcs (forward + reverse) are contiguous.
+  std::vector<std::size_t> degree(n, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    ++degree[graph.from(e)];
+    ++degree[graph.to(e)];
+  }
+  start_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) start_[u + 1] = start_[u] + degree[u];
+  arcs_.resize(2 * m);
+  fwd_arc_of_edge_.resize(m);
+  std::vector<std::size_t> cursor(start_.begin(), start_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
     const NodeId u = graph.from(e);
     const NodeId v = graph.to(e);
-    adj_[u].push_back(ResidualArc{v, adj_[v].size(), 0.0, e});
-    adj_[v].push_back(ResidualArc{u, adj_[u].size() - 1, 0.0, Digraph::npos});
+    const auto fwd = static_cast<std::uint32_t>(cursor[u]++);
+    const auto rev = static_cast<std::uint32_t>(cursor[v]++);
+    arcs_[fwd] = ResidualArc{v, rev, 0.0, e};
+    arcs_[rev] = ResidualArc{u, fwd, 0.0, Digraph::npos};
+    fwd_arc_of_edge_[e] = fwd;
   }
-  level_.assign(graph.num_nodes(), -1);
-  next_arc_.assign(graph.num_nodes(), 0);
+  touched_flag_.assign(arcs_.size(), 0);
+  level_.assign(n, -1);
+  next_arc_.assign(n, 0);
+}
+
+void MaxFlowSolver::touch(std::uint32_t arc) {
+  if (!touched_flag_[arc]) {
+    touched_flag_[arc] = 1;
+    touched_.push_back(arc);
+  }
+}
+
+void MaxFlowSolver::load_capacities(const std::vector<double>& capacity) {
+  // Fast path: the separation oracle re-solves with the same capacity vector
+  // once per destination; only the arcs the previous run pushed flow through
+  // need their capacity restored.
+  if (has_load_ && capacity == loaded_capacity_) {
+    for (const std::uint32_t a : touched_) {
+      arcs_[a].cap = arcs_[a].original != Digraph::npos ? capacity[arcs_[a].original] : 0.0;
+      touched_flag_[a] = 0;
+    }
+    touched_.clear();
+    return;
+  }
+  for (const std::uint32_t a : touched_) touched_flag_[a] = 0;
+  touched_.clear();
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    BT_REQUIRE(capacity[e] >= 0.0, "max_flow: negative capacity");
+    const std::uint32_t fwd = fwd_arc_of_edge_[e];
+    arcs_[fwd].cap = capacity[e];
+    arcs_[arcs_[fwd].rev].cap = 0.0;
+  }
+  loaded_capacity_ = capacity;
+  has_load_ = true;
 }
 
 MaxFlowResult MaxFlowSolver::solve(NodeId source, NodeId sink,
@@ -32,36 +79,18 @@ MaxFlowResult MaxFlowSolver::solve(NodeId source, NodeId sink,
   BT_REQUIRE(source != sink, "max_flow: source == sink");
   BT_REQUIRE(capacity.size() == graph_.num_edges(), "max_flow: capacity size mismatch");
 
-  // (Re)load capacities into the residual network.
-  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-    for (ResidualArc& arc : adj_[u]) {
-      if (arc.original != Digraph::npos) {
-        BT_REQUIRE(capacity[arc.original] >= 0.0, "max_flow: negative capacity");
-        arc.cap = capacity[arc.original];
-      } else {
-        arc.cap = 0.0;
-      }
-    }
-  }
+  load_capacities(capacity);
 
   MaxFlowResult result;
   while (bfs_levels(source, sink)) {
-    std::fill(next_arc_.begin(), next_arc_.end(), std::size_t{0});
-    while (true) {
-      const double pushed = dfs_push(source, sink, kInf);
-      if (pushed <= kEps) break;
-      result.value += pushed;
-    }
+    std::copy(start_.begin(), start_.end() - 1, next_arc_.begin());
+    result.value += blocking_flow(source, sink);
   }
 
   // Per-arc flow = capacity - residual.
   result.flow.assign(graph_.num_edges(), 0.0);
-  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-    for (const ResidualArc& arc : adj_[u]) {
-      if (arc.original != Digraph::npos) {
-        result.flow[arc.original] = capacity[arc.original] - arc.cap;
-      }
-    }
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    result.flow[e] = capacity[e] - arcs_[fwd_arc_of_edge_[e]].cap;
   }
 
   // Min cut: the last BFS leaves exactly the source side labeled.
@@ -85,7 +114,8 @@ bool MaxFlowSolver::bfs_levels(NodeId source, NodeId sink) {
   while (!queue.empty()) {
     const NodeId u = queue.front();
     queue.pop();
-    for (const ResidualArc& arc : adj_[u]) {
+    for (std::size_t a = start_[u]; a < start_[u + 1]; ++a) {
+      const ResidualArc& arc = arcs_[a];
       if (arc.cap > kEps && level_[arc.to] < 0) {
         level_[arc.to] = level_[u] + 1;
         queue.push(arc.to);
@@ -95,20 +125,53 @@ bool MaxFlowSolver::bfs_levels(NodeId source, NodeId sink) {
   return level_[sink] >= 0;
 }
 
-double MaxFlowSolver::dfs_push(NodeId u, NodeId sink, double limit) {
-  if (u == sink) return limit;
-  for (std::size_t& i = next_arc_[u]; i < adj_[u].size(); ++i) {
-    ResidualArc& arc = adj_[u][i];
-    if (arc.cap > kEps && level_[arc.to] == level_[u] + 1) {
-      const double pushed = dfs_push(arc.to, sink, std::min(limit, arc.cap));
-      if (pushed > kEps) {
-        arc.cap -= pushed;
-        adj_[arc.to][arc.rev].cap += pushed;
-        return pushed;
+/// One full blocking flow on the current level graph, as an iterative
+/// advance/retreat walk over an explicit arc stack (deep level graphs on
+/// chain-like platforms would overflow a recursive implementation).
+double MaxFlowSolver::blocking_flow(NodeId source, NodeId sink) {
+  double total = 0.0;
+  path_.clear();
+  NodeId u = source;
+  while (true) {
+    if (u == sink) {
+      // Augment along the path by its bottleneck, then retreat to the tail
+      // of the first saturated arc.
+      double push = kInf;
+      for (const std::uint32_t a : path_) push = std::min(push, arcs_[a].cap);
+      for (const std::uint32_t a : path_) {
+        touch(a);
+        touch(arcs_[a].rev);
+        arcs_[a].cap -= push;
+        arcs_[arcs_[a].rev].cap += push;
+      }
+      total += push;
+      std::size_t cut = 0;
+      while (cut < path_.size() && arcs_[path_[cut]].cap > kEps) ++cut;
+      path_.resize(cut + 1);
+      u = arcs_[arcs_[path_.back()].rev].to;  // tail of the saturated arc
+      path_.pop_back();
+      continue;
+    }
+    // Advance along the next admissible arc out of u, if any.
+    bool advanced = false;
+    for (std::size_t& a = next_arc_[u]; a < start_[u + 1]; ++a) {
+      const ResidualArc& arc = arcs_[a];
+      if (arc.cap > kEps && level_[arc.to] == level_[u] + 1) {
+        path_.push_back(static_cast<std::uint32_t>(a));
+        u = arc.to;
+        advanced = true;
+        break;
       }
     }
+    if (advanced) continue;
+    // Dead end: retreat (or finish once the source itself is exhausted).
+    if (u == source) break;
+    const std::uint32_t back = path_.back();
+    path_.pop_back();
+    u = arcs_[arcs_[back].rev].to;
+    ++next_arc_[u];  // skip the arc that led into the dead end
   }
-  return 0.0;
+  return total;
 }
 
 MaxFlowResult max_flow(const Digraph& graph, NodeId source, NodeId sink,

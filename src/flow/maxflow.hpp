@@ -8,7 +8,15 @@
 // duality applied per commodity).  The separation oracle needs both the flow
 // value and a minimum cut, which Dinic provides directly from the last level
 // graph.
+//
+// The residual network lives in a flat CSR-style arc array built once per
+// solver.  Because the separation oracle calls solve() once per destination
+// with the *same* capacity vector, the solver tracks which residual arcs the
+// previous run touched and, when the capacities repeat, restores only those
+// instead of reloading all 2m arcs.  The augmenting walk is iterative (an
+// explicit path stack), so deep platforms cannot overflow the call stack.
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -41,18 +49,29 @@ class MaxFlowSolver {
  private:
   struct ResidualArc {
     NodeId to;
-    std::size_t rev;    ///< index of the reverse arc in adj_[to]
+    std::uint32_t rev;  ///< index of the reverse arc in arcs_
     double cap;         ///< remaining capacity
     EdgeId original;    ///< arc id in the input graph; npos for reverse arcs
   };
 
+  void load_capacities(const std::vector<double>& capacity);
+  void touch(std::uint32_t arc);
   bool bfs_levels(NodeId source, NodeId sink);
-  double dfs_push(NodeId u, NodeId sink, double limit);
+  double blocking_flow(NodeId source, NodeId sink);
 
   const Digraph& graph_;
-  std::vector<std::vector<ResidualArc>> adj_;
+  std::vector<ResidualArc> arcs_;   ///< CSR arc array
+  std::vector<std::size_t> start_;  ///< node u's arcs: [start_[u], start_[u+1])
+  std::vector<std::uint32_t> fwd_arc_of_edge_;
+
+  std::vector<double> loaded_capacity_;  ///< capacities of the last full load
+  std::vector<std::uint32_t> touched_;   ///< arcs modified since that load
+  std::vector<char> touched_flag_;
+  bool has_load_ = false;
+
   std::vector<int> level_;
   std::vector<std::size_t> next_arc_;
+  std::vector<std::uint32_t> path_;  ///< iterative DFS: arc indices of the walk
 };
 
 /// One-shot convenience wrapper.

@@ -1,5 +1,6 @@
 #include "graph/min_arborescence.hpp"
 
+#include <deque>
 #include <limits>
 #include <vector>
 
@@ -20,88 +21,177 @@ struct LevelEdge {
   std::size_t parent;  ///< index into the parent level's edge array
 };
 
+/// Per-level scratch buffers.  The pricing loop of the column-generation
+/// solver calls the oracle once per round and degenerate (mostly-tied) duals
+/// drive the contraction tens of levels deep, so the buffers are pooled per
+/// depth and reused across calls instead of being reallocated at every level.
+struct LevelWorkspace {
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> cycle_id;
+  std::vector<std::size_t> new_id;
+  std::vector<std::size_t> path;
+  std::vector<std::size_t> sub_selected;
+  std::vector<int> state;
+  std::vector<char> displaced;
+  std::vector<LevelEdge> contracted;
+  // Cheapest-in arc per contracted node, computed for free during the
+  // contraction scan and handed to the next level, which then skips its own
+  // full best-in pass over the edge array.
+  std::vector<std::size_t> next_best;
+  std::vector<double> next_best_w;
+};
+
+struct ChuLiuWorkspace {
+  // Deque, not vector: growing the pool at a deeper recursion level must not
+  // invalidate the parent levels' buffers (their `contracted` arrays are
+  // live references in the enclosing stack frames).
+  std::deque<LevelWorkspace> levels;
+  LevelWorkspace& level(std::size_t depth) {
+    while (depth >= levels.size()) levels.emplace_back();
+    return levels[depth];
+  }
+
+  // Epoch-stamped (nu, nv) -> contracted-edge slot map used to keep only the
+  // cheapest parallel edge during contraction; shared by all levels (each
+  // level claims a fresh epoch).
+  std::vector<std::uint64_t> pair_epoch;
+  std::vector<std::size_t> pair_index;
+  std::uint64_t epoch = 0;
+  void ensure_pairs(std::size_t slots) {
+    if (pair_epoch.size() < slots) {
+      pair_epoch.resize(slots, 0);
+      pair_index.resize(slots, 0);
+    }
+  }
+};
+
+/// Pair-dedup is skipped above this node count (the slot table is O(n^2)).
+constexpr std::size_t kMaxDedupNodes = 2048;
+
 /// Returns the indices (into `edges`) of a minimum spanning arborescence
 /// rooted at `root`, or an empty optional-equivalent (ok=false) when some
-/// node has no incoming edge.
-bool chu_liu(std::size_t num_nodes, std::size_t root, const std::vector<LevelEdge>& edges,
-             std::vector<std::size_t>& selected) {
+/// node has no incoming edge.  `inherited_best` optionally carries the
+/// cheapest-in arc per node as precomputed by the parent level's
+/// contraction scan (same argmin, one less O(m) pass).
+bool chu_liu(ChuLiuWorkspace& ws, std::size_t depth, std::size_t num_nodes,
+             std::size_t root, const std::vector<LevelEdge>& edges,
+             std::vector<std::size_t>& selected,
+             const std::vector<std::size_t>* inherited_best) {
   selected.clear();
   if (num_nodes <= 1) return true;
+  LevelWorkspace& w = ws.level(depth);
 
   // 1. Cheapest incoming edge per node.
-  std::vector<std::size_t> best(num_nodes, kNone);
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    const LevelEdge& e = edges[i];
-    if (e.to == root || e.from == e.to) continue;
-    if (best[e.to] == kNone || e.w < edges[best[e.to]].w) best[e.to] = i;
+  if (inherited_best != nullptr) {
+    w.best.assign(inherited_best->begin(), inherited_best->end());
+  } else {
+    w.best.assign(num_nodes, kNone);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const LevelEdge& e = edges[i];
+      if (e.to == root || e.from == e.to) continue;
+      if (w.best[e.to] == kNone || e.w < edges[w.best[e.to]].w) w.best[e.to] = i;
+    }
   }
   for (std::size_t v = 0; v < num_nodes; ++v) {
-    if (v != root && best[v] == kNone) return false;
+    if (v != root && w.best[v] == kNone) return false;
   }
 
   // 2. Find cycles in the best-in graph.
-  std::vector<std::size_t> cycle_id(num_nodes, kNone);
-  std::vector<int> state(num_nodes, 0);  // 0 unvisited, 1 on path, 2 done
+  w.cycle_id.assign(num_nodes, kNone);
+  w.state.assign(num_nodes, 0);  // 0 unvisited, 1 on path, 2 done
   std::size_t num_cycles = 0;
   for (std::size_t start = 0; start < num_nodes; ++start) {
-    if (state[start] != 0) continue;
-    std::vector<std::size_t> path;
+    if (w.state[start] != 0) continue;
+    w.path.clear();
     std::size_t v = start;
-    while (v != root && state[v] == 0) {
-      state[v] = 1;
-      path.push_back(v);
-      v = edges[best[v]].from;
+    while (v != root && w.state[v] == 0) {
+      w.state[v] = 1;
+      w.path.push_back(v);
+      v = edges[w.best[v]].from;
     }
-    if (v != root && state[v] == 1) {
+    if (v != root && w.state[v] == 1) {
       // Found a new cycle; mark its members.
       std::size_t c = num_cycles++;
-      std::size_t w = v;
+      std::size_t u = v;
       do {
-        cycle_id[w] = c;
-        w = edges[best[w]].from;
-      } while (w != v);
+        w.cycle_id[u] = c;
+        u = edges[w.best[u]].from;
+      } while (u != v);
     }
-    for (std::size_t u : path) state[u] = 2;
+    for (std::size_t u : w.path) w.state[u] = 2;
   }
 
   if (num_cycles == 0) {
     for (std::size_t v = 0; v < num_nodes; ++v) {
-      if (v != root) selected.push_back(best[v]);
+      if (v != root) selected.push_back(w.best[v]);
     }
     return true;
   }
 
   // 3. Contract every cycle into a super-node.
-  std::vector<std::size_t> new_id(num_nodes, kNone);
+  w.new_id.assign(num_nodes, kNone);
   std::size_t next = num_cycles;  // cycle c -> id c; others get fresh ids
   for (std::size_t v = 0; v < num_nodes; ++v) {
-    new_id[v] = cycle_id[v] != kNone ? cycle_id[v] : next++;
+    w.new_id[v] = w.cycle_id[v] != kNone ? w.cycle_id[v] : next++;
   }
-  std::vector<LevelEdge> contracted;
-  contracted.reserve(edges.size());
+  w.contracted.clear();
+  w.contracted.reserve(edges.size());
+  const std::size_t next_root = w.new_id[root];
+  w.next_best.assign(next, kNone);
+  w.next_best_w.assign(next, std::numeric_limits<double>::infinity());
+  const bool dedup = next <= kMaxDedupNodes;
+  if (dedup) {
+    ws.ensure_pairs(next * next);
+    ++ws.epoch;
+  }
   for (std::size_t i = 0; i < edges.size(); ++i) {
     const LevelEdge& e = edges[i];
-    const std::size_t nu = new_id[e.from];
-    const std::size_t nv = new_id[e.to];
+    const std::size_t nu = w.new_id[e.from];
+    const std::size_t nv = w.new_id[e.to];
     if (nu == nv) continue;
-    const double reduced = cycle_id[e.to] != kNone ? e.w - edges[best[e.to]].w : e.w;
-    contracted.push_back(LevelEdge{nu, nv, reduced, i});
+    const double reduced = w.cycle_id[e.to] != kNone ? e.w - edges[w.best[e.to]].w : e.w;
+    std::size_t where = w.contracted.size();
+    if (dedup) {
+      // Keep only the cheapest parallel edge per supernode pair: a dominated
+      // parallel can never enter a minimum arborescence of the contraction.
+      const std::size_t slot = nu * next + nv;
+      if (ws.pair_epoch[slot] == ws.epoch) {
+        where = ws.pair_index[slot];
+        LevelEdge& kept = w.contracted[where];
+        if (reduced < kept.w) {
+          kept = LevelEdge{nu, nv, reduced, i};
+          if (nv != next_root && reduced < w.next_best_w[nv]) {
+            w.next_best_w[nv] = reduced;
+            w.next_best[nv] = where;
+          }
+        }
+        continue;
+      }
+      ws.pair_epoch[slot] = ws.epoch;
+      ws.pair_index[slot] = where;
+    }
+    if (nv != next_root && reduced < w.next_best_w[nv]) {
+      w.next_best_w[nv] = reduced;
+      w.next_best[nv] = where;
+    }
+    w.contracted.push_back(LevelEdge{nu, nv, reduced, i});
   }
 
-  std::vector<std::size_t> sub_selected;
-  if (!chu_liu(next, new_id[root], contracted, sub_selected)) return false;
+  if (!chu_liu(ws, depth + 1, next, next_root, w.contracted, w.sub_selected, &w.next_best)) {
+    return false;
+  }
 
   // 4. Expand: selected contracted edges map to this level; each cycle keeps
   // all its best-in edges except the one displaced by the entering edge.
-  std::vector<char> displaced(num_nodes, 0);
-  for (std::size_t idx : sub_selected) {
-    const std::size_t this_level = contracted[idx].parent;
+  w.displaced.assign(num_nodes, 0);
+  for (std::size_t idx : w.sub_selected) {
+    const std::size_t this_level = w.contracted[idx].parent;
     selected.push_back(this_level);
     const std::size_t head = edges[this_level].to;
-    if (cycle_id[head] != kNone) displaced[head] = 1;
+    if (w.cycle_id[head] != kNone) w.displaced[head] = 1;
   }
   for (std::size_t v = 0; v < num_nodes; ++v) {
-    if (cycle_id[v] != kNone && !displaced[v]) selected.push_back(best[v]);
+    if (w.cycle_id[v] != kNone && !w.displaced[v]) selected.push_back(w.best[v]);
   }
   return true;
 }
@@ -113,15 +203,19 @@ ArborescenceResult min_arborescence(const Digraph& g, NodeId root,
   BT_REQUIRE(root < g.num_nodes(), "min_arborescence: root out of range");
   BT_REQUIRE(weight.size() == g.num_edges(), "min_arborescence: weight size mismatch");
 
-  std::vector<LevelEdge> edges;
+  // The workspace (including the top-level edge copy) persists per thread so
+  // repeated oracle calls run allocation-free once warmed up.
+  thread_local ChuLiuWorkspace ws;
+  thread_local std::vector<LevelEdge> edges;
+  thread_local std::vector<std::size_t> selected;
+  edges.clear();
   edges.reserve(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     edges.push_back(LevelEdge{g.from(e), g.to(e), weight[e], e});
   }
 
   ArborescenceResult result;
-  std::vector<std::size_t> selected;
-  if (!chu_liu(g.num_nodes(), root, edges, selected)) return result;
+  if (!chu_liu(ws, 0, g.num_nodes(), root, edges, selected, nullptr)) return result;
   result.found = true;
   for (std::size_t idx : selected) {
     result.edges.push_back(static_cast<EdgeId>(idx));

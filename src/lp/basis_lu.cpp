@@ -1,0 +1,379 @@
+#include "lp/basis_lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace bt {
+
+namespace {
+
+/// Markowitz threshold: a pivot must be at least this fraction of the
+/// largest entry in its column (stability vs. sparsity trade-off).
+constexpr double kPivotThreshold = 0.1;
+/// Entries below this are not acceptable pivots; a basis whose remaining
+/// columns have no larger entry is reported singular.
+constexpr double kSingularTol = 1e-11;
+/// Safety floor for the eta pivot |w[leave_pos]|; below it update() asks the
+/// caller to refactorize instead.
+constexpr double kUpdateTol = 1e-11;
+/// Markowitz search examines at most this many eligible columns per step
+/// (walking the count buckets upward), Suhl-style.  Scanning everything
+/// would make each factorization O(m * nnz).
+constexpr std::size_t kMarkowitzCandidates = 8;
+
+}  // namespace
+
+bool BasisLu::factorize(std::size_t m, const std::vector<SparseColumnView>& columns) {
+  m_ = m;
+  etas_.clear();
+  pivot_row_.clear();
+  pivot_col_.clear();
+  diag_.clear();
+  if (lrows_.size() < m) {
+    lrows_.resize(m);
+    lvals_.resize(m);
+    ucols_.resize(m);
+    uvals_.resize(m);
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    lrows_[k].clear();
+    lvals_[k].clear();
+    ucols_[k].clear();
+    uvals_[k].clear();
+  }
+  pivot_row_.reserve(m);
+  pivot_col_.reserve(m);
+  diag_.reserve(m);
+  work_.assign(m, 0.0);
+  flag_.assign(m, 0);
+
+  // Working copy of B, column-wise, plus row occupancy for Markowitz counts.
+  // Column entry lists stay exact (entries are removed the moment their row
+  // or column leaves the active submatrix); row_cols may carry stale column
+  // ids, which are filtered on use.  All of it lives in the reusable
+  // workspace: clear()ed vectors keep their heap buffers across refactors.
+  auto& crows = fw_.crows;
+  auto& cvals = fw_.cvals;
+  auto& row_count = fw_.row_count;
+  auto& row_cols = fw_.row_cols;
+  auto& colmax = fw_.colmax;
+  if (crows.size() < m) {
+    crows.resize(m);
+    cvals.resize(m);
+    row_cols.resize(m);
+  }
+  row_count.assign(m, 0);
+  colmax.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) row_cols[i].clear();
+  for (std::size_t j = 0; j < m; ++j) {
+    const SparseColumnView& col = columns[j];
+    crows[j].assign(col.rows, col.rows + col.nnz);
+    cvals[j].assign(col.vals, col.vals + col.nnz);
+    for (std::size_t t = 0; t < col.nnz; ++t) {
+      ++row_count[col.rows[t]];
+      row_cols[col.rows[t]].push_back(static_cast<std::uint32_t>(j));
+      colmax[j] = std::max(colmax[j], std::abs(col.vals[t]));
+    }
+  }
+  auto& row_active = fw_.row_active;
+  auto& col_active = fw_.col_active;
+  auto& epos = fw_.epos;
+  row_active.assign(m, 1);
+  col_active.assign(m, 1);
+  epos.assign(m, -1);  // scatter map for the column update
+
+  // Count buckets: intrusive doubly-linked lists of active columns keyed by
+  // their entry count, so the pivot search walks the sparsest columns first
+  // instead of scanning everything.
+  const std::size_t nil = m;
+  auto& bucket_head = fw_.bucket_head;
+  auto& bnext = fw_.bnext;
+  auto& bprev = fw_.bprev;
+  auto& bkey = fw_.bkey;
+  bucket_head.assign(m + 1, nil);
+  bnext.assign(m, nil);
+  bprev.assign(m, nil);
+  bkey.assign(m, nil);
+  auto bucket_remove = [&](std::size_t j) {
+    if (bkey[j] == nil) return;
+    if (bprev[j] != nil) bnext[bprev[j]] = bnext[j];
+    else bucket_head[bkey[j]] = bnext[j];
+    if (bnext[j] != nil) bprev[bnext[j]] = bprev[j];
+    bkey[j] = nil;
+  };
+  auto bucket_insert = [&](std::size_t j) {
+    const std::size_t c = std::min(crows[j].size(), m);
+    bkey[j] = c;
+    bprev[j] = nil;
+    bnext[j] = bucket_head[c];
+    if (bucket_head[c] != nil) bprev[bucket_head[c]] = j;
+    bucket_head[c] = j;
+  };
+  for (std::size_t j = 0; j < m; ++j) bucket_insert(j);
+
+  for (std::size_t step = 0; step < m; ++step) {
+    // ---- Markowitz pivot search with threshold partial pivoting: examine
+    // the first kMarkowitzCandidates eligible columns, sparsest first. ----
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_val = 0.0;
+    std::uint32_t best_row = 0, best_col = 0;
+    bool found = false;
+    std::size_t examined = 0;
+    for (std::size_t c = 0; c <= m && examined < kMarkowitzCandidates && best_cost > 0.0; ++c) {
+      for (std::size_t j = bucket_head[c];
+           j != nil && examined < kMarkowitzCandidates && best_cost > 0.0; j = bnext[j]) {
+        if (colmax[j] < kSingularTol) continue;
+        ++examined;
+        const double ccount = static_cast<double>(crows[j].size()) - 1.0;
+        for (std::size_t t = 0; t < crows[j].size(); ++t) {
+          const double av = std::abs(cvals[j][t]);
+          if (av < kPivotThreshold * colmax[j] || av < kSingularTol) continue;
+          const std::uint32_t i = crows[j][t];
+          const double cost = (static_cast<double>(row_count[i]) - 1.0) * ccount;
+          if (cost < best_cost || (cost == best_cost && av > std::abs(best_val))) {
+            best_cost = cost;
+            best_val = cvals[j][t];
+            best_row = i;
+            best_col = static_cast<std::uint32_t>(j);
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found) return false;  // numerically singular basis
+
+    const std::uint32_t ip = best_row, jp = best_col;
+    const double d = best_val;
+    pivot_row_.push_back(ip);
+    pivot_col_.push_back(jp);
+    diag_.push_back(d);
+    row_active[ip] = 0;
+    col_active[jp] = 0;
+    bucket_remove(jp);
+
+    // L column: the pivot column's remaining entries, scaled by 1/d.
+    auto& lr = lrows_[step];
+    auto& lv = lvals_[step];
+    for (std::size_t t = 0; t < crows[jp].size(); ++t) {
+      const std::uint32_t i = crows[jp][t];
+      if (i == ip) continue;
+      lr.push_back(i);
+      lv.push_back(cvals[jp][t] / d);
+      --row_count[i];  // the entry leaves the active submatrix with column jp
+    }
+    crows[jp].clear();
+    cvals[jp].clear();
+
+    // U row + rank-1 update, one pass per affected column: scatter the
+    // column into epos once, detach the pivot-row entry through it (O(1)
+    // instead of a linear search), apply W[j] -= u_j * L through it, and
+    // refresh the column's cached max and count bucket.
+    auto& uc = ucols_[step];
+    auto& uv = uvals_[step];
+    for (const std::uint32_t j : row_cols[ip]) {
+      if (!col_active[j]) continue;
+      for (std::size_t t = 0; t < crows[j].size(); ++t) {
+        epos[crows[j][t]] = static_cast<std::int64_t>(t);
+      }
+      const std::int64_t pos = epos[ip];
+      if (pos < 0) {  // stale occupancy entry
+        for (const std::uint32_t i : crows[j]) epos[i] = -1;
+        continue;
+      }
+      const double u = cvals[j][static_cast<std::size_t>(pos)];
+      uc.push_back(j);
+      uv.push_back(u);
+      // Detach the pivot-row entry (swap-pop), keeping epos consistent.
+      epos[crows[j].back()] = pos;
+      epos[ip] = -1;
+      crows[j][static_cast<std::size_t>(pos)] = crows[j].back();
+      crows[j].pop_back();
+      cvals[j][static_cast<std::size_t>(pos)] = cvals[j].back();
+      cvals[j].pop_back();
+      if (u != 0.0) {
+        for (std::size_t t = 0; t < lr.size(); ++t) {
+          const std::uint32_t i = lr[t];
+          const double delta = lv[t] * u;
+          if (epos[i] >= 0) {
+            cvals[j][static_cast<std::size_t>(epos[i])] -= delta;
+          } else if (delta != 0.0) {
+            epos[i] = static_cast<std::int64_t>(crows[j].size());
+            crows[j].push_back(i);
+            cvals[j].push_back(-delta);
+            ++row_count[i];
+            row_cols[i].push_back(j);
+          }
+        }
+      }
+      double cm = 0.0;
+      for (const double v : cvals[j]) cm = std::max(cm, std::abs(v));
+      colmax[j] = cm;
+      for (const std::uint32_t i : crows[j]) epos[i] = -1;
+      bucket_remove(j);
+      bucket_insert(j);
+    }
+    row_cols[ip].clear();
+  }
+
+  step_of_row_.assign(m, 0);
+  step_of_col_.assign(m, 0);
+  for (std::size_t k = 0; k < m; ++k) {
+    step_of_row_[pivot_row_[k]] = static_cast<std::uint32_t>(k);
+    step_of_col_[pivot_col_[k]] = static_cast<std::uint32_t>(k);
+  }
+
+  // Transposed factors for the push-style backward substitutions.
+  if (utrans_step_.size() < m) {
+    utrans_step_.resize(m);
+    utrans_val_.resize(m);
+    ltrans_step_.resize(m);
+    ltrans_val_.resize(m);
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    utrans_step_[k].clear();
+    utrans_val_[k].clear();
+    ltrans_step_[k].clear();
+    ltrans_val_[k].clear();
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t t = 0; t < ucols_[k].size(); ++t) {
+      const std::uint32_t later = step_of_col_[ucols_[k][t]];
+      utrans_step_[later].push_back(static_cast<std::uint32_t>(k));
+      utrans_val_[later].push_back(uvals_[k][t]);
+    }
+    for (std::size_t t = 0; t < lrows_[k].size(); ++t) {
+      const std::uint32_t later = step_of_row_[lrows_[k][t]];
+      ltrans_step_[later].push_back(static_cast<std::uint32_t>(k));
+      ltrans_val_[later].push_back(lvals_[k][t]);
+    }
+  }
+  return true;
+}
+
+void BasisLu::compact_nonzeros(ScatteredVector& x) {
+  std::size_t out = 0;
+  for (const std::uint32_t i : x.nonzero) {
+    if (x.value[i] != 0.0 && !flag_[i]) {
+      flag_[i] = 1;
+      x.nonzero[out++] = i;
+    }
+  }
+  x.nonzero.resize(out);
+  for (const std::uint32_t i : x.nonzero) flag_[i] = 0;
+}
+
+void BasisLu::ftran(ScatteredVector& x) {
+  double* r = x.value.data();
+  // L z = P a, in step order; z lands in work_.  Touched rows are appended
+  // to the nonzero list so the row-space residue can be cleared in O(nnz).
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double zk = r[pivot_row_[k]];
+    work_[k] = zk;
+    if (zk == 0.0) continue;
+    const auto& lr = lrows_[k];
+    const auto& lv = lvals_[k];
+    for (std::size_t t = 0; t < lr.size(); ++t) {
+      r[lr[t]] -= lv[t] * zk;
+      x.nonzero.push_back(lr[t]);
+    }
+  }
+  for (const std::uint32_t i : x.nonzero) r[i] = 0.0;
+  x.nonzero.clear();
+
+  // U w = z, backward substitution, push-style over U's columns: a zero
+  // position propagates nothing, so sparse right-hand sides only pay for
+  // the steps they actually reach.
+  for (std::size_t k = m_; k-- > 0;) {
+    const double wk = work_[k] / diag_[k];
+    work_[k] = wk;
+    if (wk == 0.0) continue;
+    const auto& us = utrans_step_[k];
+    const auto& uv = utrans_val_[k];
+    for (std::size_t t = 0; t < us.size(); ++t) work_[us[t]] -= uv[t] * wk;
+  }
+
+  // Scatter to position space: x[q_k] = w_k.
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (work_[k] != 0.0) x.push(pivot_col_[k], work_[k]);
+  }
+
+  // Product-form etas, oldest first.
+  for (const Eta& e : etas_) {
+    double t = x.value[e.pivot_pos];
+    if (t == 0.0) continue;
+    t /= e.pivot_value;
+    x.value[e.pivot_pos] = t;
+    for (std::size_t s = 0; s < e.idx.size(); ++s) {
+      const std::uint32_t i = e.idx[s];
+      if (x.value[i] == 0.0) x.nonzero.push_back(i);
+      x.value[i] -= e.val[s] * t;
+    }
+  }
+  compact_nonzeros(x);
+}
+
+void BasisLu::btran(ScatteredVector& x) {
+  // Eta transposes, newest first: only the eta's pivot position changes.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = x.value[it->pivot_pos];
+    for (std::size_t s = 0; s < it->idx.size(); ++s) acc -= it->val[s] * x.value[it->idx[s]];
+    acc /= it->pivot_value;
+    if (x.value[it->pivot_pos] == 0.0 && acc != 0.0) x.nonzero.push_back(it->pivot_pos);
+    x.value[it->pivot_pos] = acc;
+  }
+
+  double* c = x.value.data();
+  // U^T t = Q^T c, forward (push to later steps); t lands in work_.
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double tk = c[pivot_col_[k]] / diag_[k];
+    work_[k] = tk;
+    if (tk == 0.0) continue;
+    const auto& uc = ucols_[k];
+    const auto& uv = uvals_[k];
+    for (std::size_t t = 0; t < uc.size(); ++t) {
+      c[uc[t]] -= uv[t] * tk;
+      x.nonzero.push_back(uc[t]);
+    }
+  }
+  for (const std::uint32_t i : x.nonzero) c[i] = 0.0;
+  x.nonzero.clear();
+
+  // L^T v = t, backward, push-style over L's transposed rows (zero
+  // positions propagate nothing), in place in work_.
+  for (std::size_t k = m_; k-- > 0;) {
+    const double vk = work_[k];
+    if (vk == 0.0) continue;
+    const auto& ls = ltrans_step_[k];
+    const auto& lv = ltrans_val_[k];
+    for (std::size_t t = 0; t < ls.size(); ++t) work_[ls[t]] -= lv[t] * vk;
+  }
+
+  // Scatter to row space: y[p_k] = v_k.
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (work_[k] != 0.0) x.push(pivot_row_[k], work_[k]);
+  }
+  compact_nonzeros(x);
+}
+
+bool BasisLu::update(std::size_t leave_pos, const ScatteredVector& w) {
+  const double piv = w.value[leave_pos];
+  if (std::abs(piv) < kUpdateTol) return false;
+  Eta e;
+  e.pivot_pos = static_cast<std::uint32_t>(leave_pos);
+  e.pivot_value = piv;
+  for (const std::uint32_t i : w.nonzero) {
+    if (i == leave_pos || w.value[i] == 0.0) continue;
+    e.idx.push_back(i);
+    e.val.push_back(w.value[i]);
+  }
+  etas_.push_back(std::move(e));
+  return true;
+}
+
+std::size_t BasisLu::factor_nonzeros() const {
+  std::size_t nnz = m_;  // U diagonal
+  for (std::size_t k = 0; k < m_; ++k) nnz += lrows_[k].size() + ucols_[k].size();
+  return nnz;
+}
+
+}  // namespace bt

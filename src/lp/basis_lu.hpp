@@ -1,0 +1,143 @@
+#pragma once
+
+// Sparse LU factorization of a simplex basis with product-form eta updates.
+//
+// The revised simplex needs two kernels per iteration: FTRAN (solve
+// B w = a for the entering column's direction) and BTRAN (solve
+// B^T y = c_B for the duals used in pricing).  This module keeps B in
+// factored form
+//
+//     B = P^T L U Q^T,   then   B_k = E_k ... E_1-updated B
+//
+// where L/U come from a Markowitz-ordered sparse Gaussian elimination
+// (pivots chosen to minimize (row_count-1)*(col_count-1) fill, subject to a
+// threshold |a_ij| >= tau * max|column|), and each simplex pivot appends a
+// product-form eta matrix instead of retouching the factors.  Solves walk
+// only the stored nonzeros; right-hand sides and results are carried as
+// ScatteredVector (dense values + the list of touched positions) so that
+// clearing between solves is O(nnz), not O(m).
+//
+// The eta file grows by one vector per pivot; the owning solver refactorizes
+// periodically (SimplexOptions::refactor_period) or when update() reports a
+// numerically unsafe pivot, which restores a fresh L U and empties the file.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bt {
+
+/// Dense-storage sparse vector: `value` has size m, `nonzero` lists the
+/// positions that may hold non-zeros (a superset is fine).  Clearing touches
+/// only the listed positions.
+struct ScatteredVector {
+  std::vector<double> value;
+  std::vector<std::uint32_t> nonzero;
+
+  void reset(std::size_t m) {
+    for (const std::uint32_t i : nonzero) value[i] = 0.0;
+    nonzero.clear();
+    if (value.size() != m) value.assign(m, 0.0);
+  }
+  void push(std::uint32_t i, double v) {
+    value[i] = v;
+    nonzero.push_back(i);
+  }
+};
+
+/// Read-only view of one sparse basis column: (row, value) pairs.
+struct SparseColumnView {
+  const std::uint32_t* rows = nullptr;
+  const double* vals = nullptr;
+  std::size_t nnz = 0;
+};
+
+/// LU-factored simplex basis with an eta-update file.
+///
+/// Position space: basis position k holds the k-th basic variable, i.e.
+/// column k of B; row space: the constraint rows.  ftran maps a row-space
+/// right-hand side to a position-space result, btran the reverse.
+class BasisLu {
+ public:
+  /// Factorize the m x m basis whose k-th column is `columns[k]`.  Discards
+  /// any eta file.  Returns false if the basis is numerically singular (the
+  /// previous factorization is then invalid).
+  bool factorize(std::size_t m, const std::vector<SparseColumnView>& columns);
+
+  /// Solve B x = a in place: on entry `x` holds a row-space right-hand side,
+  /// on exit the position-space solution (nonzero list maintained).
+  void ftran(ScatteredVector& x);
+
+  /// Solve B^T y = c in place: on entry `x` holds a position-space cost
+  /// vector, on exit the row-space duals (nonzero list maintained).
+  void btran(ScatteredVector& x);
+
+  /// Append the product-form eta for a pivot that replaces the basic
+  /// variable at position `leave_pos`, where `w` = ftran(entering column).
+  /// Returns false when |w[leave_pos]| is too small to update safely; the
+  /// caller must refactorize (with the new basis) instead.
+  bool update(std::size_t leave_pos, const ScatteredVector& w);
+
+  std::size_t eta_count() const { return etas_.size(); }
+  std::size_t dimension() const { return m_; }
+
+  /// Total nonzeros in L + U of the last factorization (diagnostic).
+  std::size_t factor_nonzeros() const;
+
+ private:
+  struct Eta {
+    std::uint32_t pivot_pos;
+    double pivot_value;                  ///< w[pivot_pos]
+    std::vector<std::uint32_t> idx;      ///< other positions with w != 0
+    std::vector<double> val;             ///< w at those positions
+  };
+
+  std::size_t m_ = 0;
+  // Elimination step k pivoted on (row pivot_row_[k], column pivot_col_[k]).
+  std::vector<std::uint32_t> pivot_row_;
+  std::vector<std::uint32_t> pivot_col_;
+  std::vector<double> diag_;  ///< U diagonal per step
+  // L column per step: multipliers at still-active original rows.
+  std::vector<std::vector<std::uint32_t>> lrows_;
+  std::vector<std::vector<double>> lvals_;
+  // U row per step: entries at still-active original columns (excl. diag).
+  std::vector<std::vector<std::uint32_t>> ucols_;
+  std::vector<std::vector<double>> uvals_;
+  std::vector<std::uint32_t> step_of_row_;  ///< inverse of pivot_row_
+  std::vector<std::uint32_t> step_of_col_;  ///< inverse of pivot_col_
+  // Transposed factors, indexed by step: U by column and L^T by row.  The
+  // backward substitutions run push-style over these so that a sparse
+  // right-hand side only touches the steps it actually reaches (the forward
+  // substitutions already skip zero positions on the row-wise factors).
+  std::vector<std::vector<std::uint32_t>> utrans_step_;
+  std::vector<std::vector<double>> utrans_val_;
+  std::vector<std::vector<std::uint32_t>> ltrans_step_;
+  std::vector<std::vector<double>> ltrans_val_;
+
+  std::vector<Eta> etas_;
+
+  /// Deduplicate a nonzero list and drop exact zeros, so callers can treat
+  /// it as an exact support set (e.g. for delta updates of xb).
+  void compact_nonzeros(ScatteredVector& x);
+
+  // Solve workspaces (sized m_), reused across calls.
+  std::vector<double> work_;
+  std::vector<char> flag_;
+
+  // Factorization workspace, reused across refactorizations so a periodic
+  // refactor costs no per-column allocations (the inner vectors keep their
+  // capacity between calls).
+  struct FactorWorkspace {
+    std::vector<std::vector<std::uint32_t>> crows;
+    std::vector<std::vector<double>> cvals;
+    std::vector<std::vector<std::uint32_t>> row_cols;
+    std::vector<std::uint32_t> row_count;
+    std::vector<double> colmax;
+    std::vector<char> row_active, col_active;
+    std::vector<std::int64_t> epos;
+    std::vector<std::size_t> bucket_head, bnext, bprev, bkey;
+  };
+  FactorWorkspace fw_;
+};
+
+}  // namespace bt

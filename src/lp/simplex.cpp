@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "lp/basis_lu.hpp"
 #include "util/error.hpp"
 
 namespace bt {
@@ -19,9 +20,16 @@ std::string to_string(LpStatus status) {
   return "unknown";
 }
 
-namespace {
+namespace detail {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Candidate-list (partial) pricing: a pricing pass stops collecting after
+/// this many violating columns and enters the best of them, resuming the
+/// cyclic scan where it left off on the next iteration.  Optimality is only
+/// declared after a full scan finds no violating column.
+constexpr std::size_t kPricingWindow = 64;
 
 /// Sparse column: (row index, value) pairs.
 struct SparseCol {
@@ -36,13 +44,585 @@ struct SparseCol {
   std::size_t nnz() const { return rows.size(); }
 };
 
-/// Internal standard form: minimize c.z subject to A z = b, z >= 0, with an
-/// explicit dense basis inverse and sparse constraint columns.  Rows whose
-/// right-hand side starts non-negative with a +1 slack begin basic; only
-/// >= and = rows require phase-1 artificials.
-class SimplexCore {
+/// Append-only compressed-sparse-column arena: all columns live in two
+/// contiguous arrays, so the pricing scan streams through memory instead of
+/// chasing one heap allocation per column.
+struct ColumnStore {
+  std::vector<std::uint32_t> rows;
+  std::vector<double> vals;
+  std::vector<std::size_t> start{0};  ///< per-column offsets; size = ncols+1
+
+  std::size_t num_cols() const { return start.size() - 1; }
+  std::size_t nnz(std::size_t j) const { return start[j + 1] - start[j]; }
+  const std::uint32_t* col_rows(std::size_t j) const { return rows.data() + start[j]; }
+  const double* col_vals(std::size_t j) const { return vals.data() + start[j]; }
+
+  /// Append an entry to the column under construction (zeros are dropped).
+  void push(std::uint32_t row, double value) {
+    if (value == 0.0) return;
+    rows.push_back(row);
+    vals.push_back(value);
+  }
+  /// Seal the column under construction and start the next one.
+  void end_column() { start.push_back(rows.size()); }
+};
+
+/// Role of an internal column in the standard form.
+enum class ColKind : unsigned char { kStructural, kSlack, kSurplus, kArtificial };
+
+// ---------------------------------------------------------------------------
+// Sparse engine: LU-factored basis (basis_lu.hpp) with product-form eta
+// updates between periodic refactorizations, candidate-list pricing, and an
+// append-column path for incremental (column-generation) use.
+//
+// Internal standard form: minimize c.z subject to A z = b, z >= 0.  Rows
+// whose right-hand side starts non-negative with a +1 slack begin basic;
+// only >= and = rows require phase-1 artificials.
+// ---------------------------------------------------------------------------
+class SparseSimplexCore {
  public:
-  SimplexCore(const LpProblem& problem, const SimplexOptions& options)
+  SparseSimplexCore(const LpProblem& problem, const SimplexOptions& options)
+      : options_(options) {
+    build(problem);
+  }
+
+  std::size_t num_structural() const { return num_structural_; }
+
+  /// Basis-label extraction only serves cross-solve warm starts; a standing
+  /// IncrementalSimplex keeps its basis in place and can skip it.
+  void set_emit_basis_labels(bool emit) { emit_basis_labels_ = emit; }
+
+  /// Append a structural column; the standing basis/factorization stay
+  /// valid (the new column enters non-basic at zero).
+  std::size_t add_column(double objective_coeff, const std::vector<LpTerm>& terms) {
+    BT_REQUIRE(!rows_dropped_,
+               "IncrementalSimplex::add_column: a redundant row was dropped; "
+               "appended columns can no longer be aligned with the rows");
+    {
+      ScatteredVector& acc = rhs_work_;
+      acc.reset(num_rows_);
+      for (const LpTerm& t : terms) {
+        BT_REQUIRE(t.var < num_rows_, "IncrementalSimplex::add_column: row index out of range");
+        if (acc.value[t.var] == 0.0 && t.coeff != 0.0) acc.nonzero.push_back(static_cast<std::uint32_t>(t.var));
+        acc.value[t.var] += t.coeff;
+      }
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        if (acc.value[i] != 0.0) cols_.push(static_cast<std::uint32_t>(i), row_flip_[i] * acc.value[i]);
+      }
+      cols_.end_column();
+      acc.reset(num_rows_);
+    }
+    const double sense = maximize_ ? -1.0 : 1.0;
+    kind_.push_back(ColKind::kStructural);
+    structural_id_.push_back(num_structural_);
+    orig_obj_.push_back(objective_coeff);
+    cost_.push_back(sense * objective_coeff);
+    phase1_cost_.push_back(0.0);
+    return num_structural_++;
+  }
+
+  /// Full two-phase solve on the first call; phase-2 re-optimization from
+  /// the standing basis on subsequent calls.
+  LpSolution solve() {
+    LpSolution solution;
+    // phase1_done_ is only latched on success: a re-solve after an
+    // infeasible (or iteration-limited) phase 1 runs phase 1 again from the
+    // current basis rather than silently optimizing with artificials basic.
+    if (!phase1_done_) {
+      if (num_artificials_ > 0) {
+        active_cost_ = &phase1_cost_;
+        allow_artificial_entering_ = true;
+        const LpStatus st = iterate(&solution.iterations);
+        if (st != LpStatus::kOptimal) {
+          // Phase 1 is bounded below by 0, so anything else is a limit.
+          solution.status = LpStatus::kIterationLimit;
+          return solution;
+        }
+        if (phase_objective() > 1e-7) {
+          solution.status = LpStatus::kInfeasible;
+          return solution;
+        }
+        purge_artificials();
+      }
+      phase1_done_ = true;
+    }
+    active_cost_ = &cost_;
+    allow_artificial_entering_ = false;
+    const LpStatus st = iterate(&solution.iterations);
+    solution.status = st;
+    if (st != LpStatus::kOptimal) return solution;
+
+    // Structural primal values and the objective in the caller's sense.
+    solution.x.assign(num_structural_, 0.0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const std::size_t j = basis_[r];
+      if (kind_[j] == ColKind::kStructural) {
+        solution.x[structural_id_[j]] = std::max(0.0, xb_[r]);
+      }
+    }
+    solution.objective = 0.0;
+    for (std::size_t i = 0; i < num_structural_; ++i) {
+      solution.objective += orig_obj_[i] * solution.x[i];
+    }
+
+    // Duals: y = c_B^T B^{-1}, mapped back through row flips / objective
+    // sense (rows dropped as redundant keep dual 0).
+    btran_costs(y_work_);
+    solution.duals.assign(num_orig_rows_, 0.0);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      double v = row_flip_[i] * y_work_.value[i];
+      if (maximize_) v = -v;
+      solution.duals[row_origin_[i]] = v;
+    }
+
+    // Basis labels for warm starts (only when every basic variable has a
+    // stable label and no rows were dropped).
+    if (emit_basis_labels_ && num_rows_ == num_orig_rows_) {
+      solution.basis.resize(num_rows_);
+      bool labelable = true;
+      for (std::size_t r = 0; r < num_rows_ && labelable; ++r) {
+        const std::size_t j = basis_[r];
+        if (kind_[j] == ColKind::kStructural) {
+          solution.basis[r] = structural_id_[j];
+        } else if (kind_[j] == ColKind::kSlack) {
+          const std::size_t row = cols_.col_rows(j)[0];
+          solution.basis[r] = kSlackLabelBase - row;
+        } else {
+          labelable = false;  // surplus or artificial stuck in the basis
+        }
+      }
+      if (!labelable) solution.basis.clear();
+    }
+    return solution;
+  }
+
+ private:
+  // ---------- model construction ----------
+  void build(const LpProblem& problem) {
+    maximize_ = problem.objective() == Objective::kMaximize;
+    const std::size_t m = problem.num_constraints();
+    num_orig_rows_ = m;
+    num_structural_ = problem.num_variables();
+    num_rows_ = m;
+    row_flip_.assign(m, 1.0);
+    row_origin_.resize(m);
+    b_.resize(m);
+
+    kind_.assign(num_structural_, ColKind::kStructural);
+    structural_id_.resize(num_structural_);
+    orig_obj_.resize(num_structural_);
+    cost_.assign(num_structural_, 0.0);
+    const double sense = maximize_ ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < num_structural_; ++j) {
+      structural_id_[j] = j;
+      orig_obj_[j] = problem.objective_coeff(j);
+      cost_[j] = sense * orig_obj_[j];
+    }
+    std::vector<RowSense> senses(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      row_origin_[i] = i;
+      const auto& row = problem.row(i);
+      double flip = 1.0;
+      RowSense s = row.sense;
+      if (row.rhs < 0.0) {
+        flip = -1.0;
+        if (s == RowSense::kLessEqual) s = RowSense::kGreaterEqual;
+        else if (s == RowSense::kGreaterEqual) s = RowSense::kLessEqual;
+      }
+      row_flip_[i] = flip;
+      b_[i] = flip * row.rhs;
+      senses[i] = s;
+    }
+    // Structural columns, transposed from the row-wise LpProblem into the
+    // contiguous column arena (count, prefix-sum, fill).
+    {
+      std::vector<std::size_t> count(num_structural_, 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (const LpTerm& t : problem.row(i).terms) {
+          if (t.coeff != 0.0) ++count[t.var];
+        }
+      }
+      cols_.start.assign(num_structural_ + 1, 0);
+      for (std::size_t j = 0; j < num_structural_; ++j) {
+        cols_.start[j + 1] = cols_.start[j] + count[j];
+      }
+      const std::size_t total = cols_.start[num_structural_];
+      cols_.rows.assign(total, 0);
+      cols_.vals.assign(total, 0.0);
+      std::vector<std::size_t> cursor(cols_.start.begin(), cols_.start.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (const LpTerm& t : problem.row(i).terms) {
+          if (t.coeff == 0.0) continue;
+          cols_.rows[cursor[t.var]] = static_cast<std::uint32_t>(i);
+          cols_.vals[cursor[t.var]] = row_flip_[i] * t.coeff;
+          ++cursor[t.var];
+        }
+      }
+    }
+
+    // Slack / surplus columns, then artificials.
+    basis_.assign(m, kNpos);
+    slack_col_of_row_.assign(m, kNpos);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (senses[i] == RowSense::kLessEqual) {
+        const std::size_t j = add_unit_column(i, +1.0, ColKind::kSlack);
+        slack_col_of_row_[i] = j;
+        basis_[i] = j;  // slack starts basic (b >= 0)
+      } else if (senses[i] == RowSense::kGreaterEqual) {
+        add_unit_column(i, -1.0, ColKind::kSurplus);  // cannot start basic
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basis_[i] == kNpos) {
+        basis_[i] = add_unit_column(i, +1.0, ColKind::kArtificial);
+        ++num_artificials_;
+      }
+    }
+    phase1_cost_.assign(cols_.num_cols(), 0.0);
+    for (std::size_t j = 0; j < cols_.num_cols(); ++j) {
+      if (kind_[j] == ColKind::kArtificial) phase1_cost_[j] = 1.0;
+    }
+
+    // try_warm_start() leaves an accepted warm basis already factorized;
+    // only the slack basis (or a rejected warm start) still needs one.
+    if (num_artificials_ > 0 || !try_warm_start()) refactor();
+  }
+
+  /// Replace the default slack basis with the caller-provided labels when
+  /// they decode to a primal-feasible basis of this problem.  Returns true
+  /// when the warm basis was adopted (and is then already factorized).
+  bool try_warm_start() {
+    const std::vector<std::size_t>* warm = options_.warm_basis;
+    if (warm == nullptr || warm->size() != num_rows_) return false;
+    std::vector<std::size_t> candidate(num_rows_);
+    std::vector<char> used(cols_.num_cols(), 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      std::size_t col;
+      const std::size_t label = (*warm)[r];
+      if (label < num_structural_) {
+        col = label;  // structural columns come first at build time
+      } else if (kSlackLabelBase - label < num_rows_) {
+        col = slack_col_of_row_[kSlackLabelBase - label];
+        if (col == kNpos) return false;  // row has no slack
+      } else {
+        return false;  // undecodable label
+      }
+      if (used[col]) return false;  // duplicate basic variable
+      used[col] = 1;
+      candidate[r] = col;
+    }
+    const std::vector<std::size_t> saved = basis_;
+    basis_ = candidate;
+    try {
+      refactor();
+    } catch (const Error&) {
+      basis_ = saved;  // singular warm basis: fall back to the slack basis
+      return false;
+    }
+    for (double v : xb_) {
+      if (v < -1e-7) {  // warm basis not primal feasible here
+        basis_ = saved;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::size_t add_unit_column(std::size_t row, double value, ColKind kind) {
+    cols_.push(static_cast<std::uint32_t>(row), value);
+    cols_.end_column();
+    kind_.push_back(kind);
+    structural_id_.push_back(kNpos);
+    cost_.push_back(0.0);
+    return cols_.num_cols() - 1;
+  }
+
+  // ---------- linear algebra (all through the LU factorization) ----------
+  void refactor() {
+    const std::size_t m = num_rows_;
+    std::vector<SparseColumnView> views(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t j = basis_[r];
+      views[r] = SparseColumnView{cols_.col_rows(j), cols_.col_vals(j), cols_.nnz(j)};
+    }
+    BT_ASSERT(lu_.factorize(m, views), "simplex: singular basis during refactor");
+    recompute_xb();
+  }
+
+  void recompute_xb() {
+    rhs_work_.reset(num_rows_);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (b_[i] != 0.0) rhs_work_.push(static_cast<std::uint32_t>(i), b_[i]);
+    }
+    lu_.ftran(rhs_work_);
+    xb_.assign(num_rows_, 0.0);
+    for (const std::uint32_t i : rhs_work_.nonzero) xb_[i] = rhs_work_.value[i];
+  }
+
+  /// w = B^{-1} * column j, sparse.
+  void ftran_col(std::size_t j, ScatteredVector& w) {
+    w.reset(num_rows_);
+    const std::uint32_t* rows = cols_.col_rows(j);
+    const double* vals = cols_.col_vals(j);
+    for (std::size_t k = 0; k < cols_.nnz(j); ++k) w.push(rows[k], vals[k]);
+    lu_.ftran(w);
+  }
+
+  /// y = (active cost of basis)^T * B^{-1}.  Only rows with non-zero basic
+  /// cost feed the solve, which keeps this cheap in both phases.
+  void btran_costs(ScatteredVector& y) {
+    y.reset(num_rows_);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const double cb = (*active_cost_)[basis_[r]];
+      if (cb != 0.0) y.push(static_cast<std::uint32_t>(r), cb);
+    }
+    lu_.btran(y);
+  }
+
+  double reduced_cost(std::size_t j, const double* y) const {
+    double d = (*active_cost_)[j];
+    const std::uint32_t* rows = cols_.col_rows(j);
+    const double* vals = cols_.col_vals(j);
+    const std::size_t nnz = cols_.nnz(j);
+    for (std::size_t k = 0; k < nnz; ++k) d -= y[rows[k]] * vals[k];
+    return d;
+  }
+
+  double phase_objective() const {
+    double v = 0.0;
+    for (std::size_t r = 0; r < num_rows_; ++r) v += (*active_cost_)[basis_[r]] * xb_[r];
+    return v;
+  }
+
+  bool column_may_enter(std::size_t j) const {
+    if (in_basis_[j]) return false;
+    if (!allow_artificial_entering_ && kind_[j] == ColKind::kArtificial) return false;
+    return true;
+  }
+
+  // ---------- simplex iterations ----------
+  LpStatus iterate(std::size_t* iteration_counter) {
+    const std::size_t n = cols_.num_cols();
+    const double tol = options_.tolerance;
+    const std::size_t max_iter = options_.max_iterations > 0
+                                     ? options_.max_iterations
+                                     : std::max<std::size_t>(2000, 60 * (num_rows_ + n));
+    in_basis_.assign(n, 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) in_basis_[basis_[r]] = 1;
+
+    bool bland = false;
+    double last_objective = phase_objective();
+    std::size_t stalled = 0;
+
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+      if (iteration_counter != nullptr) ++(*iteration_counter);
+      btran_costs(y_work_);
+      const double* y = y_work_.value.data();
+
+      // Pricing.  Bland mode scans in index order and takes the first
+      // violating column (termination guarantee); otherwise a cyclic
+      // candidate-list scan picks the most negative of a bounded window.
+      std::size_t entering = kNpos;
+      if (bland) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!column_may_enter(j)) continue;
+          if (reduced_cost(j, y) < -tol) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        double best_reduced = -tol;
+        std::size_t candidates = 0;
+        std::size_t j = pricing_cursor_ < n ? pricing_cursor_ : 0;
+        for (std::size_t examined = 0; examined < n; ++examined, j = (j + 1 < n ? j + 1 : 0)) {
+          if (!column_may_enter(j)) continue;
+          const double d = reduced_cost(j, y);
+          if (d < -tol) {
+            ++candidates;
+            if (d < best_reduced) {
+              best_reduced = d;
+              entering = j;
+            }
+            if (candidates >= kPricingWindow) {
+              j = (j + 1 < n ? j + 1 : 0);
+              break;
+            }
+          }
+        }
+        pricing_cursor_ = j;
+      }
+      if (entering == kNpos) return LpStatus::kOptimal;
+
+      // Ratio test over the nonzeros of w = B^{-1} A_entering.
+      ftran_col(entering, w_work_);
+      std::size_t leave_row = kNpos;
+      double best_ratio = kInf;
+      double best_pivot = 0.0;
+      for (const std::uint32_t r : w_work_.nonzero) {
+        const double wv = w_work_.value[r];
+        if (wv > tol) {
+          const double ratio = std::max(0.0, xb_[r]) / wv;
+          const bool better =
+              ratio < best_ratio - tol ||
+              (ratio < best_ratio + tol &&
+               (wv > best_pivot ||
+                (bland && leave_row != kNpos && basis_[r] < basis_[leave_row])));
+          if (better) {
+            best_ratio = ratio;
+            best_pivot = wv;
+            leave_row = r;
+          }
+        }
+      }
+      if (leave_row == kNpos) return LpStatus::kUnbounded;
+
+      pivot(leave_row, entering, w_work_);
+
+      // Cycling guard: persistent stalling switches to Bland's rule.
+      const double objective_now = phase_objective();
+      if (objective_now < last_objective - tol) {
+        stalled = 0;
+        bland = false;
+      } else if (++stalled > 2 * num_rows_ + 50) {
+        bland = true;
+      }
+      last_objective = objective_now;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  /// Basis change on `leave_row` with direction `w` (= B^{-1} A_entering,
+  /// with `entering` already chosen): delta-update xb over the nonzeros of
+  /// w, swap the basic variable, and append a product-form eta -- falling
+  /// back to a fresh factorization when the eta file is full or the update
+  /// pivot is numerically unsafe.
+  void pivot(std::size_t leave_row, std::size_t entering, const ScatteredVector& w) {
+    const double step = xb_[leave_row] / w.value[leave_row];
+    for (const std::uint32_t r : w.nonzero) {
+      if (r != leave_row) xb_[r] -= step * w.value[r];
+    }
+    xb_[leave_row] = step;
+    in_basis_[basis_[leave_row]] = 0;
+    in_basis_[entering] = 1;
+    basis_[leave_row] = entering;
+    if (!lu_.update(leave_row, w) || lu_.eta_count() >= options_.refactor_period) {
+      refactor();
+    }
+  }
+
+  /// After phase 1: pivot zero-valued artificials out of the basis; rows
+  /// whose artificial cannot be replaced are redundant and dropped.
+  void purge_artificials() {
+    std::vector<std::size_t> redundant_rows;
+    in_basis_.assign(cols_.num_cols(), 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) in_basis_[basis_[r]] = 1;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (kind_[basis_[r]] != ColKind::kArtificial) continue;
+      bool replaced = false;
+      for (std::size_t j = 0; j < cols_.num_cols() && !replaced; ++j) {
+        if (kind_[j] == ColKind::kArtificial || in_basis_[j]) continue;
+        ftran_col(j, w_work_);
+        if (std::abs(w_work_.value[r]) > 1e-7) {
+          // Degenerate pivot (xb_[r] ~ 0): basis changes, solution does not.
+          pivot(r, j, w_work_);
+          recompute_xb();
+          replaced = true;
+        }
+      }
+      if (!replaced) redundant_rows.push_back(r);
+    }
+    if (!redundant_rows.empty()) drop_rows(redundant_rows);
+  }
+
+  void drop_rows(const std::vector<std::size_t>& rows) {
+    rows_dropped_ = true;
+    std::vector<char> dead(num_rows_, 0);
+    for (std::size_t r : rows) dead[r] = 1;
+    std::vector<std::uint32_t> remap(num_rows_, 0);
+    std::vector<std::size_t> keep;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (!dead[r]) {
+        remap[r] = static_cast<std::uint32_t>(keep.size());
+        keep.push_back(r);
+      }
+    }
+    const std::size_t new_m = keep.size();
+    {
+      // Compact the column arena in place, dropping dead-row entries.
+      ColumnStore nc;
+      for (std::size_t j = 0; j < cols_.num_cols(); ++j) {
+        const std::uint32_t* rows = cols_.col_rows(j);
+        const double* vals = cols_.col_vals(j);
+        for (std::size_t k = 0; k < cols_.nnz(j); ++k) {
+          if (!dead[rows[k]]) nc.push(remap[rows[k]], vals[k]);
+        }
+        nc.end_column();
+      }
+      cols_ = std::move(nc);
+    }
+    std::vector<double> nb(new_m), nflip(new_m);
+    std::vector<std::size_t> norigin(new_m), nbasis(new_m), nslack(new_m);
+    for (std::size_t k = 0; k < new_m; ++k) {
+      nb[k] = b_[keep[k]];
+      nflip[k] = row_flip_[keep[k]];
+      norigin[k] = row_origin_[keep[k]];
+      nbasis[k] = basis_[keep[k]];
+      nslack[k] = slack_col_of_row_[keep[k]];
+    }
+    b_ = std::move(nb);
+    row_flip_ = std::move(nflip);
+    row_origin_ = std::move(norigin);
+    basis_ = std::move(nbasis);
+    slack_col_of_row_ = std::move(nslack);
+    num_rows_ = new_m;
+    refactor();
+  }
+
+  // ---------- state ----------
+  SimplexOptions options_;
+  bool maximize_ = false;
+  bool phase1_done_ = false;
+  bool rows_dropped_ = false;
+  bool emit_basis_labels_ = true;
+
+  std::size_t num_structural_ = 0;
+  std::size_t num_rows_ = 0;
+  std::size_t num_orig_rows_ = 0;
+  std::size_t num_artificials_ = 0;
+
+  ColumnStore cols_;                       // constraint matrix, CSC arena
+  std::vector<ColKind> kind_;              // role of each internal column
+  std::vector<std::size_t> structural_id_; // index into x for structural cols
+  std::vector<double> orig_obj_;           // objective in the caller's sense
+  std::vector<double> cost_;               // phase-2 cost (min sense)
+  std::vector<double> phase1_cost_;
+  std::vector<double> b_;
+  std::vector<double> row_flip_;
+  std::vector<std::size_t> row_origin_;
+  std::vector<std::size_t> slack_col_of_row_;
+
+  std::vector<std::size_t> basis_;  // basic variable per row
+  std::vector<double> xb_;          // basic variable values
+  BasisLu lu_;                      // factorized basis + eta file
+
+  ScatteredVector y_work_, w_work_, rhs_work_;
+  std::vector<char> in_basis_;
+  std::size_t pricing_cursor_ = 0;
+
+  const std::vector<double>* active_cost_ = nullptr;
+  bool allow_artificial_entering_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Dense reference engine (the pre-LU implementation): explicit dense basis
+// inverse with O(m^2) pivots and O(m^3) Gauss-Jordan refactorization.  Kept
+// for differential testing and as the benchmark baseline; select it with
+// SimplexOptions::engine = LpEngine::kDenseReference.
+// ---------------------------------------------------------------------------
+class DenseSimplexCore {
+ public:
+  DenseSimplexCore(const LpProblem& problem, const SimplexOptions& options)
       : options_(options), problem_(problem) {
     build(problem);
   }
@@ -159,22 +739,21 @@ class SimplexCore {
     }
 
     // Slack / surplus columns, then artificials.
-    basis_.assign(m, static_cast<std::size_t>(-1));
-    slack_col_of_row_.assign(m, static_cast<std::size_t>(-1));
+    basis_.assign(m, kNpos);
+    slack_col_of_row_.assign(m, kNpos);
     for (std::size_t i = 0; i < m; ++i) {
       if (senses[i] == RowSense::kLessEqual) {
-        const std::size_t j = add_unit_column(i, +1.0, 0.0);
+        const std::size_t j = add_unit_column(i, +1.0);
         slack_col_of_row_[i] = j;
         basis_[i] = j;  // slack starts basic (b >= 0)
       } else if (senses[i] == RowSense::kGreaterEqual) {
-        add_unit_column(i, -1.0, 0.0);  // surplus, cannot start basic
+        add_unit_column(i, -1.0);  // surplus, cannot start basic
       }
     }
     first_artificial_ = cols_.size();
     for (std::size_t i = 0; i < m; ++i) {
-      if (basis_[i] == static_cast<std::size_t>(-1)) {
-        const std::size_t j = add_unit_column(i, +1.0, 0.0);
-        basis_[i] = j;
+      if (basis_[i] == kNpos) {
+        basis_[i] = add_unit_column(i, +1.0);
         ++num_artificials_;
       }
     }
@@ -199,7 +778,7 @@ class SimplexCore {
         col = label;
       } else if (kSlackLabelBase - label < num_rows_) {
         col = slack_col_of_row_[kSlackLabelBase - label];
-        if (col == static_cast<std::size_t>(-1)) return;  // row has no slack
+        if (col == kNpos) return;  // row has no slack
       } else {
         return;  // undecodable label
       }
@@ -223,10 +802,10 @@ class SimplexCore {
     }
   }
 
-  std::size_t add_unit_column(std::size_t row, double value, double cost) {
+  std::size_t add_unit_column(std::size_t row, double value) {
     cols_.emplace_back();
     cols_.back().push(static_cast<std::uint32_t>(row), value);
-    cost_.push_back(cost);
+    cost_.push_back(0.0);
     return cols_.size() - 1;
   }
 
@@ -341,7 +920,7 @@ class SimplexCore {
       btran(y);
 
       // Pricing: pick the entering column (sparse dot products).
-      std::size_t entering = static_cast<std::size_t>(-1);
+      std::size_t entering = kNpos;
       double best_reduced = -tol;
       for (std::size_t j = 0; j < n; ++j) {
         if (in_basis[j]) continue;
@@ -359,11 +938,11 @@ class SimplexCore {
           entering = j;
         }
       }
-      if (entering == static_cast<std::size_t>(-1)) return LpStatus::kOptimal;
+      if (entering == kNpos) return LpStatus::kOptimal;
 
       // Ratio test.
       ftran(entering, w);
-      std::size_t leave_row = static_cast<std::size_t>(-1);
+      std::size_t leave_row = kNpos;
       double best_ratio = kInf;
       double best_pivot = 0.0;
       for (std::size_t r = 0; r < m; ++r) {
@@ -373,8 +952,7 @@ class SimplexCore {
               ratio < best_ratio - tol ||
               (ratio < best_ratio + tol &&
                (w[r] > best_pivot ||
-                (bland && leave_row != static_cast<std::size_t>(-1) &&
-                 basis_[r] < basis_[leave_row])));
+                (bland && leave_row != kNpos && basis_[r] < basis_[leave_row])));
           if (better) {
             best_ratio = ratio;
             best_pivot = w[r];
@@ -382,7 +960,7 @@ class SimplexCore {
           }
         }
       }
-      if (leave_row == static_cast<std::size_t>(-1)) return LpStatus::kUnbounded;
+      if (leave_row == kNpos) return LpStatus::kUnbounded;
 
       pivot(leave_row, w);
       in_basis[basis_[leave_row]] = 0;
@@ -516,7 +1094,7 @@ class SimplexCore {
   bool allow_artificial_entering_ = true;
 };
 
-}  // namespace
+}  // namespace detail
 
 LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
   BT_REQUIRE(problem.num_variables() > 0, "solve_lp: no variables");
@@ -536,8 +1114,32 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
     solution.objective = 0.0;
     return solution;
   }
-  SimplexCore core(problem, options);
-  return core.run();
+  if (options.engine == LpEngine::kDenseReference) {
+    detail::DenseSimplexCore core(problem, options);
+    return core.run();
+  }
+  detail::SparseSimplexCore core(problem, options);
+  return core.solve();
 }
+
+IncrementalSimplex::IncrementalSimplex(const LpProblem& problem, const SimplexOptions& options) {
+  BT_REQUIRE(problem.num_variables() > 0, "IncrementalSimplex: no variables");
+  BT_REQUIRE(problem.num_constraints() > 0, "IncrementalSimplex: no constraints");
+  core_ = std::make_unique<detail::SparseSimplexCore>(problem, options);
+  core_->set_emit_basis_labels(false);
+}
+
+IncrementalSimplex::~IncrementalSimplex() = default;
+IncrementalSimplex::IncrementalSimplex(IncrementalSimplex&&) noexcept = default;
+IncrementalSimplex& IncrementalSimplex::operator=(IncrementalSimplex&&) noexcept = default;
+
+std::size_t IncrementalSimplex::add_column(double objective_coeff,
+                                           const std::vector<LpTerm>& terms) {
+  return core_->add_column(objective_coeff, terms);
+}
+
+std::size_t IncrementalSimplex::num_variables() const { return core_->num_structural(); }
+
+LpSolution IncrementalSimplex::solve() { return core_->solve(); }
 
 }  // namespace bt

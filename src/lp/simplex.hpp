@@ -1,16 +1,21 @@
 #pragma once
 
-// Two-phase dense revised simplex.
+// Two-phase revised simplex over a sparse LU-factored basis.
 //
 // Solves LpProblem instances (non-negative variables, <=/>=/= rows).  The
-// implementation keeps an explicit dense basis inverse, refreshed from
-// scratch periodically for numerical hygiene, uses Dantzig pricing with a
-// Bland's-rule fallback against cycling, and a two-phase start (artificial
-// variables minimized first).  Problem sizes in this repository stay in the
-// hundreds-to-low-thousands of rows, where a dense inverse is both simple
-// and fast.
+// production engine keeps the basis in sparse LU form (basis_lu.hpp) with
+// product-form eta updates between periodic refactorizations, prices with a
+// cyclic candidate-list (partial) pricing rule plus a Bland's-rule fallback
+// against cycling, and uses a two-phase start (artificial variables
+// minimized first).  The previous dense-inverse engine is retained as
+// LpEngine::kDenseReference for benchmarking and differential testing.
+//
+// IncrementalSimplex exposes the engine statefully for column generation:
+// columns can be appended to a standing model, and each re-solve continues
+// from the current basis, factorization and duals instead of rebuilding.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,16 +28,24 @@ enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 /// Human-readable status name.
 std::string to_string(LpStatus status);
 
+/// Which simplex core services a solve.
+enum class LpEngine {
+  kSparse,          ///< sparse LU basis + eta updates (production)
+  kDenseReference,  ///< dense basis inverse (reference / benchmarking)
+};
+
 struct SimplexOptions {
   double tolerance = 1e-9;        ///< feasibility / optimality tolerance
   std::size_t max_iterations = 0; ///< 0 = automatic (scales with problem size)
-  /// Recompute the basis inverse from scratch every this many pivots.
-  std::size_t refactor_period = 128;
+  /// Refactorize the basis from scratch every this many pivots (between
+  /// refactorizations the sparse engine accumulates eta updates).
+  std::size_t refactor_period = 64;
   /// Optional warm-start basis (labels from a previous LpSolution::basis on
   /// a problem with the same rows; extra columns may have been added since).
   /// Honored only when the labeled basis is primal feasible and the problem
   /// needs no artificials; silently ignored otherwise.
   const std::vector<std::size_t>* warm_basis = nullptr;
+  LpEngine engine = LpEngine::kSparse;
 };
 
 /// Basis label encoding for warm starts: structural variable j is labeled j;
@@ -56,5 +69,47 @@ struct LpSolution {
 
 /// Solve `problem` with the revised simplex method.
 LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+namespace detail {
+class SparseSimplexCore;
+}  // namespace detail
+
+/// Stateful sparse simplex for column generation: the model, basis and
+/// factorization persist across solves, and columns can be appended without
+/// rebuilding.  Usage pattern:
+///
+///   IncrementalSimplex master(lp);            // rows fixed here
+///   auto sol = master.solve();                // full two-phase solve
+///   master.add_column(coeff, {{row, a}, ...});
+///   sol = master.solve();                     // re-optimizes from the
+///                                             // standing basis and duals
+///
+/// add_column requires that no rows were dropped as redundant during a prior
+/// solve (never the case for pure <= programs such as the packing masters).
+class IncrementalSimplex {
+ public:
+  explicit IncrementalSimplex(const LpProblem& problem, const SimplexOptions& options = {});
+  ~IncrementalSimplex();
+  IncrementalSimplex(IncrementalSimplex&&) noexcept;
+  IncrementalSimplex& operator=(IncrementalSimplex&&) noexcept;
+
+  /// Append a structural variable x >= 0 with objective coefficient
+  /// `objective_coeff` (in the problem's own sense) and coefficients `terms`
+  /// on the existing constraint rows ({row index, coefficient}; duplicate
+  /// rows are summed).  Returns the variable's index in LpSolution::x.  The
+  /// current basis stays valid (the new column enters non-basic at zero).
+  std::size_t add_column(double objective_coeff, const std::vector<LpTerm>& terms);
+
+  /// Number of structural variables currently in the model.
+  std::size_t num_variables() const;
+
+  /// Solve or re-optimize.  The first call runs the full two-phase method;
+  /// subsequent calls continue from the current basis (phase 2 only, since
+  /// appending columns never destroys primal feasibility).
+  LpSolution solve();
+
+ private:
+  std::unique_ptr<detail::SparseSimplexCore> core_;
+};
 
 }  // namespace bt

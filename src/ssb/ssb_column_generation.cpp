@@ -33,6 +33,18 @@ TreeColumn make_column(const Platform& platform, std::vector<EdgeId> edges) {
   return column;
 }
 
+// Master row layout (both solve paths): out-port of node u = row 2u,
+// in-port = row 2u + 1.  Rows exist even for nodes without arcs so the
+// indexing is stable as columns arrive.
+std::vector<LpTerm> master_terms(const TreeColumn& column, std::size_t p) {
+  std::vector<LpTerm> terms;
+  for (NodeId u = 0; u < p; ++u) {
+    if (column.out_time[u] != 0.0) terms.push_back({2 * u, column.out_time[u]});
+    if (column.in_time[u] != 0.0) terms.push_back({2 * u + 1, column.in_time[u]});
+  }
+  return terms;
+}
+
 }  // namespace
 
 SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
@@ -63,55 +75,99 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
 
   SsbPackingSolution solution;
   std::vector<double> lambda;
-  std::vector<std::size_t> warm_basis;  // master basis carried across rounds
 
-  while (columns.size() < options.max_columns) {
-    ++solution.separation_rounds;
-
-    // ---- Master: maximize total rate under the 2p port constraints. ----
-    LpProblem lp(Objective::kMaximize);
-    for (std::size_t j = 0; j < columns.size(); ++j) {
-      lp.add_variable(1.0, "tree" + std::to_string(j));
-    }
-    // Row layout: out-port of node u = row 2u, in-port = row 2u + 1.  Rows
-    // are created even for nodes without arcs (coefficients all zero rows are
-    // skipped by add_constraint merging; keep them for stable indexing).
-    std::vector<std::size_t> out_row(p), in_row(p);
-    for (NodeId u = 0; u < p; ++u) {
-      std::vector<LpTerm> out_terms, in_terms;
-      for (std::size_t j = 0; j < columns.size(); ++j) {
-        if (columns[j].out_time[u] != 0.0) out_terms.push_back({j, columns[j].out_time[u]});
-        if (columns[j].in_time[u] != 0.0) in_terms.push_back({j, columns[j].in_time[u]});
-      }
-      out_row[u] = lp.add_constraint(out_terms, RowSense::kLessEqual, 1.0);
-      in_row[u] = lp.add_constraint(in_terms, RowSense::kLessEqual, 1.0);
-    }
-
-    // Rows are identical across rounds and only columns are added, so the
-    // previous optimal basis warm-starts each re-solve.
-    SimplexOptions lp_options;
-    if (!warm_basis.empty()) lp_options.warm_basis = &warm_basis;
-    const LpSolution master = solve_lp(lp, lp_options);
-    BT_REQUIRE(master.status == LpStatus::kOptimal,
-               "solve_ssb_column_generation: master LP " + to_string(master.status));
-    solution.lp_iterations += master.iterations;
-    lambda = master.x;
-    warm_basis = master.basis;
-
-    // ---- Pricing: min-weight arborescence under the port duals. ----
+  // Pricing step shared by both master paths: min-weight arborescence under
+  // the port duals `y` (2p entries, row layout as above).  Returns true when
+  // an improving column was appended.
+  auto price_and_append = [&](const std::vector<double>& y) {
     std::vector<double> price(g.num_edges());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const double y_out = std::max(0.0, master.duals[out_row[g.from(e)]]);
-      const double y_in = std::max(0.0, master.duals[in_row[g.to(e)]]);
+      const double y_out = std::max(0.0, y[2 * g.from(e)]);
+      const double y_in = std::max(0.0, y[2 * g.to(e) + 1]);
       price[e] = platform.edge_time(e) * (y_out + y_in);
     }
     const auto priced = min_arborescence(g, source, price);
     BT_ASSERT(priced.found, "solve_ssb_column_generation: pricing lost spanning property");
 
     // Reduced cost of the best tree: 1 - priced.weight.  Non-positive means
-    // no improving column exists and the master is optimal.
-    if (priced.weight >= 1.0 - options.tolerance) break;
-    if (!add_column(priced.edges)) break;  // duplicate: numerically converged
+    // no improving column exists and (for exact duals) the master is optimal.
+    if (priced.weight >= 1.0 - options.tolerance) return false;
+    return add_column(priced.edges);  // duplicate: numerically converged
+  };
+
+  if (options.incremental_master) {
+    // ---- Standing master: rows are fixed up front, each pricing round
+    // appends one column and re-optimizes from the current basis. ----
+    LpProblem lp(Objective::kMaximize);
+    lp.add_variable(1.0, "tree0");
+    for (NodeId u = 0; u < p; ++u) {
+      std::vector<LpTerm> out_terms, in_terms;
+      if (columns[0].out_time[u] != 0.0) out_terms.push_back({0, columns[0].out_time[u]});
+      if (columns[0].in_time[u] != 0.0) in_terms.push_back({0, columns[0].in_time[u]});
+      lp.add_constraint(out_terms, RowSense::kLessEqual, 1.0);
+      lp.add_constraint(in_terms, RowSense::kLessEqual, 1.0);
+    }
+    IncrementalSimplex engine(lp);
+    std::vector<double> smoothed;  // Wentges stabilization center
+    while (columns.size() < options.max_columns) {
+      ++solution.separation_rounds;
+      const LpSolution master = engine.solve();
+      BT_REQUIRE(master.status == LpStatus::kOptimal,
+                 "solve_ssb_column_generation: master LP " + to_string(master.status));
+      solution.lp_iterations += master.iterations;
+      lambda = master.x;
+
+      // Price under smoothed duals; on mis-pricing fall back to the exact
+      // duals, which alone certify optimality.
+      const double alpha = options.dual_smoothing;
+      bool progressed;
+      if (alpha > 0.0 && !smoothed.empty()) {
+        for (std::size_t i = 0; i < smoothed.size(); ++i) {
+          smoothed[i] = alpha * smoothed[i] + (1.0 - alpha) * master.duals[i];
+        }
+        progressed = price_and_append(smoothed);
+        if (!progressed) {
+          smoothed = master.duals;  // re-center the stabilization
+          progressed = price_and_append(master.duals);
+        }
+      } else {
+        smoothed = master.duals;
+        progressed = price_and_append(master.duals);
+      }
+      if (!progressed) break;
+      engine.add_column(1.0, master_terms(columns.back(), p));
+    }
+  } else {
+    // ---- Legacy path: rebuild the whole master LP every round and re-solve
+    // it from the previous optimal basis (kept for benchmarking). ----
+    std::vector<std::size_t> warm_basis;  // master basis carried across rounds
+    while (columns.size() < options.max_columns) {
+      ++solution.separation_rounds;
+      LpProblem lp(Objective::kMaximize);
+      for (std::size_t j = 0; j < columns.size(); ++j) {
+        lp.add_variable(1.0, "tree" + std::to_string(j));
+      }
+      for (NodeId u = 0; u < p; ++u) {
+        std::vector<LpTerm> out_terms, in_terms;
+        for (std::size_t j = 0; j < columns.size(); ++j) {
+          if (columns[j].out_time[u] != 0.0) out_terms.push_back({j, columns[j].out_time[u]});
+          if (columns[j].in_time[u] != 0.0) in_terms.push_back({j, columns[j].in_time[u]});
+        }
+        lp.add_constraint(out_terms, RowSense::kLessEqual, 1.0);
+        lp.add_constraint(in_terms, RowSense::kLessEqual, 1.0);
+      }
+
+      SimplexOptions lp_options;
+      lp_options.engine = options.master_engine;
+      if (!warm_basis.empty()) lp_options.warm_basis = &warm_basis;
+      const LpSolution master = solve_lp(lp, lp_options);
+      BT_REQUIRE(master.status == LpStatus::kOptimal,
+                 "solve_ssb_column_generation: master LP " + to_string(master.status));
+      solution.lp_iterations += master.iterations;
+      lambda = master.x;
+      warm_basis = master.basis;
+      if (!price_and_append(master.duals)) break;
+    }
   }
   BT_REQUIRE(columns.size() < options.max_columns,
              "solve_ssb_column_generation: column cap hit without convergence");

@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "lp/simplex.hpp"
 #include "platform/platform.hpp"
 #include "ssb/ssb_solution.hpp"
 
@@ -46,6 +47,23 @@ struct SsbPackingSolution : SsbSolution {
 struct SsbColumnGenOptions {
   double tolerance = 1e-7;
   std::size_t max_columns = 5000;
+  /// Keep one master LP alive across pricing rounds (IncrementalSimplex):
+  /// each round appends the newly priced tree as a column and re-optimizes
+  /// from the standing basis, factorization and duals.  When false, the
+  /// master LpProblem is rebuilt and re-solved (warm-started) every round --
+  /// the pre-incremental behavior, kept for benchmarking.
+  bool incremental_master = true;
+  /// Simplex engine for the master; only consulted on the rebuild path
+  /// (the incremental master always runs the sparse LU engine).
+  LpEngine master_engine = LpEngine::kSparse;
+  /// Wentges dual smoothing for the pricing oracle (incremental master
+  /// only): price with y_hat = alpha * y_prev + (1 - alpha) * y instead of
+  /// the raw master duals, which oscillate heavily on the degenerate packing
+  /// master and otherwise drive hundreds of near-redundant pricing rounds
+  /// at scale (2-12x fewer rounds at 80 nodes).  When the smoothed duals
+  /// mis-price (no improving column), the round re-prices with the exact
+  /// duals, so convergence and optimality are unaffected.  0 disables.
+  double dual_smoothing = 0.5;
 };
 
 /// Solve the SSB program by arborescence column generation.  Throws

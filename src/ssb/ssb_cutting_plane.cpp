@@ -43,10 +43,15 @@ SsbSolution solve_ssb_cutting_plane(const Platform& platform,
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     ++solution.separation_rounds;
 
-    // ---- Master LP over the current cut pool. ----
+    // ---- Master LP over the current cut pool.  Loads carry a tiny negative
+    // objective weight (see SsbCuttingPlaneOptions::load_penalty) so the
+    // master returns a stable vertex of the degenerate optimal face. ----
     LpProblem lp(Objective::kMaximize);
     std::vector<std::size_t> n_var(m);
-    for (EdgeId e = 0; e < m; ++e) n_var[e] = lp.add_variable(0.0, "n" + std::to_string(e));
+    for (EdgeId e = 0; e < m; ++e) {
+      n_var[e] = lp.add_variable(-options.load_penalty * platform.edge_time(e),
+                                 "n" + std::to_string(e));
+    }
     const std::size_t tp_var = lp.add_variable(1.0, "TP");
 
     for (NodeId u = 0; u < p; ++u) {

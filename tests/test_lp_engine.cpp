@@ -1,0 +1,293 @@
+// Tests for the sparse LU simplex engine (basis_lu.hpp + simplex.cpp):
+// randomized cross-validation against the exact rational simplex and the
+// dense reference engine, warm-start invariance, a degenerate/cycling
+// regression that exercises the eta-update + refactorization path, and the
+// incremental (append-column) API used by the column-generation master.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/exact_simplex.hpp"
+#include "lp/lp_problem.hpp"
+#include "lp/rational.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+/// Random integer-coefficient maximization program with <= rows and
+/// non-negative rhs, mirrored into both representations.
+struct PairedLp {
+  ExactLp exact;
+  LpProblem approx{Objective::kMaximize};
+};
+
+PairedLp random_paired_lp(Rng& rng, std::size_t min_vars = 2, std::size_t max_extra = 6) {
+  PairedLp lp;
+  const std::size_t vars = min_vars + rng.index(max_extra);
+  const std::size_t rows = 2 + rng.index(max_extra);
+  lp.exact.c.resize(vars);
+  for (std::size_t j = 0; j < vars; ++j) {
+    const auto cj = rng.uniform_int(0, 9);
+    lp.exact.c[j] = Rational(cj);
+    lp.approx.add_variable(static_cast<double>(cj));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Rational> row(vars);
+    std::vector<LpTerm> terms;
+    for (std::size_t j = 0; j < vars; ++j) {
+      const auto aij = rng.uniform_int(0, 6);
+      row[j] = Rational(aij);
+      if (aij != 0) terms.push_back({j, static_cast<double>(aij)});
+    }
+    const auto bi = rng.uniform_int(1, 20);
+    lp.exact.a.push_back(std::move(row));
+    lp.exact.b.push_back(Rational(bi));
+    lp.approx.add_constraint(terms, RowSense::kLessEqual, static_cast<double>(bi));
+  }
+  return lp;
+}
+
+// ------------------------------------------- exact-rational cross-check ----
+
+TEST(SparseEngine, PropertyMatchesExactSimplexObjectiveAndDuals) {
+  Rng rng(0x5EED);
+  int optimal = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    PairedLp lp = random_paired_lp(rng);
+    const auto exact = solve_exact_lp(lp.exact);
+    const auto s = solve_lp(lp.approx);  // default engine: sparse LU
+    if (exact.status == ExactStatus::kUnbounded) {
+      EXPECT_EQ(s.status, LpStatus::kUnbounded) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(s.objective, exact.objective.to_double(), 1e-7) << "trial " << trial;
+    EXPECT_LE(lp.approx.max_violation(s.x), 1e-7) << "trial " << trial;
+    // Strong duality: b^T y = c^T x, with y >= 0 on <= rows of a max program.
+    double dual_objective = 0.0;
+    for (std::size_t i = 0; i < lp.approx.num_constraints(); ++i) {
+      EXPECT_GE(s.duals[i], -1e-7) << "trial " << trial << " row " << i;
+      dual_objective += s.duals[i] * lp.approx.row(i).rhs;
+    }
+    EXPECT_NEAR(dual_objective, s.objective, 1e-6) << "trial " << trial;
+    ++optimal;
+  }
+  EXPECT_GT(optimal, 40);
+}
+
+TEST(SparseEngine, AgreesWithDenseReferenceOnMixedSenseRows) {
+  // >= and = rows force the phase-1 + artificial-purge path through the
+  // factorization (including redundant-row drops).
+  Rng rng(0xD1FF);
+  for (int trial = 0; trial < 60; ++trial) {
+    LpProblem sparse_lp(Objective::kMinimize);
+    const std::size_t vars = 2 + rng.index(4);
+    for (std::size_t j = 0; j < vars; ++j) {
+      sparse_lp.add_variable(rng.uniform_real(0.5, 4.0));
+    }
+    const std::size_t rows = 2 + rng.index(4);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::vector<LpTerm> terms;
+      for (std::size_t j = 0; j < vars; ++j) {
+        const auto aij = rng.uniform_int(0, 3);
+        if (aij != 0) terms.push_back({j, static_cast<double>(aij)});
+      }
+      const RowSense sense = i % 3 == 0   ? RowSense::kGreaterEqual
+                             : i % 3 == 1 ? RowSense::kLessEqual
+                                          : RowSense::kEqual;
+      sparse_lp.add_constraint(terms, sense, static_cast<double>(rng.uniform_int(0, 8)));
+    }
+    SimplexOptions dense_options;
+    dense_options.engine = LpEngine::kDenseReference;
+    const LpSolution dense = solve_lp(sparse_lp, dense_options);
+    const LpSolution sparse = solve_lp(sparse_lp);
+    ASSERT_EQ(sparse.status, dense.status) << "trial " << trial;
+    if (sparse.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(sparse.objective, dense.objective, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------------------------------ warm start ----
+
+TEST(SparseEngine, WarmStartInvariance) {
+  // solve(lp) == solve(lp, warm) objectives across random programs, and the
+  // warm re-solve converges in at most one full pricing pass.
+  Rng rng(0x3A2B);
+  for (int trial = 0; trial < 40; ++trial) {
+    PairedLp lp = random_paired_lp(rng);
+    const LpSolution cold = solve_lp(lp.approx);
+    if (cold.status != LpStatus::kOptimal || cold.basis.empty()) continue;
+    SimplexOptions options;
+    options.warm_basis = &cold.basis;
+    const LpSolution warm = solve_lp(lp.approx, options);
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-8) << "trial " << trial;
+    EXPECT_LE(warm.iterations, 2u) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------- eta-update / refactorization -----
+
+TEST(SparseEngine, RefactorPeriodDoesNotChangeTheOptimum) {
+  // The same degenerate program solved with refactorization after every
+  // pivot, every third pivot, and only on the eta-file default must agree:
+  // the eta file and a fresh LU are interchangeable representations.
+  Rng rng(0xE7A);
+  for (int trial = 0; trial < 25; ++trial) {
+    PairedLp lp = random_paired_lp(rng, 4, 5);
+    const auto exact = solve_exact_lp(lp.exact);
+    if (exact.status != ExactStatus::kOptimal) continue;
+    for (const std::size_t period : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+      SimplexOptions options;
+      options.refactor_period = period;
+      const LpSolution s = solve_lp(lp.approx, options);
+      ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial << " period " << period;
+      EXPECT_NEAR(s.objective, exact.objective.to_double(), 1e-7)
+          << "trial " << trial << " period " << period;
+    }
+  }
+}
+
+TEST(SparseEngine, DegenerateCyclingRegression) {
+  // Classic degeneracy: many constraints active at the origin.  The engine
+  // must terminate (Bland fallback) and find the exact optimum while its
+  // pivots run through the eta-update path.
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  const auto y = lp.add_variable(1.0);
+  const auto z = lp.add_variable(1.0);
+  for (int k = 1; k <= 12; ++k) {
+    lp.add_constraint({{x, static_cast<double>(k)}, {y, 1.0}, {z, 0.5 * k}},
+                      RowSense::kLessEqual, 0.0);
+  }
+  lp.add_constraint({{x, 1.0}, {y, 1.0}, {z, 1.0}}, RowSense::kLessEqual, 1.0);
+  SimplexOptions options;
+  options.refactor_period = 2;  // force the refactor path under degeneracy
+  const LpSolution s = solve_lp(lp, options);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);  // y enters only at 0: all rows bind
+}
+
+// ------------------------------------------------- incremental simplex -----
+
+TEST(IncrementalSimplex, MatchesRebuildAfterEachAppendedColumn) {
+  // Column-generation pattern: fixed <= rows, one column appended per round.
+  // After every append, the incremental re-solve must match a from-scratch
+  // solve of the equivalent full problem (objective and duals).
+  Rng rng(0x17C5);
+  const std::size_t rows = 6;
+  std::vector<double> rhs(rows);
+  for (std::size_t i = 0; i < rows; ++i) rhs[i] = rng.uniform_real(1.0, 5.0);
+
+  auto random_column = [&]() {
+    std::vector<LpTerm> terms;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (rng.bernoulli(0.6)) terms.push_back({i, rng.uniform_real(0.1, 2.0)});
+    }
+    return terms;
+  };
+
+  std::vector<std::vector<LpTerm>> columns{random_column()};
+  std::vector<double> objective{rng.uniform_real(0.5, 2.0)};
+
+  auto build_full = [&]() {
+    LpProblem lp(Objective::kMaximize);
+    for (double c : objective) lp.add_variable(c);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::vector<LpTerm> row_terms;  // transpose the column list
+      for (std::size_t j = 0; j < columns.size(); ++j) {
+        for (const LpTerm& t : columns[j]) {
+          if (t.var == i) row_terms.push_back({j, t.coeff});
+        }
+      }
+      lp.add_constraint(row_terms, RowSense::kLessEqual, rhs[i]);
+    }
+    return lp;
+  };
+
+  LpProblem initial = build_full();
+  IncrementalSimplex engine(initial);
+  for (int round = 0; round < 12; ++round) {
+    const LpSolution incremental = engine.solve();
+    ASSERT_EQ(incremental.status, LpStatus::kOptimal) << "round " << round;
+    const LpSolution reference = solve_lp(build_full());
+    ASSERT_EQ(reference.status, LpStatus::kOptimal) << "round " << round;
+    EXPECT_NEAR(incremental.objective, reference.objective, 1e-7) << "round " << round;
+    ASSERT_EQ(incremental.x.size(), columns.size()) << "round " << round;
+    // Duals of both solves price every column to within tolerance: reduced
+    // costs of an optimal dual vector are <= 0 for a max program.
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      double reduced = objective[j];
+      for (const LpTerm& t : columns[j]) reduced -= incremental.duals[t.var] * t.coeff;
+      EXPECT_LE(reduced, 1e-6) << "round " << round << " column " << j;
+    }
+    columns.push_back(random_column());
+    objective.push_back(rng.uniform_real(0.5, 2.0));
+    engine.add_column(objective.back(), columns.back());
+    EXPECT_EQ(engine.num_variables(), columns.size());
+  }
+}
+
+TEST(IncrementalSimplex, RepeatedSolveIsIdempotent) {
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(3.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 4.0);
+  IncrementalSimplex engine(lp);
+  const LpSolution first = engine.solve();
+  const LpSolution second = engine.solve();
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  ASSERT_EQ(second.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(first.objective, second.objective);
+  EXPECT_LE(second.iterations, 1u);  // nothing to do from an optimal basis
+}
+
+TEST(IncrementalSimplex, AddColumnMergesDuplicateRowTerms) {
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 6.0);
+  IncrementalSimplex engine(lp);
+  ASSERT_EQ(engine.solve().status, LpStatus::kOptimal);
+  // {row 0: 1.0} + {row 0: 2.0} must act as a single coefficient 3.0.
+  engine.add_column(9.0, {{0, 1.0}, {0, 2.0}});
+  const LpSolution s = engine.solve();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 18.0, 1e-9);  // new column: 6/3 * 9 = 18 beats 6
+}
+
+TEST(IncrementalSimplex, InfeasibleModelStaysInfeasibleUntilAColumnFixesIt) {
+  // x >= 2 and x <= 1 is infeasible.  Re-solving must not skip phase 1 and
+  // "succeed" with artificials still basic; appending a column that makes
+  // the model feasible must then solve for real.
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kGreaterEqual, 2.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 1.0);
+  IncrementalSimplex engine(lp);
+  EXPECT_EQ(engine.solve().status, LpStatus::kInfeasible);
+  EXPECT_EQ(engine.solve().status, LpStatus::kInfeasible);
+  engine.add_column(-0.5, {{0, 1.0}});  // row 0 becomes x + y >= 2
+  const LpSolution fixed = engine.solve();
+  ASSERT_EQ(fixed.status, LpStatus::kOptimal);
+  EXPECT_NEAR(fixed.objective, 0.5, 1e-9);  // x = 1, y = 1
+}
+
+TEST(IncrementalSimplex, RejectsBadInput) {
+  LpProblem empty_rows(Objective::kMaximize);
+  empty_rows.add_variable(1.0);
+  EXPECT_THROW(IncrementalSimplex bad(empty_rows), Error);
+
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 1.0);
+  IncrementalSimplex engine(lp);
+  EXPECT_THROW(engine.add_column(1.0, {{7, 1.0}}), Error);  // row out of range
+}
+
+}  // namespace
+}  // namespace bt
