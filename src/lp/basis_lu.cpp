@@ -1,7 +1,10 @@
 #include "lp/basis_lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+
+#include "util/error.hpp"
 
 namespace bt {
 
@@ -13,9 +16,12 @@ constexpr double kPivotThreshold = 0.1;
 /// Entries below this are not acceptable pivots; a basis whose remaining
 /// columns have no larger entry is reported singular.
 constexpr double kSingularTol = 1e-11;
-/// Safety floor for the eta pivot |w[leave_pos]|; below it update() asks the
-/// caller to refactorize instead.
+/// Safety floor for the update pivot; below it update() asks the caller to
+/// refactorize instead.
 constexpr double kUpdateTol = 1e-11;
+/// A Forrest-Tomlin elimination multiplier above this magnitude signals an
+/// unstable update; the caller refactorizes instead.
+constexpr double kFtGrowthLimit = 1e8;
 /// Markowitz search examines at most this many eligible columns per step
 /// (walking the count buckets upward), Suhl-style.  Scanning everything
 /// would make each factorization O(m * nnz).
@@ -23,9 +29,17 @@ constexpr std::size_t kMarkowitzCandidates = 8;
 
 }  // namespace
 
+void BasisLu::set_update_mode(UpdateMode mode) {
+  BT_ASSERT(updates_ == 0,
+            "BasisLu::set_update_mode: updates pending; refactorize first");
+  mode_ = mode;
+}
+
 bool BasisLu::factorize(std::size_t m, const std::vector<SparseColumnView>& columns) {
   m_ = m;
   etas_.clear();
+  ft_etas_.clear();
+  updates_ = 0;
   pivot_row_.clear();
   pivot_col_.clear();
   diag_.clear();
@@ -46,6 +60,18 @@ bool BasisLu::factorize(std::size_t m, const std::vector<SparseColumnView>& colu
   diag_.reserve(m);
   work_.assign(m, 0.0);
   flag_.assign(m, 0);
+  spike_.assign(m, 0.0);
+  spike_flag_.assign(m, 0);
+  spike_nz_.clear();
+  elim_.assign(m, 0.0);
+  elim_flag_.assign(m, 0);
+  elim_heap_.clear();
+  order_.resize(m);
+  order_pos_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    order_[k] = static_cast<std::uint32_t>(k);
+    order_pos_[k] = static_cast<std::uint32_t>(k);
+  }
 
   // Working copy of B, column-wise, plus row occupancy for Markowitz counts.
   // Column entry lists stay exact (entries are removed the moment their row
@@ -266,6 +292,8 @@ void BasisLu::ftran(ScatteredVector& x) {
   double* r = x.value.data();
   // L z = P a, in step order; z lands in work_.  Touched rows are appended
   // to the nonzero list so the row-space residue can be cleared in O(nnz).
+  // L is never modified by Forrest-Tomlin updates, so the original step
+  // order remains the valid substitution order here.
   for (std::size_t k = 0; k < m_; ++k) {
     const double zk = r[pivot_row_[k]];
     work_[k] = zk;
@@ -280,10 +308,20 @@ void BasisLu::ftran(ScatteredVector& x) {
   for (const std::uint32_t i : x.nonzero) r[i] = 0.0;
   x.nonzero.clear();
 
+  // Forrest-Tomlin row etas, oldest first: the row operations that kept U
+  // triangular act on the intermediate vector between the L and U solves.
+  for (const RowEta& e : ft_etas_) {
+    double acc = work_[e.step];
+    for (std::size_t s = 0; s < e.src.size(); ++s) acc -= e.mult[s] * work_[e.src[s]];
+    work_[e.step] = acc;
+  }
+
   // U w = z, backward substitution, push-style over U's columns: a zero
   // position propagates nothing, so sparse right-hand sides only pay for
-  // the steps they actually reach.
-  for (std::size_t k = m_; k-- > 0;) {
+  // the steps they actually reach.  U is triangular with respect to the
+  // (update-permuted) elimination order, so iterate order_, not the step id.
+  for (std::size_t idx = m_; idx-- > 0;) {
+    const std::uint32_t k = order_[idx];
     const double wk = work_[k] / diag_[k];
     work_[k] = wk;
     if (wk == 0.0) continue;
@@ -323,8 +361,10 @@ void BasisLu::btran(ScatteredVector& x) {
   }
 
   double* c = x.value.data();
-  // U^T t = Q^T c, forward (push to later steps); t lands in work_.
-  for (std::size_t k = 0; k < m_; ++k) {
+  // U^T t = Q^T c, forward over the elimination order (push to later
+  // steps); t lands in work_.
+  for (std::size_t idx = 0; idx < m_; ++idx) {
+    const std::uint32_t k = order_[idx];
     const double tk = c[pivot_col_[k]] / diag_[k];
     work_[k] = tk;
     if (tk == 0.0) continue;
@@ -338,8 +378,16 @@ void BasisLu::btran(ScatteredVector& x) {
   for (const std::uint32_t i : x.nonzero) c[i] = 0.0;
   x.nonzero.clear();
 
+  // Transposed Forrest-Tomlin row etas, newest first.
+  for (auto it = ft_etas_.rbegin(); it != ft_etas_.rend(); ++it) {
+    const double v = work_[it->step];
+    if (v == 0.0) continue;
+    for (std::size_t s = 0; s < it->src.size(); ++s) work_[it->src[s]] -= it->mult[s] * v;
+  }
+
   // L^T v = t, backward, push-style over L's transposed rows (zero
-  // positions propagate nothing), in place in work_.
+  // positions propagate nothing), in place in work_.  L is untouched by
+  // updates, so the original step order is the right substitution order.
   for (std::size_t k = m_; k-- > 0;) {
     const double vk = work_[k];
     if (vk == 0.0) continue;
@@ -358,6 +406,9 @@ void BasisLu::btran(ScatteredVector& x) {
 bool BasisLu::update(std::size_t leave_pos, const ScatteredVector& w) {
   const double piv = w.value[leave_pos];
   if (std::abs(piv) < kUpdateTol) return false;
+  if (mode_ == UpdateMode::kForrestTomlin) {
+    return forrest_tomlin_update(static_cast<std::uint32_t>(leave_pos), w);
+  }
   Eta e;
   e.pivot_pos = static_cast<std::uint32_t>(leave_pos);
   e.pivot_value = piv;
@@ -367,12 +418,165 @@ bool BasisLu::update(std::size_t leave_pos, const ScatteredVector& w) {
     e.val.push_back(w.value[i]);
   }
   etas_.push_back(std::move(e));
+  ++updates_;
+  return true;
+}
+
+bool BasisLu::forrest_tomlin_update(std::uint32_t leave_pos, const ScatteredVector& w) {
+  // Replace basis column `leave_pos`, factored at step t, with the entering
+  // column a (given as w = B^{-1} a).  On failure the factors are left
+  // partially modified and invalid: the caller must refactorize.
+  const std::uint32_t t = step_of_col_[leave_pos];
+
+  // ---- 1. Spike s = L^{-1} a, recovered as s = U w (both in step space;
+  // valid because the Forrest-Tomlin file keeps U exact -- no product-form
+  // etas are pending).  U column c holds diag_[c] plus utrans entries.
+  spike_nz_.clear();
+  for (const std::uint32_t j : w.nonzero) {
+    const double wv = w.value[j];
+    if (wv == 0.0) continue;
+    const std::uint32_t c = step_of_col_[j];
+    if (!spike_flag_[c]) {
+      spike_flag_[c] = 1;
+      spike_[c] = 0.0;
+      spike_nz_.push_back(c);
+    }
+    spike_[c] += diag_[c] * wv;
+    const auto& us = utrans_step_[c];
+    const auto& uv = utrans_val_[c];
+    for (std::size_t s = 0; s < us.size(); ++s) {
+      const std::uint32_t k = us[s];
+      if (!spike_flag_[k]) {
+        spike_flag_[k] = 1;
+        spike_[k] = 0.0;
+        spike_nz_.push_back(k);
+      }
+      spike_[k] += uv[s] * wv;
+    }
+  }
+  double dval = spike_flag_[t] ? spike_[t] : 0.0;
+
+  // ---- 2. Detach row t of U; its entries seed the elimination row. ----
+  elim_heap_.clear();
+  for (std::size_t s = 0; s < ucols_[t].size(); ++s) {
+    const std::uint32_t cstep = step_of_col_[ucols_[t][s]];
+    elim_[cstep] = uvals_[t][s];
+    elim_flag_[cstep] = 1;
+    elim_heap_.push_back(cstep);
+    auto& ts = utrans_step_[cstep];
+    auto& tv = utrans_val_[cstep];
+    for (std::size_t q = 0; q < ts.size(); ++q) {
+      if (ts[q] == t) {
+        ts[q] = ts.back();
+        ts.pop_back();
+        tv[q] = tv.back();
+        tv.pop_back();
+        break;
+      }
+    }
+  }
+  ucols_[t].clear();
+  uvals_[t].clear();
+
+  // ---- 3. Detach column t of U. ----
+  for (const std::uint32_t k : utrans_step_[t]) {
+    auto& rc = ucols_[k];
+    auto& rv = uvals_[k];
+    for (std::size_t q = 0; q < rc.size(); ++q) {
+      if (rc[q] == leave_pos) {
+        rc[q] = rc.back();
+        rc.pop_back();
+        rv[q] = rv.back();
+        rv.pop_back();
+        break;
+      }
+    }
+  }
+  utrans_step_[t].clear();
+  utrans_val_[t].clear();
+
+  // ---- 4. Rotate step t to the end of the elimination order. ----
+  for (std::uint32_t p = order_pos_[t]; p + 1 < m_; ++p) {
+    order_[p] = order_[p + 1];
+    order_pos_[order_[p]] = p;
+  }
+  order_[m_ - 1] = t;
+  order_pos_[t] = static_cast<std::uint32_t>(m_ - 1);
+
+  // ---- 5. Insert the spike as the new column t: every other step now
+  // precedes t in the order, so all its entries are upper triangular. ----
+  for (const std::uint32_t k : spike_nz_) {
+    const double sv = spike_[k];
+    spike_flag_[k] = 0;
+    spike_[k] = 0.0;
+    if (k == t || sv == 0.0) continue;
+    ucols_[k].push_back(leave_pos);
+    uvals_[k].push_back(sv);
+    utrans_step_[t].push_back(k);
+    utrans_val_[t].push_back(sv);
+  }
+  spike_nz_.clear();
+
+  // ---- 6. Eliminate the detached row with row operations against the
+  // triangular part, walking the entries in elimination order (a min-heap
+  // on order_pos_; fill lands strictly later in the order).  The operations
+  // become one row eta; the updated last-column entry is the new diagonal.
+  auto heap_less = [this](std::uint32_t a, std::uint32_t b) {
+    return order_pos_[a] > order_pos_[b];  // min-heap on order position
+  };
+  std::make_heap(elim_heap_.begin(), elim_heap_.end(), heap_less);
+  RowEta eta;
+  eta.step = t;
+  while (!elim_heap_.empty()) {
+    std::pop_heap(elim_heap_.begin(), elim_heap_.end(), heap_less);
+    const std::uint32_t c = elim_heap_.back();
+    elim_heap_.pop_back();
+    const double rv = elim_[c];
+    elim_[c] = 0.0;
+    elim_flag_[c] = 0;
+    if (rv == 0.0) continue;
+    const double mu = rv / diag_[c];
+    if (!std::isfinite(mu) || std::abs(mu) > kFtGrowthLimit) {
+      // Unstable elimination: bail out and clean the scratch state.
+      for (const std::uint32_t q : elim_heap_) {
+        elim_[q] = 0.0;
+        elim_flag_[q] = 0;
+      }
+      elim_heap_.clear();
+      return false;
+    }
+    eta.src.push_back(c);
+    eta.mult.push_back(mu);
+    const auto& rc = ucols_[c];
+    const auto& rvv = uvals_[c];
+    for (std::size_t q = 0; q < rc.size(); ++q) {
+      const std::uint32_t cj = rc[q];
+      if (cj == leave_pos) {
+        dval -= mu * rvv[q];
+        continue;
+      }
+      const std::uint32_t cstep = step_of_col_[cj];
+      if (!elim_flag_[cstep]) {
+        elim_flag_[cstep] = 1;
+        elim_[cstep] = 0.0;
+        elim_heap_.push_back(cstep);
+        std::push_heap(elim_heap_.begin(), elim_heap_.end(), heap_less);
+      }
+      elim_[cstep] -= mu * rvv[q];
+    }
+  }
+  if (std::abs(dval) < kUpdateTol || !std::isfinite(dval)) return false;
+  diag_[t] = dval;
+  if (!eta.src.empty()) ft_etas_.push_back(std::move(eta));
+  ++updates_;
   return true;
 }
 
 std::size_t BasisLu::factor_nonzeros() const {
   std::size_t nnz = m_;  // U diagonal
   for (std::size_t k = 0; k < m_; ++k) nnz += lrows_[k].size() + ucols_[k].size();
+  for (const Eta& e : etas_) nnz += e.idx.size() + 1;
+  for (const RowEta& e : ft_etas_) nnz += e.src.size();
   return nnz;
 }
 

@@ -1,25 +1,39 @@
 #pragma once
 
-// Sparse LU factorization of a simplex basis with product-form eta updates.
+// Sparse LU factorization of a simplex basis with Forrest-Tomlin updates.
 //
 // The revised simplex needs two kernels per iteration: FTRAN (solve
 // B w = a for the entering column's direction) and BTRAN (solve
 // B^T y = c_B for the duals used in pricing).  This module keeps B in
 // factored form
 //
-//     B = P^T L U Q^T,   then   B_k = E_k ... E_1-updated B
+//     B = P^T L U Q^T,   updated in place as basis columns are replaced
 //
 // where L/U come from a Markowitz-ordered sparse Gaussian elimination
 // (pivots chosen to minimize (row_count-1)*(col_count-1) fill, subject to a
-// threshold |a_ij| >= tau * max|column|), and each simplex pivot appends a
-// product-form eta matrix instead of retouching the factors.  Solves walk
-// only the stored nonzeros; right-hand sides and results are carried as
-// ScatteredVector (dense values + the list of touched positions) so that
-// clearing between solves is O(nnz), not O(m).
+// threshold |a_ij| >= tau * max|column|).  Solves walk only the stored
+// nonzeros; right-hand sides and results are carried as ScatteredVector
+// (dense values + the list of touched positions) so that clearing between
+// solves is O(nnz), not O(m).
 //
-// The eta file grows by one vector per pivot; the owning solver refactorizes
-// periodically (SimplexOptions::refactor_period) or when update() reports a
-// numerically unsafe pivot, which restores a fresh L U and empties the file.
+// Two update strategies are available (UpdateMode):
+//
+//  * Forrest-Tomlin (default): replace the leaving column of U with the
+//    spike L^{-1} a, rotate the pivot to the end of the elimination order,
+//    and eliminate the leaving row's entries with row operations that are
+//    recorded as a short "row eta".  U stays genuinely triangular (in the
+//    permuted order), so FTRAN/BTRAN cost stays proportional to the factor
+//    fill plus the (small) row-eta file -- it does not grow with one dense
+//    eta vector per pivot.  Both the row-wise U and the transposed factors
+//    used by the push-style BTRAN are updated in place.
+//
+//  * Product form: each pivot appends an eta matrix holding the full FTRAN
+//    direction, and solves replay the whole file.  Retained for
+//    differential testing and benchmarking against Forrest-Tomlin.
+//
+// The owning solver refactorizes periodically
+// (SimplexOptions::refactor_period) or when update() reports a numerically
+// unsafe pivot, which restores a fresh L U and empties the update files.
 
 #include <cstddef>
 #include <cstdint>
@@ -52,16 +66,28 @@ struct SparseColumnView {
   std::size_t nnz = 0;
 };
 
-/// LU-factored simplex basis with an eta-update file.
+/// LU-factored simplex basis with in-place (Forrest-Tomlin) or product-form
+/// eta updates between refactorizations.
 ///
 /// Position space: basis position k holds the k-th basic variable, i.e.
 /// column k of B; row space: the constraint rows.  ftran maps a row-space
 /// right-hand side to a position-space result, btran the reverse.
 class BasisLu {
  public:
+  /// Basis-change strategy applied by update() between refactorizations.
+  enum class UpdateMode {
+    kForrestTomlin,  ///< rotate U in place + short row etas (production)
+    kProductForm,    ///< append one full eta per pivot (reference)
+  };
+
+  /// Select the update strategy.  Must be called while no updates are
+  /// pending (i.e. right after construction or a factorize()).
+  void set_update_mode(UpdateMode mode);
+  UpdateMode update_mode() const { return mode_; }
+
   /// Factorize the m x m basis whose k-th column is `columns[k]`.  Discards
-  /// any eta file.  Returns false if the basis is numerically singular (the
-  /// previous factorization is then invalid).
+  /// any pending updates.  Returns false if the basis is numerically
+  /// singular (the previous factorization is then invalid).
   bool factorize(std::size_t m, const std::vector<SparseColumnView>& columns);
 
   /// Solve B x = a in place: on entry `x` holds a row-space right-hand side,
@@ -72,16 +98,20 @@ class BasisLu {
   /// vector, on exit the row-space duals (nonzero list maintained).
   void btran(ScatteredVector& x);
 
-  /// Append the product-form eta for a pivot that replaces the basic
-  /// variable at position `leave_pos`, where `w` = ftran(entering column).
-  /// Returns false when |w[leave_pos]| is too small to update safely; the
-  /// caller must refactorize (with the new basis) instead.
+  /// Update the factorization for a pivot that replaces the basic variable
+  /// at position `leave_pos`, where `w` = ftran(entering column).  Returns
+  /// false when the update pivot is too small (or, under Forrest-Tomlin,
+  /// the elimination is unstable); the factorization is then invalid and
+  /// the caller must refactorize with the new basis.
   bool update(std::size_t leave_pos, const ScatteredVector& w);
 
-  std::size_t eta_count() const { return etas_.size(); }
+  /// Number of update() pivots applied since the last factorization.
+  std::size_t update_count() const { return updates_; }
   std::size_t dimension() const { return m_; }
 
-  /// Total nonzeros in L + U of the last factorization (diagnostic).
+  /// Total nonzeros in L + U of the current factors plus the update files
+  /// (diagnostic; under product form this grows by one eta per pivot, under
+  /// Forrest-Tomlin only by the eliminated row stubs).
   std::size_t factor_nonzeros() const;
 
  private:
@@ -91,8 +121,18 @@ class BasisLu {
     std::vector<std::uint32_t> idx;      ///< other positions with w != 0
     std::vector<double> val;             ///< w at those positions
   };
+  /// Forrest-Tomlin row eta: the row operations that eliminated the leaving
+  /// row, i.e. z[step] -= sum_i mult[i] * z[src[i]] applied between the L
+  /// and U solves (transposed in BTRAN).
+  struct RowEta {
+    std::uint32_t step;
+    std::vector<std::uint32_t> src;
+    std::vector<double> mult;
+  };
 
+  UpdateMode mode_ = UpdateMode::kForrestTomlin;
   std::size_t m_ = 0;
+  std::size_t updates_ = 0;
   // Elimination step k pivoted on (row pivot_row_[k], column pivot_col_[k]).
   std::vector<std::uint32_t> pivot_row_;
   std::vector<std::uint32_t> pivot_col_;
@@ -114,7 +154,17 @@ class BasisLu {
   std::vector<std::vector<std::uint32_t>> ltrans_step_;
   std::vector<std::vector<double>> ltrans_val_;
 
-  std::vector<Eta> etas_;
+  // Elimination order of the steps.  A fresh factorization uses the
+  // identity; Forrest-Tomlin updates rotate the updated step to the end.
+  // U is upper triangular with respect to this order, so the triangular
+  // solves iterate order_ instead of the raw step index.
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> order_pos_;  ///< inverse of order_
+
+  std::vector<Eta> etas_;       ///< product-form file (kProductForm)
+  std::vector<RowEta> ft_etas_; ///< row-eta file (kForrestTomlin)
+
+  bool forrest_tomlin_update(std::uint32_t leave_pos, const ScatteredVector& w);
 
   /// Deduplicate a nonzero list and drop exact zeros, so callers can treat
   /// it as an exact support set (e.g. for delta updates of xb).
@@ -123,6 +173,13 @@ class BasisLu {
   // Solve workspaces (sized m_), reused across calls.
   std::vector<double> work_;
   std::vector<char> flag_;
+  // Forrest-Tomlin update workspaces (sized m_).
+  std::vector<double> spike_;
+  std::vector<char> spike_flag_;
+  std::vector<std::uint32_t> spike_nz_;
+  std::vector<double> elim_;
+  std::vector<char> elim_flag_;
+  std::vector<std::uint32_t> elim_heap_;
 
   // Factorization workspace, reused across refactorizations so a periodic
   // refactor costs no per-column allocations (the inner vectors keep their

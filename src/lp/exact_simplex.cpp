@@ -80,6 +80,9 @@ ExactSolution solve_exact_lp(const ExactLp& lp) {
   }
   solution.objective = Rational(0);
   for (std::size_t j = 0; j < n; ++j) solution.objective += lp.c[j] * solution.x[j];
+  // Duals: the objective-row entries of the slack columns (y = c_B B^{-1}).
+  solution.duals.assign(m, Rational(0));
+  for (std::size_t i = 0; i < m; ++i) solution.duals[i] = t[m][n + i];
   return solution;
 }
 

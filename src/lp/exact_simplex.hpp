@@ -31,6 +31,9 @@ struct ExactSolution {
   ExactStatus status = ExactStatus::kOptimal;
   Rational objective;
   std::vector<Rational> x;
+  /// Optimal duals, one per constraint row (the reduced costs of the slack
+  /// columns in the final tableau): y >= 0 and b^T y = c^T x exactly.
+  std::vector<Rational> duals;
   std::size_t pivots = 0;
 };
 

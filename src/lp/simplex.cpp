@@ -83,14 +83,34 @@ class SparseSimplexCore {
  public:
   SparseSimplexCore(const LpProblem& problem, const SimplexOptions& options)
       : options_(options) {
+    lu_.set_update_mode(options.update_mode);
     build(problem);
   }
 
   std::size_t num_structural() const { return num_structural_; }
+  std::size_t num_rows_total() const { return num_rows_ + pending_rows_.size(); }
 
   /// Basis-label extraction only serves cross-solve warm starts; a standing
   /// IncrementalSimplex keeps its basis in place and can skip it.
   void set_emit_basis_labels(bool emit) { emit_basis_labels_ = emit; }
+
+  /// Sum `terms` into the rhs_work_ scratch (dimension `size`, indices
+  /// bound-checked).  The nonzero list may carry duplicates when a
+  /// coefficient passes through exactly zero mid-accumulation; consumers
+  /// must either read densely or clear slots as they emit.
+  ScatteredVector& accumulate_terms(const std::vector<LpTerm>& terms, std::size_t size,
+                                    const char* bound_message) {
+    ScatteredVector& acc = rhs_work_;
+    acc.reset(size);
+    for (const LpTerm& t : terms) {
+      BT_REQUIRE(t.var < size, bound_message);
+      if (acc.value[t.var] == 0.0 && t.coeff != 0.0) {
+        acc.nonzero.push_back(static_cast<std::uint32_t>(t.var));
+      }
+      acc.value[t.var] += t.coeff;
+    }
+    return acc;
+  }
 
   /// Append a structural column; the standing basis/factorization stay
   /// valid (the new column enters non-basic at zero).
@@ -98,14 +118,10 @@ class SparseSimplexCore {
     BT_REQUIRE(!rows_dropped_,
                "IncrementalSimplex::add_column: a redundant row was dropped; "
                "appended columns can no longer be aligned with the rows");
+    merge_pending_rows();
     {
-      ScatteredVector& acc = rhs_work_;
-      acc.reset(num_rows_);
-      for (const LpTerm& t : terms) {
-        BT_REQUIRE(t.var < num_rows_, "IncrementalSimplex::add_column: row index out of range");
-        if (acc.value[t.var] == 0.0 && t.coeff != 0.0) acc.nonzero.push_back(static_cast<std::uint32_t>(t.var));
-        acc.value[t.var] += t.coeff;
-      }
+      ScatteredVector& acc = accumulate_terms(
+          terms, num_rows_, "IncrementalSimplex::add_column: row index out of range");
       for (std::size_t i = 0; i < num_rows_; ++i) {
         if (acc.value[i] != 0.0) cols_.push(static_cast<std::uint32_t>(i), row_flip_[i] * acc.value[i]);
       }
@@ -118,12 +134,69 @@ class SparseSimplexCore {
     orig_obj_.push_back(objective_coeff);
     cost_.push_back(sense * objective_coeff);
     phase1_cost_.push_back(0.0);
+    col_of_structural_.push_back(cols_.num_cols() - 1);
     return num_structural_++;
   }
 
-  /// Full two-phase solve on the first call; phase-2 re-optimization from
-  /// the standing basis on subsequent calls.
-  LpSolution solve() {
+  /// Buffer a <= or >= row over the structural variables; rows are merged
+  /// into the model lazily at the next solve / reoptimize / add_column.
+  /// Returns the new row's external index.
+  std::size_t append_row(const std::vector<LpTerm>& terms, RowSense sense, double rhs) {
+    BT_REQUIRE(!rows_dropped_,
+               "IncrementalSimplex::append_row: a redundant row was dropped; "
+               "appended rows can no longer be aligned with the duals");
+    BT_REQUIRE(sense != RowSense::kEqual,
+               "IncrementalSimplex::append_row: equality rows are not supported; "
+               "append the two inequalities instead");
+    PendingRow row;
+    row.rhs = rhs;
+    row.sense = sense;
+    // Sum duplicate variable entries, mirroring add_constraint semantics;
+    // emission clears each slot so duplicate nonzero entries are no-ops.
+    ScatteredVector& acc = accumulate_terms(
+        terms, num_structural_, "IncrementalSimplex::append_row: variable index out of range");
+    for (const std::uint32_t v : acc.nonzero) {
+      if (acc.value[v] != 0.0) row.terms.push_back({v, acc.value[v]});
+      acc.value[v] = 0.0;
+    }
+    acc.nonzero.clear();
+    pending_rows_.push_back(std::move(row));
+    return num_rows_ + pending_rows_.size() - 1;
+  }
+
+  /// Change the right-hand side of an existing row.  Reduced costs are
+  /// untouched, so a dual-feasible basis stays dual feasible; only the
+  /// basic values move (recomputed here), which reoptimize_dual repairs.
+  void set_row_rhs(std::size_t row, double rhs) {
+    merge_pending_rows();
+    BT_REQUIRE(!rows_dropped_,
+               "IncrementalSimplex::set_row_rhs: a redundant row was dropped");
+    BT_REQUIRE(row < num_rows_, "IncrementalSimplex::set_row_rhs: row out of range");
+    const double internal = row_flip_[row] * rhs;
+    // Before the first solve, rows without a slack carry a basic artificial
+    // whose phase-1 treatment assumes b >= 0; a sign-changing rhs there
+    // would silently corrupt phase 1 (solve first -- the dual repair then
+    // handles any sign).  Slack rows are safe pre-solve: the dual phase
+    // runs for them right after phase 1.
+    BT_REQUIRE(phase1_done_ || internal >= 0.0 || slack_col_of_row_[row] != kNpos,
+               "IncrementalSimplex::set_row_rhs: cannot turn this row's internal rhs "
+               "negative before the first solve");
+    b_[row] = internal;
+    recompute_xb();
+  }
+
+  /// Full two-phase solve on the first call; re-optimization from the
+  /// standing basis on subsequent calls (a dual phase first when appended
+  /// rows left the standing point primal infeasible).
+  LpSolution solve() { return optimize(); }
+
+  /// Dual-first re-optimization after append_row / set_row_rhs (see
+  /// header).  Equivalent to solve(); the name documents intent.
+  LpSolution reoptimize_dual() { return optimize(); }
+
+ private:
+  LpSolution optimize() {
+    merge_pending_rows();
     LpSolution solution;
     // phase1_done_ is only latched on success: a re-solve after an
     // infeasible (or iteration-limited) phase 1 runs phase 1 again from the
@@ -146,12 +219,33 @@ class SparseSimplexCore {
       }
       phase1_done_ = true;
     }
+    if (primal_infeasible()) {
+      // Appended rows / changed rhs broke primal feasibility; the dual
+      // simplex restores it from the standing basis (dual feasible when
+      // the previous solve ended optimal; mild dual infeasibility is
+      // tolerated -- reduced costs are clamped in the ratio test and the
+      // primal cleanup below restores optimality).  This also covers
+      // set_row_rhs turning a right-hand side negative *before* the first
+      // solve, which phase 1 cannot see (the row's slack is basic, not an
+      // artificial).
+      active_cost_ = &cost_;
+      allow_artificial_entering_ = false;
+      const LpStatus st = dual_iterate(&solution.iterations);
+      if (st != LpStatus::kOptimal) {
+        solution.status = st;
+        return solution;
+      }
+    }
     active_cost_ = &cost_;
     allow_artificial_entering_ = false;
     const LpStatus st = iterate(&solution.iterations);
     solution.status = st;
     if (st != LpStatus::kOptimal) return solution;
+    extract_solution(solution);
+    return solution;
+  }
 
+  void extract_solution(LpSolution& solution) {
     // Structural primal values and the objective in the caller's sense.
     solution.x.assign(num_structural_, 0.0);
     for (std::size_t r = 0; r < num_rows_; ++r) {
@@ -193,10 +287,8 @@ class SparseSimplexCore {
       }
       if (!labelable) solution.basis.clear();
     }
-    return solution;
   }
 
- private:
   // ---------- model construction ----------
   void build(const LpProblem& problem) {
     maximize_ = problem.objective() == Objective::kMaximize;
@@ -210,11 +302,13 @@ class SparseSimplexCore {
 
     kind_.assign(num_structural_, ColKind::kStructural);
     structural_id_.resize(num_structural_);
+    col_of_structural_.resize(num_structural_);
     orig_obj_.resize(num_structural_);
     cost_.assign(num_structural_, 0.0);
     const double sense = maximize_ ? -1.0 : 1.0;
     for (std::size_t j = 0; j < num_structural_; ++j) {
       structural_id_[j] = j;
+      col_of_structural_[j] = j;  // structural columns come first at build
       orig_obj_[j] = problem.objective_coeff(j);
       cost_[j] = sense * orig_obj_[j];
     }
@@ -454,7 +548,10 @@ class SparseSimplexCore {
       }
       if (entering == kNpos) return LpStatus::kOptimal;
 
-      // Ratio test over the nonzeros of w = B^{-1} A_entering.
+      // Ratio test over the nonzeros of w = B^{-1} A_entering.  Bland mode
+      // breaks ratio ties *solely* by the smallest basic-variable index --
+      // mixing in the pivot-magnitude preference would void the
+      // anti-cycling guarantee.
       ftran_col(entering, w_work_);
       std::size_t leave_row = kNpos;
       double best_ratio = kInf;
@@ -466,8 +563,8 @@ class SparseSimplexCore {
           const bool better =
               ratio < best_ratio - tol ||
               (ratio < best_ratio + tol &&
-               (wv > best_pivot ||
-                (bland && leave_row != kNpos && basis_[r] < basis_[leave_row])));
+               (bland ? (leave_row == kNpos || basis_[r] < basis_[leave_row])
+                      : wv > best_pivot));
           if (better) {
             best_ratio = ratio;
             best_pivot = wv;
@@ -506,9 +603,236 @@ class SparseSimplexCore {
     in_basis_[basis_[leave_row]] = 0;
     in_basis_[entering] = 1;
     basis_[leave_row] = entering;
-    if (!lu_.update(leave_row, w) || lu_.eta_count() >= options_.refactor_period) {
+    if (!lu_.update(leave_row, w) || lu_.update_count() >= options_.refactor_period) {
       refactor();
     }
+  }
+
+  // ---------- dual simplex ----------
+  bool primal_infeasible() const {
+    const double tol = options_.tolerance;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (xb_[r] < -tol) return true;
+    }
+    return false;
+  }
+
+  /// rho . column j over the column's nonzeros (rho in row space).
+  double col_dot(std::size_t j, const double* rho) const {
+    const std::uint32_t* rows = cols_.col_rows(j);
+    const double* vals = cols_.col_vals(j);
+    const std::size_t nnz = cols_.nnz(j);
+    double d = 0.0;
+    for (std::size_t k = 0; k < nnz; ++k) d += rho[rows[k]] * vals[k];
+    return d;
+  }
+
+  /// Dual simplex phase: from a dual-feasible basis, drive negative basic
+  /// values out with dual pivots (leaving row = most negative xb, entering
+  /// column by a two-pass Harris-style ratio test over the pivot row).
+  /// Terminates kOptimal when primal feasible, kInfeasible when a violated
+  /// row admits no entering column (dual unbounded = primal empty).
+  LpStatus dual_iterate(std::size_t* iteration_counter) {
+    const std::size_t n = cols_.num_cols();
+    const double tol = options_.tolerance;
+    const std::size_t max_iter = options_.max_iterations > 0
+                                     ? options_.max_iterations
+                                     : std::max<std::size_t>(2000, 60 * (num_rows_ + n));
+    in_basis_.assign(n, 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) in_basis_[basis_[r]] = 1;
+
+    bool bland = false;
+    std::size_t stalled = 0;
+    std::size_t bad_pivots = 0;
+    double last_infeasibility = kInf;
+
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+      // Leaving row: most negative basic value (Bland: the smallest
+      // *basic-variable index* among the infeasible rows).
+      std::size_t leave_row = kNpos;
+      double most_negative = -tol;
+      double infeasibility = 0.0;
+      for (std::size_t r = 0; r < num_rows_; ++r) {
+        if (xb_[r] < -tol) {
+          infeasibility -= xb_[r];
+          if (bland) {
+            if (leave_row == kNpos || basis_[r] < basis_[leave_row]) leave_row = r;
+          } else if (xb_[r] < most_negative) {
+            most_negative = xb_[r];
+            leave_row = r;
+          }
+        }
+      }
+      if (leave_row == kNpos) return LpStatus::kOptimal;
+      if (iteration_counter != nullptr) ++(*iteration_counter);
+
+      // rho = row `leave_row` of B^{-1} (row space), alpha_j = rho . A_j.
+      rho_work_.reset(num_rows_);
+      rho_work_.push(static_cast<std::uint32_t>(leave_row), 1.0);
+      lu_.btran(rho_work_);
+      const double* rho = rho_work_.value.data();
+      btran_costs(y_work_);
+      const double* y = y_work_.value.data();
+
+      // Pass 1 (Harris): relaxed minimum dual ratio over the eligible
+      // columns (alpha < 0 so that entering increases xb[leave_row]).
+      // Bland mode instead needs the *strict* minimum ratio -- admitting
+      // tolerance-expanded ties would void the anti-cycling guarantee.
+      dual_cand_col_.clear();
+      dual_cand_alpha_.clear();
+      dual_cand_d_.clear();
+      double theta_relaxed = kInf;
+      double theta_strict = kInf;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!column_may_enter(j)) continue;
+        const double alpha = col_dot(j, rho);
+        if (alpha >= -tol) continue;
+        const double d = std::max(0.0, reduced_cost(j, y));
+        dual_cand_col_.push_back(j);
+        dual_cand_alpha_.push_back(alpha);
+        dual_cand_d_.push_back(d);
+        theta_relaxed = std::min(theta_relaxed, (d + tol) / (-alpha));
+        theta_strict = std::min(theta_strict, d / (-alpha));
+      }
+      if (dual_cand_col_.empty()) return LpStatus::kInfeasible;
+
+      // Pass 2: among candidates within the ratio bound, take the largest
+      // pivot magnitude (Bland: the smallest column index among the strict
+      // minimizers).
+      const double theta_bound = bland ? theta_strict : theta_relaxed;
+      std::size_t entering = kNpos;
+      double entering_alpha = 0.0;
+      double best_pivot = 0.0;
+      for (std::size_t k = 0; k < dual_cand_col_.size(); ++k) {
+        const double alpha = dual_cand_alpha_[k];
+        if (dual_cand_d_[k] / (-alpha) > theta_bound) continue;
+        if (bland) {
+          if (entering == kNpos || dual_cand_col_[k] < entering) {
+            entering = dual_cand_col_[k];
+            entering_alpha = alpha;
+          }
+        } else if (-alpha > best_pivot) {
+          best_pivot = -alpha;
+          entering = dual_cand_col_[k];
+          entering_alpha = alpha;
+        }
+      }
+      BT_ASSERT(entering != kNpos, "dual simplex: empty ratio-test pass-2");
+
+      // FTRAN the entering column and cross-check the pivot against the
+      // row-wise alpha: serious *relative* disagreement (or an unusable
+      // sign) means the factorization has drifted -- refactorize and retry
+      // the iteration.  A genuinely tiny pivot that both solves agree on
+      // is accepted: the ratio test already bounded it by the tolerance.
+      ftran_col(entering, w_work_);
+      const double wr = w_work_.value[leave_row];
+      if (wr >= -tol || std::abs(wr - entering_alpha) > 0.5 * std::abs(entering_alpha)) {
+        if (++bad_pivots > 2) return LpStatus::kIterationLimit;
+        refactor();
+        continue;
+      }
+      bad_pivots = 0;
+      pivot(leave_row, entering, w_work_);
+
+      // Cycling guard: persistent stalling switches to Bland's rule.
+      if (infeasibility < last_infeasibility - tol) {
+        stalled = 0;
+        bland = false;
+      } else if (++stalled > 2 * num_rows_ + 50) {
+        bland = true;
+      }
+      last_infeasibility = infeasibility;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  // ---------- row append ----------
+  /// Fold the buffered append_row rows into the model: extend every
+  /// existing column, give each new row a basic slack (so an optimal
+  /// standing basis stays dual feasible), and refactorize once at the new
+  /// dimension.  Rows appended before the first solve behave like built
+  /// rows (negative right-hand sides get the usual flip + artificial).
+  void merge_pending_rows() {
+    if (pending_rows_.empty()) return;
+    const std::size_t k = pending_rows_.size();
+    const std::size_t old_m = num_rows_;
+
+    // Internal orientation per pending row.  After the first solve every
+    // row must start with a *basic slack* (nothing else keeps the standing
+    // basis intact), so >= rows are negated into <= form: flip = -1, which
+    // also maps the reported dual back to the caller's sense, exactly like
+    // rows flipped at build time.  Before the first solve the rules mirror
+    // build(): flip on negative rhs, give slack-less rows an artificial.
+    for (std::size_t i = 0; i < k; ++i) {
+      PendingRow& row = pending_rows_[i];
+      if (phase1_done_) {
+        row.flip = row.sense == RowSense::kGreaterEqual ? -1.0 : 1.0;
+      } else {
+        row.flip = row.rhs < 0.0 ? -1.0 : 1.0;
+      }
+    }
+
+    // Per-column extras gathered from the pending rows.
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> extra(cols_.num_cols());
+    for (std::size_t i = 0; i < k; ++i) {
+      const PendingRow& row = pending_rows_[i];
+      const std::uint32_t ri = static_cast<std::uint32_t>(old_m + i);
+      for (const LpTerm& t : row.terms) {
+        extra[col_of_structural_[t.var]].push_back({ri, row.flip * t.coeff});
+      }
+    }
+
+    // Rebuild the column arena with the extra entries appended per column.
+    {
+      ColumnStore nc;
+      nc.rows.reserve(cols_.rows.size());
+      nc.vals.reserve(cols_.vals.size());
+      for (std::size_t j = 0; j < cols_.num_cols(); ++j) {
+        const std::uint32_t* rows = cols_.col_rows(j);
+        const double* vals = cols_.col_vals(j);
+        for (std::size_t s = 0; s < cols_.nnz(j); ++s) nc.push(rows[s], vals[s]);
+        for (const auto& entry : extra[j]) nc.push(entry.first, entry.second);
+        nc.end_column();
+      }
+      cols_ = std::move(nc);
+    }
+
+    for (std::size_t i = 0; i < k; ++i) {
+      const PendingRow& row = pending_rows_[i];
+      const std::size_t ri = old_m + i;
+      // Sense in internal orientation (after the flip).
+      RowSense sense = row.sense;
+      if (row.flip < 0.0) {
+        sense = sense == RowSense::kLessEqual ? RowSense::kGreaterEqual : RowSense::kLessEqual;
+      }
+      row_flip_.push_back(row.flip);
+      row_origin_.push_back(num_orig_rows_ + i);
+      b_.push_back(row.flip * row.rhs);
+      if (phase1_done_ || sense == RowSense::kLessEqual) {
+        // Post-solve rows are always oriented <= (see above); a basic
+        // slack keeps the standing basis and its duals valid.
+        BT_ASSERT(sense == RowSense::kLessEqual, "merge_pending_rows: bad orientation");
+        const std::size_t slack = add_unit_column(ri, +1.0, ColKind::kSlack);
+        slack_col_of_row_.push_back(slack);
+        basis_.push_back(slack);
+      } else {
+        // Pre-solve >= row with non-negative rhs: surplus non-basic,
+        // artificial basic; the coming phase 1 clears it.
+        add_unit_column(ri, -1.0, ColKind::kSurplus);
+        const std::size_t art = add_unit_column(ri, +1.0, ColKind::kArtificial);
+        slack_col_of_row_.push_back(kNpos);
+        basis_.push_back(art);
+        ++num_artificials_;
+      }
+    }
+    phase1_cost_.resize(cols_.num_cols(), 0.0);
+    for (std::size_t j = 0; j < cols_.num_cols(); ++j) {
+      if (kind_[j] == ColKind::kArtificial) phase1_cost_[j] = 1.0;
+    }
+    num_rows_ += k;
+    num_orig_rows_ += k;
+    pending_rows_.clear();
+    refactor();  // new dimension: fresh factorization + xb
   }
 
   /// After phase 1: pivot zero-valued artificials out of the basis; rows
@@ -594,6 +918,7 @@ class SparseSimplexCore {
   ColumnStore cols_;                       // constraint matrix, CSC arena
   std::vector<ColKind> kind_;              // role of each internal column
   std::vector<std::size_t> structural_id_; // index into x for structural cols
+  std::vector<std::size_t> col_of_structural_;  // inverse of structural_id_
   std::vector<double> orig_obj_;           // objective in the caller's sense
   std::vector<double> cost_;               // phase-2 cost (min sense)
   std::vector<double> phase1_cost_;
@@ -602,13 +927,27 @@ class SparseSimplexCore {
   std::vector<std::size_t> row_origin_;
   std::vector<std::size_t> slack_col_of_row_;
 
+  /// Rows buffered by append_row until the next merge, in the caller's
+  /// orientation; `flip` (internal orientation) is decided at merge time.
+  struct PendingRow {
+    std::vector<LpTerm> terms;  // structural variable id, coefficient
+    double rhs = 0.0;
+    RowSense sense = RowSense::kLessEqual;
+    double flip = 1.0;
+  };
+  std::vector<PendingRow> pending_rows_;
+
   std::vector<std::size_t> basis_;  // basic variable per row
   std::vector<double> xb_;          // basic variable values
-  BasisLu lu_;                      // factorized basis + eta file
+  BasisLu lu_;                      // factorized basis + update files
 
-  ScatteredVector y_work_, w_work_, rhs_work_;
+  ScatteredVector y_work_, w_work_, rhs_work_, rho_work_;
   std::vector<char> in_basis_;
   std::size_t pricing_cursor_ = 0;
+  // Dual ratio-test candidate cache (column, pivot-row entry, reduced cost).
+  std::vector<std::size_t> dual_cand_col_;
+  std::vector<double> dual_cand_alpha_;
+  std::vector<double> dual_cand_d_;
 
   const std::vector<double>* active_cost_ = nullptr;
   bool allow_artificial_entering_ = true;
@@ -940,7 +1279,8 @@ class DenseSimplexCore {
       }
       if (entering == kNpos) return LpStatus::kOptimal;
 
-      // Ratio test.
+      // Ratio test (Bland mode: ties broken solely by the smallest
+      // basic-variable index, see the sparse core).
       ftran(entering, w);
       std::size_t leave_row = kNpos;
       double best_ratio = kInf;
@@ -951,8 +1291,8 @@ class DenseSimplexCore {
           const bool better =
               ratio < best_ratio - tol ||
               (ratio < best_ratio + tol &&
-               (w[r] > best_pivot ||
-                (bland && leave_row != kNpos && basis_[r] < basis_[leave_row])));
+               (bland ? (leave_row == kNpos || basis_[r] < basis_[leave_row])
+                      : w[r] > best_pivot));
           if (better) {
             best_ratio = ratio;
             best_pivot = w[r];
@@ -1138,8 +1478,21 @@ std::size_t IncrementalSimplex::add_column(double objective_coeff,
   return core_->add_column(objective_coeff, terms);
 }
 
+std::size_t IncrementalSimplex::append_row(const std::vector<LpTerm>& terms, RowSense sense,
+                                           double rhs) {
+  return core_->append_row(terms, sense, rhs);
+}
+
+void IncrementalSimplex::set_row_rhs(std::size_t row, double rhs) {
+  core_->set_row_rhs(row, rhs);
+}
+
 std::size_t IncrementalSimplex::num_variables() const { return core_->num_structural(); }
 
+std::size_t IncrementalSimplex::num_rows() const { return core_->num_rows_total(); }
+
 LpSolution IncrementalSimplex::solve() { return core_->solve(); }
+
+LpSolution IncrementalSimplex::reoptimize_dual() { return core_->reoptimize_dual(); }
 
 }  // namespace bt

@@ -4,21 +4,33 @@
 //
 // Solves LpProblem instances (non-negative variables, <=/>=/= rows).  The
 // production engine keeps the basis in sparse LU form (basis_lu.hpp) with
-// product-form eta updates between periodic refactorizations, prices with a
-// cyclic candidate-list (partial) pricing rule plus a Bland's-rule fallback
+// Forrest-Tomlin updates between periodic refactorizations (product-form
+// etas remain selectable for differential testing), prices with a cyclic
+// candidate-list (partial) pricing rule plus a Bland's-rule fallback
 // against cycling, and uses a two-phase start (artificial variables
 // minimized first).  The previous dense-inverse engine is retained as
 // LpEngine::kDenseReference for benchmarking and differential testing.
 //
-// IncrementalSimplex exposes the engine statefully for column generation:
-// columns can be appended to a standing model, and each re-solve continues
-// from the current basis, factorization and duals instead of rebuilding.
+// Besides the primal method the sparse engine carries a dual simplex phase
+// (two-pass Harris-style ratio test): starting from a dual-feasible basis
+// it drives negative basic values out of the solution, which is how a
+// re-optimization after appended rows proceeds.
+//
+// IncrementalSimplex exposes the engine statefully for column and row
+// generation: columns can be appended to a standing model (column
+// generation) and constraint rows can be appended to it (cutting planes);
+// each re-solve continues from the current basis, factorization and duals
+// instead of rebuilding.  Appended rows keep the standing basis dual
+// feasible (the new slack is basic, the old duals still price every
+// column), so reoptimize_dual() needs only a handful of dual pivots where
+// a cold solve would redo the whole optimization.
 
 #include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "lp/basis_lu.hpp"
 #include "lp/lp_problem.hpp"
 
 namespace bt {
@@ -30,7 +42,7 @@ std::string to_string(LpStatus status);
 
 /// Which simplex core services a solve.
 enum class LpEngine {
-  kSparse,          ///< sparse LU basis + eta updates (production)
+  kSparse,          ///< sparse LU basis + Forrest-Tomlin updates (production)
   kDenseReference,  ///< dense basis inverse (reference / benchmarking)
 };
 
@@ -38,7 +50,7 @@ struct SimplexOptions {
   double tolerance = 1e-9;        ///< feasibility / optimality tolerance
   std::size_t max_iterations = 0; ///< 0 = automatic (scales with problem size)
   /// Refactorize the basis from scratch every this many pivots (between
-  /// refactorizations the sparse engine accumulates eta updates).
+  /// refactorizations the sparse engine updates the factors in place).
   std::size_t refactor_period = 64;
   /// Optional warm-start basis (labels from a previous LpSolution::basis on
   /// a problem with the same rows; extra columns may have been added since).
@@ -46,6 +58,10 @@ struct SimplexOptions {
   /// needs no artificials; silently ignored otherwise.
   const std::vector<std::size_t>* warm_basis = nullptr;
   LpEngine engine = LpEngine::kSparse;
+  /// Basis-update strategy of the sparse engine between refactorizations.
+  /// Forrest-Tomlin keeps the factors short; the product-form eta file is
+  /// retained for differential testing (see BasisLu::UpdateMode).
+  BasisLu::UpdateMode update_mode = BasisLu::UpdateMode::kForrestTomlin;
 };
 
 /// Basis label encoding for warm starts: structural variable j is labeled j;
@@ -74,18 +90,23 @@ namespace detail {
 class SparseSimplexCore;
 }  // namespace detail
 
-/// Stateful sparse simplex for column generation: the model, basis and
-/// factorization persist across solves, and columns can be appended without
-/// rebuilding.  Usage pattern:
+/// Stateful sparse simplex for column and row generation: the model, basis
+/// and factorization persist across solves; columns and constraint rows can
+/// be appended without rebuilding.  Usage pattern:
 ///
-///   IncrementalSimplex master(lp);            // rows fixed here
+///   IncrementalSimplex master(lp);
 ///   auto sol = master.solve();                // full two-phase solve
 ///   master.add_column(coeff, {{row, a}, ...});
 ///   sol = master.solve();                     // re-optimizes from the
 ///                                             // standing basis and duals
+///   master.append_row({{var, a}, ...}, RowSense::kLessEqual, rhs);
+///   sol = master.reoptimize_dual();           // dual pivots from the
+///                                             // standing (dual-feasible)
+///                                             // basis restore feasibility
 ///
-/// add_column requires that no rows were dropped as redundant during a prior
-/// solve (never the case for pure <= programs such as the packing masters).
+/// add_column and append_row require that no rows were dropped as redundant
+/// during a prior solve (never the case for pure <= programs such as the
+/// packing and cutting-plane masters).
 class IncrementalSimplex {
  public:
   explicit IncrementalSimplex(const LpProblem& problem, const SimplexOptions& options = {});
@@ -100,13 +121,43 @@ class IncrementalSimplex {
   /// current basis stays valid (the new column enters non-basic at zero).
   std::size_t add_column(double objective_coeff, const std::vector<LpTerm>& terms);
 
+  /// Append a constraint row over the existing structural variables
+  /// ({variable index, coefficient}; duplicates are summed).  Supports <=
+  /// and >= rows (a >= row is negated into a <= row internally); equality
+  /// rows are rejected -- append the two inequalities instead.  Returns the
+  /// row's index in LpSolution::duals.  The row is merged lazily at the
+  /// next solve / reoptimize_dual / add_column call; its slack enters the
+  /// basis, so an optimal standing basis stays dual feasible and only
+  /// primal feasibility needs repair (see reoptimize_dual).
+  std::size_t append_row(const std::vector<LpTerm>& terms, RowSense sense, double rhs);
+
+  /// Change the right-hand side of an existing row (in the sense the row
+  /// was stated: a >= row keeps >= semantics).  The standing basis keeps
+  /// its reduced costs, so dual feasibility is preserved and
+  /// reoptimize_dual() re-optimizes with a handful of dual pivots -- the
+  /// textbook use of the dual simplex for rhs ranging.
+  void set_row_rhs(std::size_t row, double rhs);
+
   /// Number of structural variables currently in the model.
   std::size_t num_variables() const;
+  /// Number of constraint rows currently in the model (appended included).
+  std::size_t num_rows() const;
 
   /// Solve or re-optimize.  The first call runs the full two-phase method;
-  /// subsequent calls continue from the current basis (phase 2 only, since
-  /// appending columns never destroys primal feasibility).
+  /// subsequent calls continue from the current basis.  If appended rows
+  /// made the standing point primal infeasible, a dual simplex phase runs
+  /// first (the basis is dual feasible when the previous solve was optimal),
+  /// then the primal cleans up.
   LpSolution solve();
+
+  /// Re-optimize after append_row / set_row_rhs calls via the dual
+  /// simplex: restore primal feasibility with dual pivots from the
+  /// standing basis, then finish with primal pivots.  The dual phase is
+  /// cheap when the previous solve ended kOptimal (the basis is then dual
+  /// feasible); otherwise it still terminates and the primal phase
+  /// restores optimality.  Equivalent to solve(); the name documents the
+  /// intended usage pattern.
+  LpSolution reoptimize_dual();
 
  private:
   std::unique_ptr<detail::SparseSimplexCore> core_;

@@ -7,6 +7,7 @@
 #include "graph/min_arborescence.hpp"
 #include "lp/simplex.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace bt {
 
@@ -33,14 +34,22 @@ TreeColumn make_column(const Platform& platform, std::vector<EdgeId> edges) {
   return column;
 }
 
-// Master row layout (both solve paths): out-port of node u = row 2u,
-// in-port = row 2u + 1.  Rows exist even for nodes without arcs so the
-// indexing is stable as columns arrive.
-std::vector<LpTerm> master_terms(const TreeColumn& column, std::size_t p) {
+// Master row layout (both solve paths): under the bidirectional one-port
+// model, out-port of node u = row 2u, in-port = row 2u + 1; under the
+// unidirectional model one combined row u per node.  Rows exist even for
+// nodes without arcs so the indexing is stable as columns arrive.
+std::vector<LpTerm> master_terms(const TreeColumn& column, std::size_t p, PortModel model) {
   std::vector<LpTerm> terms;
-  for (NodeId u = 0; u < p; ++u) {
-    if (column.out_time[u] != 0.0) terms.push_back({2 * u, column.out_time[u]});
-    if (column.in_time[u] != 0.0) terms.push_back({2 * u + 1, column.in_time[u]});
+  if (model == PortModel::kBidirectional) {
+    for (NodeId u = 0; u < p; ++u) {
+      if (column.out_time[u] != 0.0) terms.push_back({2 * u, column.out_time[u]});
+      if (column.in_time[u] != 0.0) terms.push_back({2 * u + 1, column.in_time[u]});
+    }
+  } else {
+    for (NodeId u = 0; u < p; ++u) {
+      const double occupation = column.out_time[u] + column.in_time[u];
+      if (occupation != 0.0) terms.push_back({u, occupation});
+    }
   }
   return terms;
 }
@@ -76,14 +85,31 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
   SsbPackingSolution solution;
   std::vector<double> lambda;
 
+  const PortModel model = options.port_model;
+  const std::size_t num_master_rows = model == PortModel::kBidirectional ? 2 * p : p;
+  // Master rows for the first `ncols` columns, transposed from the
+  // canonical per-column layout of master_terms (rows exist even when
+  // empty, so indexing is stable as columns arrive).
+  auto build_master_rows = [&](std::size_t ncols) {
+    std::vector<std::vector<LpTerm>> rows(num_master_rows);
+    for (std::size_t j = 0; j < ncols; ++j) {
+      for (const LpTerm& t : master_terms(columns[j], p, model)) {
+        rows[t.var].push_back({j, t.coeff});
+      }
+    }
+    return rows;
+  };
+
   // Pricing step shared by both master paths: min-weight arborescence under
-  // the port duals `y` (2p entries, row layout as above).  Returns true when
-  // an improving column was appended.
+  // the port duals `y` (2p or p entries, row layout as above).  Returns
+  // true when an improving column was appended.
   auto price_and_append = [&](const std::vector<double>& y) {
     std::vector<double> price(g.num_edges());
     for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const double y_out = std::max(0.0, y[2 * g.from(e)]);
-      const double y_in = std::max(0.0, y[2 * g.to(e) + 1]);
+      const double y_out =
+          std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.from(e)] : y[g.from(e)]);
+      const double y_in =
+          std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.to(e) + 1] : y[g.to(e)]);
       price[e] = platform.edge_time(e) * (y_out + y_in);
     }
     const auto priced = min_arborescence(g, source, price);
@@ -100,18 +126,16 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
     // appends one column and re-optimizes from the current basis. ----
     LpProblem lp(Objective::kMaximize);
     lp.add_variable(1.0, "tree0");
-    for (NodeId u = 0; u < p; ++u) {
-      std::vector<LpTerm> out_terms, in_terms;
-      if (columns[0].out_time[u] != 0.0) out_terms.push_back({0, columns[0].out_time[u]});
-      if (columns[0].in_time[u] != 0.0) in_terms.push_back({0, columns[0].in_time[u]});
-      lp.add_constraint(out_terms, RowSense::kLessEqual, 1.0);
-      lp.add_constraint(in_terms, RowSense::kLessEqual, 1.0);
+    for (const std::vector<LpTerm>& row : build_master_rows(1)) {
+      lp.add_constraint(row, RowSense::kLessEqual, 1.0);
     }
     IncrementalSimplex engine(lp);
     std::vector<double> smoothed;  // Wentges stabilization center
     while (columns.size() < options.max_columns) {
       ++solution.separation_rounds;
+      Timer master_timer;
       const LpSolution master = engine.solve();
+      solution.master_wall_ms += master_timer.millis();
       BT_REQUIRE(master.status == LpStatus::kOptimal,
                  "solve_ssb_column_generation: master LP " + to_string(master.status));
       solution.lp_iterations += master.iterations;
@@ -135,7 +159,7 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
         progressed = price_and_append(master.duals);
       }
       if (!progressed) break;
-      engine.add_column(1.0, master_terms(columns.back(), p));
+      engine.add_column(1.0, master_terms(columns.back(), p, model));
     }
   } else {
     // ---- Legacy path: rebuild the whole master LP every round and re-solve
@@ -147,20 +171,16 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
       for (std::size_t j = 0; j < columns.size(); ++j) {
         lp.add_variable(1.0, "tree" + std::to_string(j));
       }
-      for (NodeId u = 0; u < p; ++u) {
-        std::vector<LpTerm> out_terms, in_terms;
-        for (std::size_t j = 0; j < columns.size(); ++j) {
-          if (columns[j].out_time[u] != 0.0) out_terms.push_back({j, columns[j].out_time[u]});
-          if (columns[j].in_time[u] != 0.0) in_terms.push_back({j, columns[j].in_time[u]});
-        }
-        lp.add_constraint(out_terms, RowSense::kLessEqual, 1.0);
-        lp.add_constraint(in_terms, RowSense::kLessEqual, 1.0);
+      for (const std::vector<LpTerm>& row : build_master_rows(columns.size())) {
+        lp.add_constraint(row, RowSense::kLessEqual, 1.0);
       }
 
       SimplexOptions lp_options;
       lp_options.engine = options.master_engine;
       if (!warm_basis.empty()) lp_options.warm_basis = &warm_basis;
+      Timer master_timer;
       const LpSolution master = solve_lp(lp, lp_options);
+      solution.master_wall_ms += master_timer.millis();
       BT_REQUIRE(master.status == LpStatus::kOptimal,
                  "solve_ssb_column_generation: master LP " + to_string(master.status));
       solution.lp_iterations += master.iterations;

@@ -64,6 +64,9 @@ struct SsbColumnGenOptions {
   /// mis-price (no improving column), the round re-prices with the exact
   /// duals, so convergence and optimality are unaffected.  0 disables.
   double dual_smoothing = 0.5;
+  /// Port model of the master's occupation rows: separate out/in rows per
+  /// node (bidirectional one-port) or one combined row (unidirectional).
+  PortModel port_model = PortModel::kBidirectional;
 };
 
 /// Solve the SSB program by arborescence column generation.  Throws

@@ -3,11 +3,13 @@
 #include <vector>
 
 #include "lp/simplex.hpp"
+#include "ssb/ssb_port_rows.hpp"
 #include "util/error.hpp"
 
 namespace bt {
 
-SsbDirectSolution solve_ssb_direct(const Platform& platform) {
+SsbDirectSolution solve_ssb_direct(const Platform& platform,
+                                   const SsbDirectOptions& options) {
   const Digraph& g = platform.graph();
   const NodeId source = platform.source();
   const std::size_t p = g.num_nodes();
@@ -80,13 +82,8 @@ SsbDirectSolution solve_ssb_direct(const Platform& platform) {
   }
   // (f)+(i): serialized incoming occupation of each node <= 1.
   // (g)+(j): serialized outgoing occupation of each node <= 1.
-  for (NodeId u = 0; u < p; ++u) {
-    std::vector<LpTerm> in_row, out_row;
-    for (EdgeId e : g.in_edges(u)) in_row.push_back({n_var(e), platform.edge_time(e)});
-    for (EdgeId e : g.out_edges(u)) out_row.push_back({n_var(e), platform.edge_time(e)});
-    if (!in_row.empty()) lp.add_constraint(in_row, RowSense::kLessEqual, 1.0);
-    if (!out_row.empty()) lp.add_constraint(out_row, RowSense::kLessEqual, 1.0);
-  }
+  // (Unidirectional port model: one combined send+receive row per node.)
+  add_port_rows(lp, platform, options.port_model, n_var);
 
   const LpSolution lp_solution = solve_lp(lp);
   BT_REQUIRE(lp_solution.status == LpStatus::kOptimal,

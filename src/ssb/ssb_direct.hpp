@@ -22,8 +22,15 @@ struct SsbDirectSolution : SsbSolution {
   std::vector<NodeId> destinations;
 };
 
+struct SsbDirectOptions {
+  /// Port model of the per-node occupation rows ((f)/(g): separate send and
+  /// receive ports, or one combined row per node).
+  PortModel port_model = PortModel::kBidirectional;
+};
+
 /// Solve program (2) exactly as written (constraints (a)-(j), with the t
 /// variables substituted away).  Throws bt::Error if the LP solver fails.
-SsbDirectSolution solve_ssb_direct(const Platform& platform);
+SsbDirectSolution solve_ssb_direct(const Platform& platform,
+                                   const SsbDirectOptions& options = {});
 
 }  // namespace bt

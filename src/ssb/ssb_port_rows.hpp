@@ -1,0 +1,47 @@
+#pragma once
+
+// Shared port-row construction of the SSB masters.
+//
+// All three solvers constrain the per-node serialized port occupation of
+// the arc loads:
+//
+//  * bidirectional one-port: an out-port row then an in-port row per node;
+//  * unidirectional one-port: one combined send+receive row per node.
+//
+// add_port_rows appends the rows for arc-load-indexed masters (cutting
+// plane, direct transcription); `var_of_edge` maps an arc id to its LP
+// variable.  Nodes without arcs on a port contribute no row here, so row
+// indices are solver-local.  The column-generation master is the transpose
+// (rows fixed up front, tree columns arrive) and keeps its own emission in
+// master_terms() with a dense 2u/2u+1 (or u) layout -- the same semantic
+// rows, but dual vectors are NOT index-compatible across solvers.
+
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+template <typename VarOfEdge>
+void add_port_rows(LpProblem& lp, const Platform& platform, PortModel model,
+                   const VarOfEdge& var_of_edge) {
+  const Digraph& g = platform.graph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (model == PortModel::kBidirectional) {
+      std::vector<LpTerm> out_row, in_row;
+      for (EdgeId e : g.out_edges(u)) out_row.push_back({var_of_edge(e), platform.edge_time(e)});
+      for (EdgeId e : g.in_edges(u)) in_row.push_back({var_of_edge(e), platform.edge_time(e)});
+      if (!out_row.empty()) lp.add_constraint(out_row, RowSense::kLessEqual, 1.0);
+      if (!in_row.empty()) lp.add_constraint(in_row, RowSense::kLessEqual, 1.0);
+    } else {
+      std::vector<LpTerm> row;
+      for (EdgeId e : g.out_edges(u)) row.push_back({var_of_edge(e), platform.edge_time(e)});
+      for (EdgeId e : g.in_edges(u)) row.push_back({var_of_edge(e), platform.edge_time(e)});
+      if (!row.empty()) lp.add_constraint(row, RowSense::kLessEqual, 1.0);
+    }
+  }
+}
+
+}  // namespace bt

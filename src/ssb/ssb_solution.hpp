@@ -13,6 +13,15 @@
 
 namespace bt {
 
+/// Port model of the steady-state broadcast program.  The paper works under
+/// the bidirectional one-port model (a node's send port and receive port
+/// serialize independently, so out- and in-occupation each get their own
+/// <= 1 row); the unidirectional variant serializes sends and receives
+/// through a single port (one combined row per node), which models
+/// half-duplex NICs.  All three solvers accept either model and agree on
+/// the optimum within it.
+enum class PortModel { kBidirectional, kUnidirectional };
+
 struct SsbSolution {
   bool solved = false;
   /// Optimal steady-state throughput TP* (slices per time-unit).
@@ -24,6 +33,9 @@ struct SsbSolution {
   std::size_t lp_iterations = 0;
   std::size_t separation_rounds = 0;  ///< cutting-plane solver only
   std::size_t cuts_generated = 0;     ///< cutting-plane solver only
+  /// Wall-clock spent inside master LP solves (excludes separation /
+  /// pricing oracles), for the incremental-vs-rebuild ablations.
+  double master_wall_ms = 0.0;
 };
 
 }  // namespace bt

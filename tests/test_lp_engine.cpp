@@ -277,6 +277,129 @@ TEST(IncrementalSimplex, InfeasibleModelStaysInfeasibleUntilAColumnFixesIt) {
   EXPECT_NEAR(fixed.objective, 0.5, 1e-9);  // x = 1, y = 1
 }
 
+// ------------------------------------------- dual simplex / row appends ----
+
+TEST(IncrementalSimplex, AppendRowReoptimizesWithDualPivots) {
+  // max 3x + 2y, x + y <= 4, x <= 3: optimum (3, 1) -> 11.  Appending
+  // y <= 1 keeps it; appending x + 2y <= 3 cuts it to (3, 0) -> 9.
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(3.0);
+  const auto y = lp.add_variable(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, RowSense::kLessEqual, 4.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 3.0);
+  IncrementalSimplex engine(lp);
+  ASSERT_EQ(engine.solve().status, LpStatus::kOptimal);
+
+  engine.append_row({{y, 1.0}}, RowSense::kLessEqual, 1.0);
+  LpSolution s = engine.reoptimize_dual();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 11.0, 1e-9);
+  EXPECT_EQ(engine.num_rows(), 3u);
+
+  engine.append_row({{x, 1.0}, {y, 2.0}}, RowSense::kLessEqual, 3.0);
+  s = engine.reoptimize_dual();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-9);
+  ASSERT_EQ(s.duals.size(), 4u);  // appended rows price like built rows
+  double dual_objective = 4.0 * s.duals[0] + 3.0 * s.duals[1] + 1.0 * s.duals[2] +
+                          3.0 * s.duals[3];
+  EXPECT_NEAR(dual_objective, s.objective, 1e-8);
+}
+
+TEST(IncrementalSimplex, AppendRowMergesDuplicateTermsEvenThroughZero) {
+  // {x: 1} + {x: -1} + {x: 2} must act as a single coefficient 2, even
+  // though the running sum passes through exactly zero (regression: the
+  // accumulator once emitted such a variable twice, doubling it to 4).
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 10.0);
+  IncrementalSimplex engine(lp);
+  ASSERT_EQ(engine.solve().status, LpStatus::kOptimal);
+  engine.append_row({{x, 1.0}, {x, -1.0}, {x, 2.0}}, RowSense::kLessEqual, 4.0);
+  const LpSolution s = engine.reoptimize_dual();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);  // 2x <= 4, not 4x <= 4
+}
+
+TEST(IncrementalSimplex, AppendRowCanMakeTheModelInfeasible) {
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 4.0);
+  IncrementalSimplex engine(lp);
+  ASSERT_EQ(engine.solve().status, LpStatus::kOptimal);
+  engine.append_row({{x, 1.0}}, RowSense::kGreaterEqual, 5.0);  // x >= 5 vs x <= 4
+  EXPECT_EQ(engine.reoptimize_dual().status, LpStatus::kInfeasible);
+}
+
+TEST(IncrementalSimplex, SetRowRhsRangesWithTheDualSimplex) {
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(2.0);
+  const auto y = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, RowSense::kLessEqual, 10.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 6.0);
+  IncrementalSimplex engine(lp);
+  ASSERT_EQ(engine.solve().status, LpStatus::kOptimal);  // (6, 4) -> 16
+  engine.set_row_rhs(1, 2.0);                            // tighten x <= 2
+  LpSolution s = engine.reoptimize_dual();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);  // (2, 8)
+  engine.set_row_rhs(1, 6.0);            // relax back
+  s = engine.reoptimize_dual();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 16.0, 1e-9);
+}
+
+TEST(IncrementalSimplex, SetRowRhsBeforeFirstSolveIsHonored) {
+  // Regression: a pre-solve rhs change to a negative value leaves the
+  // row's slack basic at a negative level, which phase 1 cannot see; the
+  // first solve must still run the dual repair and report infeasibility.
+  LpProblem lp(Objective::kMaximize);
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 4.0);
+  IncrementalSimplex engine(lp);
+  engine.set_row_rhs(0, -2.0);  // x <= -2 with x >= 0: infeasible
+  EXPECT_EQ(engine.solve().status, LpStatus::kInfeasible);
+
+  IncrementalSimplex relaxed(lp);
+  relaxed.set_row_rhs(0, 9.0);
+  const LpSolution s = relaxed.solve();
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-9);
+
+  // Rows without a slack (here: built from a flipped negative-rhs row, so
+  // phase 1 sees a basic artificial) reject a pre-solve sign change; after
+  // the first solve the same change goes through the dual repair.
+  LpProblem flipped(Objective::kMinimize);
+  const auto z = flipped.add_variable(1.0);
+  flipped.add_constraint({{z, -2.0}}, RowSense::kLessEqual, -2.0);  // z >= 1
+  IncrementalSimplex guarded(flipped);
+  EXPECT_THROW(guarded.set_row_rhs(0, 4.0), Error);  // internal rhs would flip sign
+  ASSERT_EQ(guarded.solve().status, LpStatus::kOptimal);
+  guarded.set_row_rhs(0, -4.0);  // z >= 2 now; fine post-solve
+  const LpSolution tightened = guarded.reoptimize_dual();
+  ASSERT_EQ(tightened.status, LpStatus::kOptimal);
+  EXPECT_NEAR(tightened.objective, 2.0, 1e-9);
+}
+
+TEST(SparseEngine, UpdateModesAgreeOnRandomPrograms) {
+  Rng rng(0xF71);
+  for (int trial = 0; trial < 30; ++trial) {
+    PairedLp lp = random_paired_lp(rng, 3, 5);
+    SimplexOptions ft;
+    ft.update_mode = BasisLu::UpdateMode::kForrestTomlin;
+    ft.refactor_period = 1 + rng.index(8);
+    SimplexOptions pf;
+    pf.update_mode = BasisLu::UpdateMode::kProductForm;
+    pf.refactor_period = ft.refactor_period;
+    const LpSolution a = solve_lp(lp.approx, ft);
+    const LpSolution b = solve_lp(lp.approx, pf);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-8) << "trial " << trial;
+    }
+  }
+}
+
 TEST(IncrementalSimplex, RejectsBadInput) {
   LpProblem empty_rows(Objective::kMaximize);
   empty_rows.add_variable(1.0);
@@ -287,6 +410,9 @@ TEST(IncrementalSimplex, RejectsBadInput) {
   lp.add_constraint({{x, 1.0}}, RowSense::kLessEqual, 1.0);
   IncrementalSimplex engine(lp);
   EXPECT_THROW(engine.add_column(1.0, {{7, 1.0}}), Error);  // row out of range
+  EXPECT_THROW(engine.append_row({{x, 1.0}}, RowSense::kEqual, 1.0), Error);
+  EXPECT_THROW(engine.append_row({{9, 1.0}}, RowSense::kLessEqual, 1.0), Error);
+  EXPECT_THROW(engine.set_row_rhs(5, 1.0), Error);  // row out of range
 }
 
 }  // namespace
