@@ -1,8 +1,13 @@
 #include "experiments/evaluation.hpp"
 
 #include "core/throughput.hpp"
+#include "sched/orchestrate.hpp"
+#include "sched/tree_decomposition.hpp"
+#include "sched/validate.hpp"
+#include "sim/schedule_replay.hpp"
 #include "ssb/ssb_column_generation.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace bt {
 
@@ -30,6 +35,48 @@ PlatformEvaluation evaluate_platform(const Platform& platform,
     evaluation.results.push_back(std::move(result));
   }
   return evaluation;
+}
+
+ScheduleSynthesisResult evaluate_schedule_synthesis(const Platform& platform,
+                                                    PortModel port_model,
+                                                    bool from_solver_columns) {
+  ScheduleSynthesisResult result;
+
+  SsbColumnGenOptions solver_options;
+  solver_options.port_model = port_model;
+  solver_options.export_tree_columns = from_solver_columns;
+  Timer timer;
+  const SsbPackingSolution optimum = solve_ssb_column_generation(platform, solver_options);
+  result.solve_ms = timer.millis();
+  result.optimal_throughput = optimum.throughput;
+
+  timer.reset();
+  const TreeDecomposition decomposition = decompose_edge_load(platform, optimum);
+  result.decompose_ms = timer.millis();
+  result.used_solution_columns = decomposition.from_columns;
+  result.num_trees = decomposition.trees.size();
+
+  OrchestrationOptions orchestration;
+  orchestration.port_model = port_model;
+  timer.reset();
+  const PeriodicSchedule schedule =
+      orchestrate_one_port(platform, decomposition.trees, orchestration);
+  result.orchestrate_ms = timer.millis();
+  result.num_rounds = schedule.rounds.size();
+  result.designed_throughput = schedule.throughput();
+
+  ScheduleCheckOptions check_options;
+  check_options.reference = &optimum;
+  result.valid = check_schedule(platform, schedule, check_options).ok;
+
+  timer.reset();
+  const ReplayResult replay = replay_schedule(platform, schedule);
+  result.replay_ms = timer.millis();
+  result.replay_throughput = replay.steady_throughput;
+  result.replay_ratio = result.optimal_throughput > 0.0
+                            ? result.replay_throughput / result.optimal_throughput
+                            : 0.0;
+  return result;
 }
 
 }  // namespace bt

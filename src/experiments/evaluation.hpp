@@ -13,6 +13,7 @@
 
 #include "core/registry.hpp"
 #include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
 
 namespace bt {
 
@@ -34,5 +35,31 @@ struct PlatformEvaluation {
 PlatformEvaluation evaluate_platform(const Platform& platform,
                                      const std::vector<HeuristicSpec>& heuristics,
                                      bool multiport_eval = false);
+
+/// End-to-end schedule synthesis measurement (the sched/ + sim/ pipeline):
+/// solve the SSB optimum, decompose it into weighted trees, orchestrate the
+/// one-port rounds, statically validate, and replay.  The benches record
+/// these per platform size.
+struct ScheduleSynthesisResult {
+  double optimal_throughput = 0.0;   ///< TP* under the chosen port model
+  double designed_throughput = 0.0;  ///< schedule.throughput()
+  double replay_throughput = 0.0;    ///< measured steady-state rate
+  double replay_ratio = 0.0;         ///< replay / TP*
+  bool valid = false;                ///< static checker verdict
+  bool used_solution_columns = false;
+  std::size_t num_trees = 0;
+  std::size_t num_rounds = 0;
+  double solve_ms = 0.0;
+  double decompose_ms = 0.0;
+  double orchestrate_ms = 0.0;
+  double replay_ms = 0.0;
+};
+
+/// Run the full synthesis pipeline on one platform.  `from_solver_columns`
+/// selects the exact colgen-column path; disabling it forces the edge-load
+/// decomposer (the path cutting-plane solutions take).
+ScheduleSynthesisResult evaluate_schedule_synthesis(const Platform& platform,
+                                                    PortModel port_model,
+                                                    bool from_solver_columns = true);
 
 }  // namespace bt

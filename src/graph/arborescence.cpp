@@ -90,6 +90,32 @@ std::vector<std::size_t> node_depths(const Digraph& g, NodeId root,
   return depth;
 }
 
+std::vector<EdgeId> bfs_arborescence(const Digraph& g, NodeId root, const EdgeMask& active) {
+  BT_REQUIRE(root < g.num_nodes(), "bfs_arborescence: root out of range");
+  BT_REQUIRE(active.empty() || active.size() == g.num_edges(),
+             "bfs_arborescence: mask size mismatch");
+  std::vector<EdgeId> tree;
+  tree.reserve(g.num_nodes() - 1);
+  std::vector<char> seen(g.num_nodes(), 0);
+  seen[root] = 1;
+  std::queue<NodeId> queue;
+  queue.push(root);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (EdgeId e : g.out_edges(u)) {
+      if (!active.empty() && !active[e]) continue;
+      const NodeId v = g.to(e);
+      if (seen[v]) continue;
+      seen[v] = 1;
+      tree.push_back(e);
+      queue.push(v);
+    }
+  }
+  if (tree.size() != g.num_nodes() - 1) tree.clear();
+  return tree;
+}
+
 std::vector<NodeId> bfs_order(const Digraph& g, NodeId root,
                               const std::vector<EdgeId>& parent_edge) {
   const auto children = children_lists(g, parent_edge);

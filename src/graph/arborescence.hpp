@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/reachability.hpp"
 
 namespace bt {
 
@@ -38,5 +39,13 @@ std::vector<std::size_t> node_depths(const Digraph& g, NodeId root,
 /// Nodes in breadth-first order from the root (root first).
 std::vector<NodeId> bfs_order(const Digraph& g, NodeId root,
                               const std::vector<EdgeId>& parent_edge);
+
+/// Spanning out-arborescence of the subgraph of active arcs, built by BFS
+/// from the root (the first active arc reaching a node becomes its parent
+/// arc).  Returns an empty vector when the active subgraph does not span.
+/// An empty mask means "all arcs active".  Used by the schedule-synthesis
+/// decomposer to extract trees from the support of an edge-load vector.
+std::vector<EdgeId> bfs_arborescence(const Digraph& g, NodeId root,
+                                     const EdgeMask& active = {});
 
 }  // namespace bt

@@ -1,0 +1,315 @@
+#include "sched/orchestrate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "graph/arborescence.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+/// An edge of the communication multigraph: total transfer time `w` between
+/// the send port of `from` and the receive port of `to` this period.
+/// Fictitious edges (arc == npos) are Birkhoff-von Neumann padding: idle
+/// time inserted so every port load equals the maximum; they occupy ports
+/// in the matching but emit no transfers.
+struct CommEdge {
+  NodeId from;
+  NodeId to;
+  double w;
+  EdgeId arc;  ///< original arc id; Digraph::npos for padding
+};
+
+/// Per-arc queue of (tree, transfer time) segments; rounds consume it front
+/// to back, so each tree's traffic over an arc occupies contiguous rounds.
+struct ArcQueue {
+  std::vector<std::pair<std::size_t, double>> items;
+  std::size_t head = 0;
+};
+
+/// Pop `duration` seconds of traffic from `queue` into round transfers.
+void consume(ArcQueue& queue, EdgeId arc, double arc_time, double duration, double eps,
+             std::vector<ScheduleTransfer>& transfers) {
+  while (duration > eps && queue.head < queue.items.size()) {
+    auto& [tree, remaining] = queue.items[queue.head];
+    const double used = std::min(duration, remaining);
+    transfers.push_back({arc, tree, used / arc_time});
+    remaining -= used;
+    duration -= used;
+    if (remaining <= eps) ++queue.head;
+  }
+}
+
+/// Kuhn augmenting path over the active (w > eps) communication edges.
+bool augment(NodeId u, const std::vector<std::vector<std::size_t>>& send_edges,
+             const std::vector<CommEdge>& edges, double eps, std::vector<char>& visited,
+             std::vector<std::size_t>& match_send, std::vector<std::size_t>& match_recv) {
+  for (std::size_t idx : send_edges[u]) {
+    if (edges[idx].w <= eps) continue;
+    const NodeId v = edges[idx].to;
+    if (visited[v]) continue;
+    visited[v] = 1;
+    if (match_recv[v] == Digraph::npos ||
+        augment(edges[match_recv[v]].from, send_edges, edges, eps, visited, match_send,
+                match_recv)) {
+      match_send[u] = idx;
+      match_recv[v] = idx;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Bidirectional rounds: BvN padding + perfect-matching peeling.  Realizes
+/// period = max port load exactly (up to fp tail), which is optimal.
+void peel_bidirectional(const Platform& platform, std::vector<CommEdge> edges,
+                        std::vector<ArcQueue>& queues, double eps,
+                        PeriodicSchedule& schedule) {
+  const std::size_t n = platform.num_nodes();
+  std::vector<double> out_load(n, 0.0), in_load(n, 0.0);
+  for (const CommEdge& e : edges) {
+    out_load[e.from] += e.w;
+    in_load[e.to] += e.w;
+  }
+  const double max_load = std::max(*std::max_element(out_load.begin(), out_load.end()),
+                                   *std::max_element(in_load.begin(), in_load.end()));
+  // Padding: equalize every port to max_load (total send deficit equals
+  // total receive deficit, so greedy pairing closes both).
+  std::vector<std::pair<NodeId, double>> send_deficit, recv_deficit;
+  for (NodeId u = 0; u < n; ++u) {
+    if (max_load - out_load[u] > eps) send_deficit.push_back({u, max_load - out_load[u]});
+    if (max_load - in_load[u] > eps) recv_deficit.push_back({u, max_load - in_load[u]});
+  }
+  std::size_t si = 0, ri = 0;
+  while (si < send_deficit.size() && ri < recv_deficit.size()) {
+    auto& [u, du] = send_deficit[si];
+    auto& [v, dv] = recv_deficit[ri];
+    const double w = std::min(du, dv);
+    edges.push_back({u, v, w, Digraph::npos});
+    du -= w;
+    dv -= w;
+    if (du <= eps) ++si;
+    if (dv <= eps) ++ri;
+  }
+
+  std::vector<std::vector<std::size_t>> send_edges(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) send_edges[edges[i].from].push_back(i);
+  std::vector<std::size_t> match_send(n, Digraph::npos), match_recv(n, Digraph::npos);
+  std::vector<char> visited(n, 0);
+
+  const std::size_t max_rounds = edges.size() + n + 8;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // Re-match senders whose matched edge was exhausted (warm start: the
+    // rest of the matching carries over between rounds).
+    bool any_active = false;
+    for (NodeId u = 0; u < n; ++u) {
+      if (match_send[u] != Digraph::npos && edges[match_send[u]].w <= eps) {
+        match_recv[edges[match_send[u]].to] = Digraph::npos;
+        match_send[u] = Digraph::npos;
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      if (match_send[u] != Digraph::npos) {
+        any_active = true;
+        continue;
+      }
+      const bool has_active = std::any_of(send_edges[u].begin(), send_edges[u].end(),
+                                          [&](std::size_t i) { return edges[i].w > eps; });
+      if (!has_active) continue;  // port fully drained
+      std::fill(visited.begin(), visited.end(), 0);
+      if (augment(u, send_edges, edges, eps, visited, match_send, match_recv)) {
+        any_active = true;
+      } else {
+        // Only a numerically negligible tail can be unmatchable (padding
+        // keeps all port loads equal); drop it.
+        for (std::size_t i : send_edges[u]) {
+          BT_ASSERT(edges[i].w <= 1e-6 * std::max(max_load, 1.0),
+                    "orchestrate_one_port: unmatchable residual transfer time");
+          edges[i].w = 0.0;
+        }
+      }
+    }
+    if (!any_active) break;
+
+    double delta = max_load;
+    for (NodeId u = 0; u < n; ++u) {
+      if (match_send[u] != Digraph::npos) delta = std::min(delta, edges[match_send[u]].w);
+    }
+    ScheduleRound out_round;
+    out_round.duration = delta;
+    for (NodeId u = 0; u < n; ++u) {
+      if (match_send[u] == Digraph::npos) continue;
+      CommEdge& e = edges[match_send[u]];
+      if (e.arc != Digraph::npos) {
+        consume(queues[e.arc], e.arc, platform.edge_time(e.arc), delta, eps,
+                out_round.transfers);
+      }
+      e.w -= delta;
+    }
+    schedule.period += delta;
+    schedule.rounds.push_back(std::move(out_round));
+  }
+  BT_ASSERT(std::none_of(edges.begin(), edges.end(),
+                         [&](const CommEdge& e) { return e.w > eps; }),
+            "orchestrate_one_port: round cap hit with residual transfer time");
+}
+
+/// Unidirectional rounds: greedy matchings of the general conflict graph,
+/// highest-loaded ports first.  Matchings cannot always realize the LP
+/// value here (odd-set bounds); see the header.
+void peel_unidirectional(const Platform& platform, std::vector<CommEdge> edges,
+                         std::vector<ArcQueue>& queues, double eps,
+                         PeriodicSchedule& schedule) {
+  const std::size_t n = platform.num_nodes();
+  std::vector<double> load(n, 0.0);
+  for (const CommEdge& e : edges) {
+    load[e.from] += e.w;
+    load[e.to] += e.w;
+  }
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<char> used(n, 0);
+  const std::size_t max_rounds = edges.size() + 8;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = std::max(load[edges[a].from], load[edges[a].to]);
+      const double kb = std::max(load[edges[b].from], load[edges[b].to]);
+      if (ka != kb) return ka > kb;
+      return edges[a].w > edges[b].w;
+    });
+    std::fill(used.begin(), used.end(), 0);
+    std::vector<std::size_t> matched;
+    for (std::size_t i : order) {
+      const CommEdge& e = edges[i];
+      if (e.w <= eps || used[e.from] || used[e.to]) continue;
+      used[e.from] = used[e.to] = 1;
+      matched.push_back(i);
+    }
+    if (matched.empty()) break;
+    double delta = edges[matched.front()].w;
+    for (std::size_t i : matched) delta = std::min(delta, edges[i].w);
+    ScheduleRound out_round;
+    out_round.duration = delta;
+    for (std::size_t i : matched) {
+      CommEdge& e = edges[i];
+      consume(queues[e.arc], e.arc, platform.edge_time(e.arc), delta, eps,
+              out_round.transfers);
+      e.w -= delta;
+      load[e.from] -= delta;
+      load[e.to] -= delta;
+    }
+    schedule.period += delta;
+    schedule.rounds.push_back(std::move(out_round));
+  }
+  BT_ASSERT(std::none_of(edges.begin(), edges.end(),
+                         [&](const CommEdge& e) { return e.w > eps; }),
+            "orchestrate_one_port: round cap hit with residual transfer time");
+}
+
+}  // namespace
+
+PeriodicSchedule orchestrate_one_port(const Platform& platform,
+                                      const std::vector<PackedTree>& trees,
+                                      const OrchestrationOptions& options) {
+  const Digraph& g = platform.graph();
+  BT_REQUIRE(g.num_nodes() >= 2,
+             "orchestrate_one_port: single-node platform has no transfers to schedule");
+  double total_rate = 0.0;
+  for (const PackedTree& tree : trees) {
+    if (tree.rate <= 0.0) continue;
+    std::string why;
+    BT_REQUIRE(is_spanning_arborescence(g, platform.source(), tree.edges, &why),
+               "orchestrate_one_port: tree is not a spanning arborescence: " + why);
+    total_rate += tree.rate;
+  }
+  BT_REQUIRE(total_rate > 0.0, "orchestrate_one_port: no tree with positive rate");
+
+  PeriodicSchedule schedule;
+  schedule.port_model = options.port_model;
+  schedule.root = platform.source();
+
+  // Reference period: one slice in total per period (the schedule is
+  // scale-free; round durations simply stretch with the period).
+  const double ref_period = 1.0 / total_rate;
+  for (const PackedTree& tree : trees) {
+    if (tree.rate <= 0.0) continue;
+    schedule.trees.push_back({tree.edges, tree.rate * ref_period});
+    schedule.slices_per_period += tree.rate * ref_period;
+  }
+
+  // Aggregate per-arc transfer time and the per-tree segments behind it.
+  std::vector<ArcQueue> queues(g.num_edges());
+  std::vector<double> arc_time(g.num_edges(), 0.0);
+  for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
+    for (EdgeId e : schedule.trees[t].edges) {
+      const double w = schedule.trees[t].slices_per_period * platform.edge_time(e);
+      queues[e].items.push_back({t, w});
+      arc_time[e] += w;
+    }
+  }
+  std::vector<CommEdge> edges;
+  double max_time = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (arc_time[e] <= 0.0) continue;
+    edges.push_back({g.from(e), g.to(e), arc_time[e], e});
+    max_time = std::max(max_time, arc_time[e]);
+  }
+  const double eps = options.tolerance * std::max(max_time, 1e-300);
+
+  if (options.port_model == PortModel::kBidirectional) {
+    peel_bidirectional(platform, std::move(edges), queues, eps, schedule);
+  } else {
+    peel_unidirectional(platform, std::move(edges), queues, eps, schedule);
+  }
+  // The schedule never runs faster than the given rates promise: when the
+  // rounds finish ahead of the reference period (the tight port is only
+  // (1 - eps) loaded when the rates sit a hair below the port optimum),
+  // the remainder is explicit idle time.  Without this, the per-arc slice
+  // rates would exceed the rates' own loads by that same hair.
+  if (schedule.period < ref_period) {
+    ScheduleRound idle;
+    idle.duration = ref_period - schedule.period;
+    schedule.rounds.push_back(std::move(idle));
+    schedule.period = ref_period;
+  }
+  return schedule;
+}
+
+PeriodicSchedule synthesize_schedule(const Platform& platform, const SsbSolution& solution,
+                                     const OrchestrationOptions& options,
+                                     const TreeDecompositionOptions& decomposition) {
+  const TreeDecomposition decomposed = decompose_edge_load(platform, solution, decomposition);
+  return orchestrate_one_port(platform, decomposed.trees, options);
+}
+
+PeriodicSchedule schedule_single_tree(const Platform& platform, const BroadcastTree& tree,
+                                      PortModel model) {
+  tree.validate(platform);
+  BT_REQUIRE(!tree.edges.empty(),
+             "schedule_single_tree: tree has no arcs (single-node platform)");
+  // The highest rate the tree's ports allow: 1 / max port occupation per
+  // slice.  Under the bidirectional model this is 1 / one_port_period
+  // (every reception is covered by its sender's out-sum).
+  std::vector<double> out(platform.num_nodes(), 0.0), in(platform.num_nodes(), 0.0);
+  for (EdgeId e : tree.edges) {
+    out[platform.graph().from(e)] += platform.edge_time(e);
+    in[platform.graph().to(e)] += platform.edge_time(e);
+  }
+  double max_load = 0.0;
+  for (NodeId u = 0; u < platform.num_nodes(); ++u) {
+    max_load = std::max(max_load, model == PortModel::kBidirectional
+                                      ? std::max(out[u], in[u])
+                                      : out[u] + in[u]);
+  }
+  PackedTree packed;
+  packed.edges = tree.edges;
+  packed.rate = 1.0 / max_load;
+  OrchestrationOptions options;
+  options.port_model = model;
+  return orchestrate_one_port(platform, {packed}, options);
+}
+
+}  // namespace bt

@@ -1,0 +1,67 @@
+#pragma once
+
+// One-port orchestration: turn a weighted multi-tree decomposition into a
+// conflict-free PeriodicSchedule.
+//
+// The trees are scaled to a common reference period (one slice in total per
+// period), their per-arc transfer times are aggregated into a send x receive
+// communication multigraph, and that multigraph is edge-colored into rounds
+// by weighted matching peeling:
+//
+//  * bidirectional one-port (bipartite: a node's send and receive ports are
+//    independent): the load matrix is padded with fictitious idle transfers
+//    until every send and receive port carries exactly the maximum load L
+//    (Birkhoff-von Neumann completion); then every round is a *perfect*
+//    matching of the positive-weight edges -- one always exists by Hall's
+//    condition, because padding keeps all port loads equal -- peeled by its
+//    minimum edge weight.  The rounds sum to exactly L, so the schedule
+//    realizes the decomposition's full rate: for an SSB optimum, TP*.
+//
+//  * unidirectional one-port (a node's single port serializes sends *and*
+//    receives): rounds are matchings of the general conflict graph, built
+//    greedily highest-loaded-ports-first.  Here matchings cannot always
+//    realize the LP value: the unidirectional SSB program only carries
+//    per-node rows, while a true schedule also obeys odd-set (fractional
+//    edge-coloring) bounds.  On a uniform 3-node clique the LP claims
+//    TP* = 2/3 while any schedule -- ours included -- tops out at 1/2,
+//    because any two of the three transfers share a port.  The achieved
+//    rate is schedule.throughput(); tests pin the 3/4 ratio on the
+//    triangle.
+//
+// Rounds are fluid (transfers may carry fractional slices); see
+// periodic_schedule.hpp.
+
+#include <vector>
+
+#include "core/broadcast_tree.hpp"
+#include "sched/periodic_schedule.hpp"
+#include "sched/tree_decomposition.hpp"
+
+namespace bt {
+
+struct OrchestrationOptions {
+  PortModel port_model = PortModel::kBidirectional;
+  /// Relative tolerance below which residual transfer time is dropped.
+  double tolerance = 1e-12;
+};
+
+/// Orchestrate weighted spanning trees (rates in slices per second) into a
+/// periodic schedule.  Throws bt::Error when `trees` is empty, a tree is not
+/// a spanning arborescence, or no rate is positive.
+PeriodicSchedule orchestrate_one_port(const Platform& platform,
+                                      const std::vector<PackedTree>& trees,
+                                      const OrchestrationOptions& options = {});
+
+/// Convenience: decomposition + orchestration from any SSB solution.
+PeriodicSchedule synthesize_schedule(const Platform& platform, const SsbSolution& solution,
+                                     const OrchestrationOptions& options = {},
+                                     const TreeDecompositionOptions& decomposition = {});
+
+/// A single-tree heuristic as a periodic schedule: the tree runs at the
+/// highest rate its ports allow under `model` (for the bidirectional model
+/// this reproduces 1 / one_port_period).  Lets the replay executor rate
+/// heuristic trees and multi-tree optima with the same machinery.
+PeriodicSchedule schedule_single_tree(const Platform& platform, const BroadcastTree& tree,
+                                      PortModel model = PortModel::kBidirectional);
+
+}  // namespace bt

@@ -1,0 +1,38 @@
+#include "sched/periodic_schedule.hpp"
+
+#include <sstream>
+
+namespace bt {
+
+std::string describe_schedule(const Platform& platform, const PeriodicSchedule& schedule,
+                              std::size_t max_rounds) {
+  const Digraph& g = platform.graph();
+  std::ostringstream out;
+  out.precision(4);
+  out << "periodic schedule ("
+      << (schedule.port_model == PortModel::kBidirectional ? "bidirectional" : "unidirectional")
+      << " one-port): period " << schedule.period << " s, " << schedule.slices_per_period
+      << " slices/period (" << schedule.throughput() << " slices/s), " << schedule.trees.size()
+      << " tree(s), " << schedule.rounds.size() << " round(s)\n";
+  for (std::size_t i = 0; i < schedule.trees.size(); ++i) {
+    out << "  tree " << i << ": " << schedule.trees[i].slices_per_period << " slices/period\n";
+  }
+  const std::size_t shown = max_rounds == 0
+                                ? schedule.rounds.size()
+                                : std::min(max_rounds, schedule.rounds.size());
+  for (std::size_t r = 0; r < shown; ++r) {
+    const ScheduleRound& round = schedule.rounds[r];
+    out << "  round " << r << " (" << round.duration << " s):";
+    for (const ScheduleTransfer& t : round.transfers) {
+      out << "  " << g.from(t.arc) << "->" << g.to(t.arc) << " [tree " << t.tree << ", "
+          << t.amount << " slice]";
+    }
+    out << "\n";
+  }
+  if (shown < schedule.rounds.size()) {
+    out << "  ... " << schedule.rounds.size() - shown << " more round(s)\n";
+  }
+  return out.str();
+}
+
+}  // namespace bt

@@ -1,0 +1,80 @@
+#pragma once
+
+// Executable periodic broadcast schedules.
+//
+// The SSB solvers (ssb/) compute the optimal steady-state throughput TP* and
+// the per-arc loads n_{u,v} of program (2) -- the quantities the paper proves
+// polynomial.  A PeriodicSchedule is the step the paper calls "complicated"
+// and skips: an explicit period of conflict-free communication rounds that
+// *realizes* those loads.  It is produced in two stages (sched/):
+//
+//  1. tree_decomposition.hpp peels the fractional edge loads into a convex
+//     combination of weighted spanning broadcast trees (Edmonds' branching
+//     theorem guarantees one exists at rate TP*);
+//  2. orchestrate.hpp scales the trees to a common period and edge-colors
+//     the resulting send x receive communication multigraph into rounds
+//     (Birkhoff-von Neumann matching peeling), so that within a round no
+//     port is used twice.
+//
+// Rounds are *fluid*: a transfer may ship a fractional number of slices
+// (equivalently, the slice is subdivided), which is the standard preemptive
+// one-port schedule of the steady-state scheduling literature.  All integral
+// schedules are a special case.  sim/schedule_replay.hpp executes a schedule
+// period by period and measures the achieved steady-state rate.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+/// One tree of a periodic schedule: its arcs and how many slices it ships
+/// per period (fractional; the fluid analog of an integer slice count).
+struct ScheduledTree {
+  std::vector<EdgeId> edges;       ///< spanning arborescence arcs
+  double slices_per_period = 0.0;  ///< s_T = lambda_T * period
+};
+
+/// One point-to-point transfer inside a round: `amount` slices of tree
+/// `tree` shipped over `arc`.  Its port occupation time is
+/// amount * T_arc <= round duration.
+struct ScheduleTransfer {
+  EdgeId arc = 0;
+  std::size_t tree = 0;  ///< index into PeriodicSchedule::trees
+  double amount = 0.0;   ///< slices (fractional)
+};
+
+/// A conflict-free communication round: all transfers run concurrently for
+/// `duration` seconds.  Under the bidirectional one-port model no two
+/// transfers share a sender or share a receiver; under the unidirectional
+/// model no two transfers share any endpoint.
+struct ScheduleRound {
+  double duration = 0.0;  ///< seconds
+  std::vector<ScheduleTransfer> transfers;
+};
+
+/// A periodic broadcast schedule: every `period` seconds each tree T ships
+/// s_T fresh slices one hop further, through the listed rounds.  In steady
+/// state (after a transient of max tree depth periods) every node receives
+/// slices_per_period slices per period, i.e. rate slices_per_period/period.
+struct PeriodicSchedule {
+  PortModel port_model = PortModel::kBidirectional;
+  NodeId root = 0;
+  double period = 0.0;             ///< seconds; sum of round durations
+  double slices_per_period = 0.0;  ///< sum over trees of s_T
+  std::vector<ScheduledTree> trees;
+  std::vector<ScheduleRound> rounds;
+
+  /// Designed steady-state rate (slices per second).
+  double throughput() const { return period > 0.0 ? slices_per_period / period : 0.0; }
+};
+
+/// Human-readable round-by-round rendering; at most `max_rounds` rounds are
+/// printed (0 = all).  For examples / debugging.
+std::string describe_schedule(const Platform& platform, const PeriodicSchedule& schedule,
+                              std::size_t max_rounds = 0);
+
+}  // namespace bt

@@ -1,0 +1,73 @@
+#pragma once
+
+// Flow -> tree decomposition: peel the fractional edge loads n_{u,v} of an
+// SSB optimum into a convex combination of weighted spanning broadcast
+// trees of total rate TP* (the constructive half of Edmonds' branching
+// theorem the paper leans on).
+//
+// Two paths:
+//
+//  * exact: when the solution carries native tree columns (the
+//    column-generation master prices spanning arborescences, so its
+//    positive-rate columns *are* a decomposition), they are returned as is;
+//
+//  * reconstruction (cutting-plane / direct solver loads): the loads are
+//    first checked to support TP* (one max-flow per destination -- the same
+//    min-cut certificate the cutting-plane separation uses), then a
+//    restricted packing master is solved over the *support* arcs:
+//
+//      maximize  sum_T lambda_T
+//      s.t.      sum_{T ni e} lambda_T <= n_e     (every support arc e)
+//
+//    with columns generated lazily: under arc duals y_e the most violated
+//    tree is the minimum-weight spanning arborescence (Chu-Liu/Edmonds),
+//    improving while its weight is < 1.  The master is seeded with greedy
+//    bottleneck trees (repeatedly: the spanning arborescence of the arcs
+//    with the largest loads, peeled by its minimum load) so the LP usually
+//    converges in a handful of pricing rounds.  Because the returned rates
+//    form a *basic* optimal solution of a program with at most |E| rows,
+//    the decomposition uses at most |E| trees.
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+struct TreeDecompositionOptions {
+  /// Relative target of the reconstruction.  Small platforms converge to
+  /// it; at scale the massively degenerate packing master is stopped at
+  /// 1e-7 relative (its tail costs more than the whole decomposition) and
+  /// a cold polish plus exact feasibility repair finish the rates, so the
+  /// reconstruction always completes at no worse than TP* * (1 - 2e-6)
+  /// (the hard floor -- anything below throws) with arc usage <= edge_load
+  /// exactly.  Arcs with load below tolerance * max(1, TP*) are treated as
+  /// unused.
+  double tolerance = 1e-9;
+  /// Safety cap on pricing rounds of the restricted packing master.
+  std::size_t max_pricing_rounds = 10000;
+  /// Consume SsbSolution::tree_columns when present (exact path).  Disable
+  /// to force the edge-load reconstruction, e.g. to test it on colgen loads.
+  bool use_solution_columns = true;
+};
+
+struct TreeDecomposition {
+  /// Weighted spanning trees; rates are scaled to sum to the solution's
+  /// TP* exactly and respect the arc loads within tolerance.
+  std::vector<PackedTree> trees;
+  double throughput = 0.0;         ///< sum of rates
+  bool from_columns = false;       ///< exact path taken
+  std::size_t greedy_trees = 0;    ///< seeds found by bottleneck peeling
+  std::size_t pricing_rounds = 0;  ///< LP pricing rounds of the reconstruction
+};
+
+/// Decompose `solution.edge_load` (or adopt its native tree columns) into
+/// weighted spanning broadcast trees.  Throws bt::Error on unsolved
+/// solutions, platforms with fewer than two nodes, or loads that do not
+/// support the claimed throughput.
+TreeDecomposition decompose_edge_load(const Platform& platform, const SsbSolution& solution,
+                                      const TreeDecompositionOptions& options = {});
+
+}  // namespace bt

@@ -1,0 +1,190 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "graph/arborescence.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+constexpr std::size_t kMaxViolations = 32;
+
+void report(ScheduleCheck& check, const std::string& message) {
+  check.ok = false;
+  if (check.violations.size() < kMaxViolations) check.violations.push_back(message);
+}
+
+std::string str(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+ScheduleCheck check_schedule(const Platform& platform, const PeriodicSchedule& schedule,
+                             const ScheduleCheckOptions& options) {
+  const Digraph& g = platform.graph();
+  ScheduleCheck check;
+  const double time_tol = options.tolerance * std::max(schedule.period, 1e-300);
+  const double slice_tol = options.tolerance * std::max(schedule.slices_per_period, 1e-300);
+
+  // ---- Trees: spanning arborescences with positive slice counts. ----
+  // Per-tree sorted arc lists back both the membership test and the
+  // shipping accumulators (slot = position in the sorted list), keeping
+  // the checker O(trees * n) in memory instead of trees * |E|.
+  std::vector<std::vector<EdgeId>> tree_arcs(schedule.trees.size());
+  for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
+    const ScheduledTree& tree = schedule.trees[t];
+    std::string why;
+    if (!is_spanning_arborescence(g, schedule.root, tree.edges, &why)) {
+      report(check, "tree " + std::to_string(t) + " is not a spanning arborescence: " + why);
+    }
+    if (tree.slices_per_period <= 0.0) {
+      report(check, "tree " + std::to_string(t) + " ships no slices");
+    }
+    tree_arcs[t] = tree.edges;
+    std::sort(tree_arcs[t].begin(), tree_arcs[t].end());
+  }
+  const auto tree_slot = [&](std::size_t t, EdgeId arc) -> std::size_t {
+    const auto& arcs = tree_arcs[t];
+    const auto it = std::lower_bound(arcs.begin(), arcs.end(), arc);
+    if (it == arcs.end() || *it != arc) return arcs.size();  // not a tree arc
+    return static_cast<std::size_t>(it - arcs.begin());
+  };
+  double total_slices = 0.0;
+  for (const ScheduledTree& tree : schedule.trees) total_slices += tree.slices_per_period;
+  if (std::abs(total_slices - schedule.slices_per_period) > slice_tol) {
+    report(check, "slices_per_period " + str(schedule.slices_per_period) +
+                      " does not match the trees' total " + str(total_slices));
+  }
+
+  // ---- Rounds: conflict freedom, fit, and period accounting. ----
+  // shipped[t][slot]: slices of tree t over its slot-th sorted arc.
+  std::vector<std::vector<double>> shipped(schedule.trees.size());
+  for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
+    shipped[t].assign(tree_arcs[t].size(), 0.0);
+  }
+  double total_duration = 0.0;
+  std::vector<int> port_user(g.num_nodes(), -1);  // round-local marker
+  std::vector<int> recv_user(g.num_nodes(), -1);
+  std::map<EdgeId, double> arc_busy;  // per-round occupation, merged per arc
+  for (std::size_t r = 0; r < schedule.rounds.size(); ++r) {
+    const ScheduleRound& round = schedule.rounds[r];
+    if (round.duration < 0.0) {
+      report(check, "round " + std::to_string(r) + " has negative duration");
+    }
+    total_duration += round.duration;
+    arc_busy.clear();
+    for (const ScheduleTransfer& transfer : round.transfers) {
+      if (transfer.arc >= g.num_edges() || transfer.tree >= schedule.trees.size()) {
+        report(check, "round " + std::to_string(r) + " references an invalid arc or tree");
+        continue;
+      }
+      if (transfer.amount < -slice_tol) {
+        report(check, "round " + std::to_string(r) + " has a negative transfer amount");
+      }
+      const std::size_t slot = tree_slot(transfer.tree, transfer.arc);
+      if (slot == tree_arcs[transfer.tree].size()) {
+        report(check, "round " + std::to_string(r) + " ships tree " +
+                          std::to_string(transfer.tree) + " over arc " +
+                          std::to_string(transfer.arc) + " which is not in that tree");
+      } else {
+        shipped[transfer.tree][slot] += transfer.amount;
+      }
+      arc_busy[transfer.arc] += transfer.amount * platform.edge_time(transfer.arc);
+    }
+    // Transfers over the *same* arc serialize trivially on the same port
+    // pair; conflicts are between distinct arcs sharing a port.
+    for (const auto& [arc, busy] : arc_busy) {
+      check.max_port_overuse = std::max(check.max_port_overuse, busy - round.duration);
+      if (busy > round.duration + time_tol) {
+        report(check, "round " + std::to_string(r) + " occupies arc " + std::to_string(arc) +
+                          " for " + str(busy) + " s > round duration " +
+                          str(round.duration) + " s");
+      }
+      const NodeId from = g.from(arc);
+      const NodeId to = g.to(arc);
+      const int marker = static_cast<int>(r);
+      const bool conflict =
+          schedule.port_model == PortModel::kBidirectional
+              ? (port_user[from] == marker || recv_user[to] == marker)
+              : (port_user[from] == marker || port_user[to] == marker ||
+                 recv_user[from] == marker || recv_user[to] == marker);
+      if (conflict) {
+        report(check, "round " + std::to_string(r) + " has a port conflict at arc " +
+                          std::to_string(arc) + " (" + std::to_string(from) + "->" +
+                          std::to_string(to) + ")");
+      }
+      port_user[from] = marker;
+      recv_user[to] = marker;
+    }
+  }
+  if (std::abs(total_duration - schedule.period) > time_tol) {
+    report(check, "period " + str(schedule.period) + " does not match the rounds' total " +
+                      str(total_duration));
+  }
+
+  // ---- Load accounting: every tree arc carries exactly s_T per period.
+  // (Traffic over non-tree arcs was already reported per transfer above.)
+  for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
+    for (std::size_t slot = 0; slot < tree_arcs[t].size(); ++slot) {
+      const double error =
+          std::abs(shipped[t][slot] - schedule.trees[t].slices_per_period);
+      check.max_ship_error = std::max(check.max_ship_error, error);
+      if (error > slice_tol) {
+        report(check, "tree " + std::to_string(t) + " ships " + str(shipped[t][slot]) +
+                          " slices over arc " + std::to_string(tree_arcs[t][slot]) +
+                          ", expected " + str(schedule.trees[t].slices_per_period));
+      }
+    }
+  }
+
+  // ---- Optional accounting against a reference SSB solution. ----
+  if (options.reference != nullptr) {
+    const SsbSolution& ref = *options.reference;
+    BT_REQUIRE(ref.edge_load.size() == g.num_edges(),
+               "check_schedule: reference edge_load size mismatch");
+    const double rate_scale = std::max(1.0, ref.throughput);
+    const double rate_tol = options.tolerance * rate_scale;
+    if (schedule.period <= 0.0) {
+      report(check, "schedule has a non-positive period");
+    } else {
+      std::vector<double> arc_slices(g.num_edges(), 0.0);
+      for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
+        for (std::size_t slot = 0; slot < tree_arcs[t].size(); ++slot) {
+          arc_slices[tree_arcs[t][slot]] += shipped[t][slot];
+        }
+      }
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const double rate = arc_slices[e] / schedule.period;
+        check.max_load_excess = std::max(check.max_load_excess, rate - ref.edge_load[e]);
+        const bool bad = options.require_exact_loads
+                             ? std::abs(rate - ref.edge_load[e]) > rate_tol
+                             : rate > ref.edge_load[e] + rate_tol;
+        if (bad) {
+          report(check, "arc " + std::to_string(e) + " carries " + str(rate) +
+                            " slices/s vs reference load " + str(ref.edge_load[e]));
+        }
+      }
+      const double tp = schedule.throughput();
+      if (tp > ref.throughput + rate_tol) {
+        report(check, "schedule throughput " + str(tp) + " exceeds the reference TP* " +
+                          str(ref.throughput));
+      }
+      if (options.require_exact_loads && std::abs(tp - ref.throughput) > rate_tol) {
+        report(check, "schedule throughput " + str(tp) + " does not match TP* " +
+                          str(ref.throughput));
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace bt

@@ -1,0 +1,62 @@
+#pragma once
+
+// Standalone validity checker for periodic schedules.
+//
+// Verifies, independently of how the schedule was synthesized:
+//  * structure: every tree is a spanning arborescence rooted at the
+//    schedule root with positive slices; every transfer references a valid
+//    round, arc and tree, and each transfer's arc belongs to its tree;
+//  * port-conflict freedom, per round: under the bidirectional one-port
+//    model no two transfers share a send or a receive port, under the
+//    unidirectional model no two transfers share any port; every transfer
+//    fits its round (amount * T_arc <= duration);
+//  * load accounting: over one period each tree ships exactly its
+//    slices_per_period over each of its arcs; period and slices_per_period
+//    match the rounds and trees; optionally, the per-arc slice rate is
+//    checked against a reference SsbSolution's edge_load (never above it,
+//    and exactly equal on request -- the colgen/exact-decomposition path).
+//
+// Used by the test suites and exposed to the examples; replay
+// (sim/schedule_replay.hpp) is the dynamic complement of this static check.
+
+#include <string>
+#include <vector>
+
+#include "sched/periodic_schedule.hpp"
+#include "ssb/ssb_solution.hpp"
+
+namespace bt {
+
+struct ScheduleCheckOptions {
+  /// Relative tolerance of all accounting checks (scaled by the schedule's
+  /// natural magnitudes: period for times, slices_per_period for slices).
+  double tolerance = 1e-9;
+  /// When set, additionally check the schedule's per-arc slice rates
+  /// against this solution's edge_load and its total rate against TP*.
+  const SsbSolution* reference = nullptr;
+  /// With a reference: require per-arc rates to *equal* edge_load (exact
+  /// decompositions); otherwise rates must only stay below the loads.
+  bool require_exact_loads = false;
+};
+
+struct ScheduleCheck {
+  bool ok = true;
+  /// Human-readable violations (capped at 32).
+  std::vector<std::string> violations;
+  /// Worst port over-occupation of any round, in seconds (<= 0 when clean).
+  double max_port_overuse = 0.0;
+  /// Worst per-(tree, arc) shipping mismatch, in slices.
+  double max_ship_error = 0.0;
+  /// Worst per-arc rate excess over the reference edge_load, slices/second
+  /// (only with a reference; <= 0 when clean).
+  double max_load_excess = 0.0;
+};
+
+/// Check `schedule` against `platform` (and optionally a reference
+/// solution).  Never throws on a bad schedule -- all findings are reported
+/// in the result; throws bt::Error only on size mismatches that make the
+/// schedule uninterpretable.
+ScheduleCheck check_schedule(const Platform& platform, const PeriodicSchedule& schedule,
+                             const ScheduleCheckOptions& options = {});
+
+}  // namespace bt

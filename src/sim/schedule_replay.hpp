@@ -1,0 +1,58 @@
+#pragma once
+
+// Periodic-schedule replay: execute a synthesized PeriodicSchedule and
+// measure the steady-state rate it actually achieves.
+//
+// This extends the tree simulator (pipeline_simulator.hpp) to multi-tree
+// periodic schedules: the executor walks the schedule's rounds period by
+// period -- the round boundaries are the events -- and moves tree traffic
+// under the real precedence constraint that a node can only forward data it
+// has fully received *before the current round started*.  The port model is
+// enforced by construction (rounds are matchings; validate.hpp checks that
+// statically), so what replay adds is the pipelining dynamics: a startup
+// transient of one period per tree level, then -- if the schedule is
+// consistent -- a steady state in which every node receives exactly
+// slices_per_period slices per period.
+//
+// The measured steady-state rate is the binding check that schedule
+// synthesis closed the loop: for a bidirectional-one-port SSB optimum it
+// must converge to TP* (tests require >= 0.999 x), for a single-tree
+// schedule to the tree's closed-form throughput.
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sched/periodic_schedule.hpp"
+
+namespace bt {
+
+struct ReplayOptions {
+  /// Periods to run before the measurement window; 0 = automatic (max tree
+  /// depth + 2, the worst-case pipeline fill plus slack).
+  std::size_t warmup_periods = 0;
+  /// Length of the measurement window, in periods.
+  std::size_t measure_periods = 4;
+};
+
+struct ReplayResult {
+  /// Worst per-node delivery rate over the measurement window (slices/s);
+  /// the converged steady-state rate of the executed schedule.
+  double steady_throughput = 0.0;
+  /// Worst per-node end-to-end rate: total delivered / total time.
+  double end_to_end_throughput = 0.0;
+  /// First period index in which every non-root node received the full
+  /// slices_per_period (the measured pipeline-fill transient).
+  std::size_t transient_periods = 0;
+  std::size_t periods = 0;   ///< periods simulated
+  double total_time = 0.0;   ///< periods * schedule.period
+  /// Total slices delivered to every node (root excluded from measurement).
+  std::vector<double> delivered;
+};
+
+/// Execute `schedule` for warmup + measurement periods.  Throws bt::Error on
+/// an empty or period-less schedule.
+ReplayResult replay_schedule(const Platform& platform, const PeriodicSchedule& schedule,
+                             const ReplayOptions& options = {});
+
+}  // namespace bt

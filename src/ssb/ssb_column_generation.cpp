@@ -206,6 +206,7 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
     tree.rate = rate;
     solution.trees.push_back(std::move(tree));
   }
+  if (options.export_tree_columns) solution.tree_columns = solution.trees;
   solution.cuts_generated = columns.size();
   return solution;
 }

@@ -33,14 +33,14 @@
 
 namespace bt {
 
-/// One tree of the optimal fractional packing.
-struct PackedTree {
-  std::vector<EdgeId> edges;  ///< spanning arborescence arcs
-  double rate = 0.0;          ///< lambda_T: slices per time-unit along it
-};
+// PackedTree (one tree of the optimal fractional packing) lives in
+// ssb_solution.hpp so every solver's result can carry tree columns.
 
 struct SsbPackingSolution : SsbSolution {
   /// The multi-tree schedule: trees with positive rate; sum of rates = TP*.
+  /// Identical to SsbSolution::tree_columns (kept as a named field for the
+  /// packing-specific callers; the base field is what downstream schedule
+  /// synthesis consumes uniformly across solvers).
   std::vector<PackedTree> trees;
 };
 
@@ -67,6 +67,12 @@ struct SsbColumnGenOptions {
   /// Port model of the master's occupation rows: separate out/in rows per
   /// node (bidirectional one-port) or one combined row (unidirectional).
   PortModel port_model = PortModel::kBidirectional;
+  /// Also publish the positive-rate columns through the base class's
+  /// SsbSolution::tree_columns, so colgen-sourced schedule synthesis skips
+  /// the edge-load decomposition heuristic entirely (the master's columns
+  /// are an exact decomposition).  Disable to measure the decomposer on
+  /// colgen loads.
+  bool export_tree_columns = true;
 };
 
 /// Solve the SSB program by arborescence column generation.  Throws

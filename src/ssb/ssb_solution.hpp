@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/digraph.hpp"
+
 namespace bt {
 
 /// Port model of the steady-state broadcast program.  The paper works under
@@ -22,6 +24,13 @@ namespace bt {
 /// the optimum within it.
 enum class PortModel { kBidirectional, kUnidirectional };
 
+/// One spanning broadcast tree of a fractional multi-tree packing: the
+/// tree's arcs and its rate lambda_T (slices per time-unit routed along it).
+struct PackedTree {
+  std::vector<EdgeId> edges;  ///< spanning arborescence arcs
+  double rate = 0.0;          ///< lambda_T: slices per time-unit along it
+};
+
 struct SsbSolution {
   bool solved = false;
   /// Optimal steady-state throughput TP* (slices per time-unit).
@@ -29,6 +38,13 @@ struct SsbSolution {
   /// n_{u,v}: fractional slices crossing each arc per time-unit at optimum,
   /// indexed by arc id.
   std::vector<double> edge_load;
+  /// Weighted tree columns certifying the throughput, when the solver holds
+  /// them natively: the column-generation master prices spanning
+  /// arborescences, so at optimality its positive-rate columns are an exact
+  /// decomposition of edge_load (rates sum to TP*).  The cutting-plane and
+  /// direct solvers leave this empty; sched/tree_decomposition.hpp then
+  /// reconstructs a decomposition from edge_load instead.
+  std::vector<PackedTree> tree_columns;
   /// Diagnostics.
   std::size_t lp_iterations = 0;
   std::size_t separation_rounds = 0;  ///< cutting-plane solver only

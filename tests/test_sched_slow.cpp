@@ -1,0 +1,81 @@
+// Slow-labeled schedule synthesis cases: full-pipeline replay at the
+// solvers' 100+-node ceiling, excluded from the default `ctest -LE slow`
+// lane and run by the Release bench-smoke CI job (see CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "platform/random_generator.hpp"
+#include "sched/orchestrate.hpp"
+#include "sched/tree_decomposition.hpp"
+#include "sched/validate.hpp"
+#include "sim/schedule_replay.hpp"
+#include "ssb/ssb_column_generation.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+namespace {
+
+Platform instance(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomPlatformConfig config;
+  config.num_nodes = n;
+  config.density = 0.12;
+  return generate_random_platform(config, rng);
+}
+
+TEST(SchedSlow, ReplayConvergesAt120NodesBidirectional) {
+  const Platform platform = instance(120, 120 * 7919);
+  const SsbPackingSolution solution = solve_ssb_column_generation(platform);
+  const PeriodicSchedule schedule = synthesize_schedule(platform, solution);
+  EXPECT_LE(schedule.rounds.size(), platform.num_edges() + 2 * platform.num_nodes() + 8);
+
+  ScheduleCheckOptions options;
+  options.reference = &solution;
+  const ScheduleCheck check = check_schedule(platform, schedule, options);
+  ASSERT_TRUE(check.ok) << (check.violations.empty() ? "" : check.violations.front());
+
+  const ReplayResult replay = replay_schedule(platform, schedule);
+  EXPECT_GE(replay.steady_throughput, 0.999 * solution.throughput);
+}
+
+TEST(SchedSlow, DecomposerHandlesCuttingPlaneLoadsAtEighty) {
+  const Platform platform = instance(80, 80 * 104729);
+  const SsbSolution solution = solve_ssb_cutting_plane(platform);
+  ASSERT_TRUE(solution.tree_columns.empty());
+
+  const TreeDecomposition decomposition = decompose_edge_load(platform, solution);
+  EXPECT_LE(decomposition.trees.size(), platform.num_edges());
+  EXPECT_NEAR(decomposition.throughput, solution.throughput,
+              2e-6 * std::max(1.0, solution.throughput));
+
+  const PeriodicSchedule schedule =
+      orchestrate_one_port(platform, decomposition.trees);
+  ScheduleCheckOptions options;
+  options.reference = &solution;
+  ASSERT_TRUE(check_schedule(platform, schedule, options).ok);
+  const ReplayResult replay = replay_schedule(platform, schedule);
+  EXPECT_GE(replay.steady_throughput, 0.999 * solution.throughput);
+}
+
+TEST(SchedSlow, UnidirectionalReplayAtOneHundred) {
+  const Platform platform = instance(100, 100 * 31337);
+  SsbColumnGenOptions solver;
+  solver.port_model = PortModel::kUnidirectional;
+  const SsbPackingSolution solution = solve_ssb_column_generation(platform, solver);
+  OrchestrationOptions orchestration;
+  orchestration.port_model = PortModel::kUnidirectional;
+  const PeriodicSchedule schedule = synthesize_schedule(platform, solution, orchestration);
+
+  ScheduleCheckOptions options;
+  options.reference = &solution;
+  ASSERT_TRUE(check_schedule(platform, schedule, options).ok);
+  EXPECT_LE(schedule.throughput(), solution.throughput * (1.0 + 1e-9));
+  const ReplayResult replay = replay_schedule(platform, schedule);
+  EXPECT_GE(replay.steady_throughput, 0.999 * schedule.throughput());
+}
+
+}  // namespace
+}  // namespace bt
