@@ -2,11 +2,15 @@
 // random platforms as a function of the platform density (0.04..0.20),
 // averaged over the size grid of Table 2.
 //
-// Set BT_REPLICATES=10 for paper-scale replication.
+// Set BT_REPLICATES=10 for paper-scale replication and BT_SIZES to lift the
+// size grid (e.g. "100,150,200"; the reference optimum rides the
+// incremental cutting plane).  Records are archived to BENCH_fig4b.json
+// together with the sweep's 1-vs-N-thread wall-clock.
 
 #include <iostream>
 
 #include "experiments/aggregate.hpp"
+#include "experiments/sweep_json.hpp"
 #include "experiments/sweeps.hpp"
 #include "util/timer.hpp"
 
@@ -15,20 +19,29 @@ int main() {
   Timer timer;
 
   RandomSweepConfig config;
-  config.sizes = {10, 20, 30, 40, 50};
+  config.sizes = sizes_from_env("BT_SIZES", {10, 20, 30, 40, 50});
   config.densities = {0.04, 0.08, 0.12, 0.16, 0.20};
   config.replicates = replicates_from_env(3);
+  config.optimal_solver = OptimalSolver::kCuttingPlane;
 
   std::cout << "Figure 4(b) -- one-port, random platforms\n"
             << "relative performance vs density; " << config.replicates
             << " platform(s) per (size, density) cell, sizes averaged\n\n";
 
-  const auto records = run_random_sweep(config);
+  std::vector<SweepRecord> records;
+  const ThreadScaling scaling = measure_thread_scaling([&](std::size_t threads) {
+    config.num_threads = threads;
+    records = run_random_sweep(config);
+  });
   const auto series = aggregate_ratios(records, GroupBy::kDensity);
 
   std::vector<std::string> order;
   for (const auto& spec : one_port_heuristics()) order.push_back(spec.name);
   series_table(series, "density", order).render(std::cout);
+
+  write_sweep_json("BENCH_fig4b.json", "fig4b", records, scaling);
+  std::cout << "\nwrote BENCH_fig4b.json (" << records.size() << " records); "
+            << describe(scaling) << "\n";
 
   std::cout << "\npaper reference: refined heuristics stay within ~0.7 of the optimum\n"
                "across densities; higher density favors multi-tree routing, so all\n"

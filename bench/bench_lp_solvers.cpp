@@ -3,19 +3,31 @@
 // projected master LP with lazy min-cut separation; the column-generation
 // solver packs spanning arborescences (the production solver).  This bench
 // checks their agreement, tracks their cost as the platform grows to
-// paper-and-beyond sizes, and records two master ablations:
+// paper-and-beyond sizes, and records three master ablations:
 //
 //  * column generation: incremental sparse-LU master vs the legacy
 //    dense-inverse rebuild-every-round master;
 //  * cutting plane: incremental master (append_row + dual-simplex
 //    reoptimize from the standing basis, Forrest-Tomlin updates) vs the
-//    rebuild path (cold solve from the slack basis every round), at
-//    n in {20, 30, 50, 80, 120}.  Both paths walk the same cut trajectory
-//    and must report bitwise-identical throughput.
+//    rebuild path (cold solve from the slack basis every round).  Both
+//    paths walk the same cut trajectory and must report bitwise-identical
+//    throughput;
+//  * hypersparse LP core: the production configuration (Devex primal
+//    pricing, dual steepest-edge rows, reach-set FTRAN/BTRAN) vs the
+//    pre-hypersparse configuration (Dantzig, most-infeasible rows, full
+//    triangular sweeps), on both masters.
+//
+// Scaling sizes are env-tunable via BT_LP_SIZES (default 20..120; column
+// generation is skipped -- with an explicit "skipped" record -- beyond 150
+// nodes, where its degenerate master tailing dominates; the cutting plane
+// carries the curve to 200+).  The `direct` solver likewise gets explicit
+// "skipped" records above 12 nodes instead of silently missing rows.
 //
 // Machine-readable results are written to BENCH_lp.json in the working
-// directory (one record per nodes x solver: wall-clock ms and simplex
-// iterations) so CI can archive the perf trajectory.
+// directory: one record per nodes x solver (wall-clock ms, simplex
+// iterations, and -- where the solver ran the sparse engine -- FTRAN/BTRAN
+// reach fractions, kernel ns/call and the pricing mode), plus summary
+// fields for the guard script scripts/check_bench_regression.py.
 
 #include <algorithm>
 #include <cmath>
@@ -26,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/sweeps.hpp"
 #include "platform/random_generator.hpp"
 #include "ssb/ssb_column_generation.hpp"
 #include "ssb/ssb_cutting_plane.hpp"
@@ -36,12 +49,52 @@
 
 namespace {
 
+/// Column generation is skipped beyond this size (explicit "skipped"
+/// records): its pricing tails off on the massively degenerate packing
+/// master there, see ROADMAP.
+constexpr std::size_t kColgenSizeCap = 150;
+
 struct BenchRecord {
-  std::size_t nodes;
+  std::size_t nodes = 0;
   std::string solver;
-  double wall_ms;
-  std::size_t iterations;
+  double wall_ms = 0.0;
+  std::size_t iterations = 0;
+  std::string status = "ok";  ///< "ok" or "skipped"
+  std::string reason;         ///< skip reason (status == "skipped")
+  // Hypersparsity metrics of the sparse master engine; negative = absent.
+  double ftran_reach = -1.0;
+  double btran_reach = -1.0;
+  double ftran_ns_per_call = -1.0;
+  double btran_ns_per_call = -1.0;
+  std::string pricing_mode;
+
+  void attach_stats(const bt::LpEngineStats& stats) {
+    ftran_reach = stats.ftran_reach_fraction();
+    btran_reach = stats.btran_reach_fraction();
+    ftran_ns_per_call = stats.ftran_ns_per_call();
+    btran_ns_per_call = stats.btran_ns_per_call();
+    pricing_mode = stats.pricing_mode;
+  }
 };
+
+BenchRecord record(std::size_t nodes, std::string solver, double wall_ms,
+                   std::size_t iterations) {
+  BenchRecord r;
+  r.nodes = nodes;
+  r.solver = std::move(solver);
+  r.wall_ms = wall_ms;
+  r.iterations = iterations;
+  return r;
+}
+
+BenchRecord skipped(std::size_t nodes, std::string solver, std::string reason) {
+  BenchRecord r;
+  r.nodes = nodes;
+  r.solver = std::move(solver);
+  r.status = "skipped";
+  r.reason = std::move(reason);
+  return r;
+}
 
 bt::Platform instance(std::size_t n, std::uint64_t seed_scale) {
   bt::Rng rng(n * seed_scale);
@@ -64,21 +117,40 @@ double timed_ms(std::size_t reps, const Solve& solve) {
   return best;
 }
 
-void write_json(const std::vector<BenchRecord>& records, double speedup_n50,
-                double cutting_speedup_n80, double cutting_master_speedup_n80,
-                bool cutting_bitwise) {
+/// Summary key/value pairs appended after the records array (numbers and
+/// booleans are emitted verbatim).
+using Summary = std::vector<std::pair<std::string, std::string>>;
+
+std::string num(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+void write_json(const std::vector<BenchRecord>& records, const Summary& summary) {
   std::ofstream out("BENCH_lp.json");
   out << "{\n  \"bench\": \"lp_solvers\",\n  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
-    out << "    {\"nodes\": " << records[i].nodes << ", \"solver\": \"" << records[i].solver
-        << "\", \"wall_ms\": " << records[i].wall_ms
-        << ", \"iterations\": " << records[i].iterations << "}";
-    out << (i + 1 < records.size() ? ",\n" : "\n");
+    const BenchRecord& r = records[i];
+    out << "    {\"nodes\": " << r.nodes << ", \"solver\": \"" << r.solver << "\", \"status\": \""
+        << r.status << "\"";
+    if (r.status == "skipped") {
+      out << ", \"reason\": \"" << r.reason << "\"";
+    } else {
+      out << ", \"wall_ms\": " << r.wall_ms << ", \"iterations\": " << r.iterations;
+      if (r.ftran_reach >= 0.0) {
+        out << ", \"ftran_reach_fraction\": " << r.ftran_reach
+            << ", \"btran_reach_fraction\": " << r.btran_reach
+            << ", \"ftran_ns_per_call\": " << r.ftran_ns_per_call
+            << ", \"btran_ns_per_call\": " << r.btran_ns_per_call << ", \"pricing_mode\": \""
+            << r.pricing_mode << "\"";
+      }
+    }
+    out << "}" << (i + 1 < records.size() ? ",\n" : "\n");
   }
-  out << "  ],\n  \"colgen_speedup_vs_dense_n50\": " << speedup_n50
-      << ",\n  \"cutting_speedup_incremental_n80\": " << cutting_speedup_n80
-      << ",\n  \"cutting_master_speedup_incremental_n80\": " << cutting_master_speedup_n80
-      << ",\n  \"cutting_bitwise_agree\": " << (cutting_bitwise ? "true" : "false") << "\n}\n";
+  out << "  ]";
+  for (const auto& kv : summary) out << ",\n  \"" << kv.first << "\": " << kv.second;
+  out << "\n}\n";
 }
 
 }  // namespace
@@ -87,12 +159,19 @@ int main() {
   using namespace bt;
   Timer total;
   std::vector<BenchRecord> records;
+  Summary summary;
 
   std::cout << "E7 -- SSB solver cross-validation\n"
             << "direct program (2) vs cutting plane vs arborescence column generation\n\n";
 
   TablePrinter table({"nodes", "arcs", "TP direct", "TP cutting", "TP colgen",
                       "max rel.diff", "direct_ms", "cutting_ms", "colgen_ms"});
+
+  // Collect master engine stats (and kernel timing) on every solve.
+  SsbCuttingPlaneOptions cutting_default;
+  cutting_default.master_kernel_timing = true;
+  SsbColumnGenOptions colgen_default;
+  colgen_default.master_kernel_timing = true;
 
   for (std::size_t n : {5, 6, 8, 10, 12}) {
     const Platform p = instance(n, 7919);
@@ -102,16 +181,18 @@ int main() {
     const double direct_ms = t1.millis();
 
     Timer t2;
-    const auto cutting = solve_ssb_cutting_plane(p);
+    const auto cutting = solve_ssb_cutting_plane(p, cutting_default);
     const double cutting_ms = t2.millis();
 
     Timer t3;
-    const auto colgen = solve_ssb_column_generation(p);
+    const auto colgen = solve_ssb_column_generation(p, colgen_default);
     const double colgen_ms = t3.millis();
 
-    records.push_back({n, "direct", direct_ms, direct.lp_iterations});
-    records.push_back({n, "cutting_plane", cutting_ms, cutting.lp_iterations});
-    records.push_back({n, "colgen", colgen_ms, colgen.lp_iterations});
+    records.push_back(record(n, "direct", direct_ms, direct.lp_iterations));
+    records.push_back(record(n, "cutting_plane", cutting_ms, cutting.lp_iterations));
+    records.back().attach_stats(cutting.lp_stats);
+    records.push_back(record(n, "colgen", colgen_ms, colgen.lp_iterations));
+    records.back().attach_stats(colgen.lp_stats);
 
     const double reference = direct.throughput;
     const double diff = std::max(std::abs(reference - cutting.throughput),
@@ -126,35 +207,176 @@ int main() {
   }
   table.render(std::cout);
 
-  // Scaling to paper-size-and-beyond platforms.  The direct solver is capped
-  // at 12 nodes above (its commodity LP grows cubically); the cutting plane
-  // rides the anti-degeneracy load penalty, and column generation runs the
-  // incremental sparse-LU master.
-  std::cout << "\ncutting-plane and column-generation scaling:\n";
-  TablePrinter scale({"nodes", "arcs", "TP cutting", "TP colgen", "rel.diff",
-                      "cutting_ms", "colgen_ms", "cut rounds", "columns"});
-  for (std::size_t n : {20, 30, 50, 80}) {
+  // Scaling to paper-size-and-beyond platforms (BT_LP_SIZES lifts further).
+  // The direct solver is capped at 12 nodes (its commodity LP grows
+  // cubically) and column generation at kColgenSizeCap -- both emit
+  // explicit "skipped" records so BENCH_lp.json consumers see the cut.
+  std::cout << "\ncutting-plane and column-generation scaling "
+            << "(reach = avg fraction of elimination steps visited per solve):\n";
+  TablePrinter scale({"nodes", "arcs", "TP cutting", "TP colgen", "rel.diff", "cutting_ms",
+                      "colgen_ms", "cut reach f/b", "cg reach f/b"});
+  const std::vector<std::size_t> scaling_sizes =
+      sizes_from_env("BT_LP_SIZES", {20, 30, 50, 80, 120});
+  for (std::size_t n : scaling_sizes) {
     const Platform p = instance(n, 104729);
     const std::size_t reps = n <= 50 ? 3 : 1;
+    records.push_back(
+        skipped(n, "direct", "commodity LP grows cubically; capped at 12 nodes"));
 
     SsbSolution cutting;
-    const double cutting_ms = timed_ms(reps, [&] { cutting = solve_ssb_cutting_plane(p); });
-    SsbPackingSolution colgen;
-    const double colgen_ms = timed_ms(reps, [&] { colgen = solve_ssb_column_generation(p); });
+    const double cutting_ms =
+        timed_ms(reps, [&] { cutting = solve_ssb_cutting_plane(p, cutting_default); });
+    records.push_back(record(n, "cutting_plane", cutting_ms, cutting.lp_iterations));
+    records.back().attach_stats(cutting.lp_stats);
+    const std::string cut_reach = TablePrinter::fmt(cutting.lp_stats.ftran_reach_fraction(), 2) +
+                                  "/" + TablePrinter::fmt(cutting.lp_stats.btran_reach_fraction(), 2);
 
-    records.push_back({n, "cutting_plane", cutting_ms, cutting.lp_iterations});
-    records.push_back({n, "colgen", colgen_ms, colgen.lp_iterations});
+    if (n > kColgenSizeCap) {
+      records.push_back(skipped(
+          n, "colgen", "degenerate packing-master tailing beyond 150 nodes; see ROADMAP"));
+      scale.add_row({std::to_string(n), std::to_string(p.num_edges()),
+                     TablePrinter::fmt(cutting.throughput, 4), "skipped", "-",
+                     TablePrinter::fmt(cutting_ms, 1), "-", cut_reach, "-"});
+      continue;
+    }
+    SsbPackingSolution colgen;
+    const double colgen_ms =
+        timed_ms(reps, [&] { colgen = solve_ssb_column_generation(p, colgen_default); });
+    records.push_back(record(n, "colgen", colgen_ms, colgen.lp_iterations));
+    records.back().attach_stats(colgen.lp_stats);
 
     const double diff = std::abs(cutting.throughput - colgen.throughput) /
                         std::max(1e-12, colgen.throughput);
     scale.add_row({std::to_string(n), std::to_string(p.num_edges()),
                    TablePrinter::fmt(cutting.throughput, 4),
                    TablePrinter::fmt(colgen.throughput, 4), TablePrinter::fmt(diff, 8),
-                   TablePrinter::fmt(cutting_ms, 1), TablePrinter::fmt(colgen_ms, 1),
-                   std::to_string(cutting.separation_rounds),
-                   std::to_string(colgen.cuts_generated)});
+                   TablePrinter::fmt(cutting_ms, 1), TablePrinter::fmt(colgen_ms, 1), cut_reach,
+                   TablePrinter::fmt(colgen.lp_stats.ftran_reach_fraction(), 2) + "/" +
+                       TablePrinter::fmt(colgen.lp_stats.btran_reach_fraction(), 2)});
+
+    if (n == 80) {
+      summary.push_back({"cutting_ftran_reach_fraction_n80",
+                         num(cutting.lp_stats.ftran_reach_fraction())});
+      summary.push_back({"cutting_btran_reach_fraction_n80",
+                         num(cutting.lp_stats.btran_reach_fraction())});
+      summary.push_back({"colgen_btran_reach_fraction_n80",
+                         num(colgen.lp_stats.btran_reach_fraction())});
+    }
   }
   scale.render(std::cout);
+
+  // Hypersparse-core ablation: production pricing/solve configuration vs the
+  // pre-hypersparse one (Dantzig pricing, most-infeasible dual rows, full
+  // triangular sweeps), interleaved best-of-N on both masters at n = 120
+  // (the smallest size where the pricing wins clear the per-pivot weight
+  // maintenance; they grow with n -- colgen is 1.8x end-to-end at 200).
+  std::cout << "\nhypersparse core: production pricing/solve configuration vs "
+               "dantzig/most-infeasible/full-sweep:\n";
+  TablePrinter hs({"master", "legacy_ms", "hypersparse_ms", "speedup", "TP diff"});
+  {
+    const std::size_t n = 120;
+    const Platform p = instance(n, 104729);
+    const std::size_t reps = 3;
+    SsbCuttingPlaneOptions cut_legacy = cutting_default;
+    cut_legacy.master_pricing = PricingRule::kDantzig;
+    cut_legacy.master_dual_row_rule = DualRowRule::kMostInfeasible;
+    cut_legacy.master_solve_mode = BasisLu::SolveMode::kFullSweep;
+    SsbColumnGenOptions cg_legacy = colgen_default;
+    cg_legacy.master_pricing = PricingRule::kDantzig;
+    cg_legacy.master_dual_row_rule = DualRowRule::kMostInfeasible;
+    cg_legacy.master_solve_mode = BasisLu::SolveMode::kFullSweep;
+
+    (void)solve_ssb_cutting_plane(p, cutting_default);
+    (void)solve_ssb_cutting_plane(p, cut_legacy);
+    SsbSolution cut_new, cut_old;
+    double cut_new_ms = std::numeric_limits<double>::infinity();
+    double cut_old_ms = std::numeric_limits<double>::infinity();
+    double cut_new_master = std::numeric_limits<double>::infinity();
+    double cut_old_master = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < reps; ++r) {
+      {
+        Timer t;
+        cut_new = solve_ssb_cutting_plane(p, cutting_default);
+        cut_new_ms = std::min(cut_new_ms, t.millis());
+        cut_new_master = std::min(cut_new_master, cut_new.master_wall_ms);
+      }
+      {
+        Timer t;
+        cut_old = solve_ssb_cutting_plane(p, cut_legacy);
+        cut_old_ms = std::min(cut_old_ms, t.millis());
+        cut_old_master = std::min(cut_old_master, cut_old.master_wall_ms);
+      }
+    }
+    records.push_back(record(n, "cutting_legacy_core", cut_old_ms, cut_old.lp_iterations));
+    records.back().attach_stats(cut_old.lp_stats);
+    const double cut_speedup = cut_old_master / cut_new_master;
+    hs.add_row({"cutting (master)", TablePrinter::fmt(cut_old_master, 2),
+                TablePrinter::fmt(cut_new_master, 2), TablePrinter::fmt(cut_speedup, 2),
+                TablePrinter::fmt(std::abs(cut_new.throughput - cut_old.throughput), 9)});
+    summary.push_back({"cutting_hypersparse_master_speedup_n120", num(cut_speedup)});
+
+    (void)solve_ssb_column_generation(p, colgen_default);
+    (void)solve_ssb_column_generation(p, cg_legacy);
+    SsbPackingSolution cg_new, cg_old;
+    double cg_new_ms = std::numeric_limits<double>::infinity();
+    double cg_old_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < reps; ++r) {
+      {
+        Timer t;
+        cg_new = solve_ssb_column_generation(p, colgen_default);
+        cg_new_ms = std::min(cg_new_ms, t.millis());
+      }
+      {
+        Timer t;
+        cg_old = solve_ssb_column_generation(p, cg_legacy);
+        cg_old_ms = std::min(cg_old_ms, t.millis());
+      }
+    }
+    records.push_back(record(n, "colgen_legacy_core", cg_old_ms, cg_old.lp_iterations));
+    records.back().attach_stats(cg_old.lp_stats);
+    const double cg_speedup = cg_old_ms / cg_new_ms;
+    hs.add_row({"colgen (end-to-end)", TablePrinter::fmt(cg_old_ms, 2),
+                TablePrinter::fmt(cg_new_ms, 2), TablePrinter::fmt(cg_speedup, 2),
+                TablePrinter::fmt(std::abs(cg_new.throughput - cg_old.throughput), 9)});
+    summary.push_back({"colgen_hypersparse_speedup_n120", num(cg_speedup)});
+  }
+  {
+    // The Devex win grows with size (it saves iterations, and iterations
+    // get costlier): ~2x at the colgen scaling cap n = 150, ~1.8x at 200.
+    // One interleaved pair of runs pins that curve point.
+    const std::size_t n = 150;
+    const Platform p = instance(n, 104729);
+    SsbColumnGenOptions cg_legacy = colgen_default;
+    cg_legacy.master_pricing = PricingRule::kDantzig;
+    cg_legacy.master_dual_row_rule = DualRowRule::kMostInfeasible;
+    cg_legacy.master_solve_mode = BasisLu::SolveMode::kFullSweep;
+    (void)solve_ssb_column_generation(p, colgen_default);
+    SsbPackingSolution cg_old, cg_new;
+    double cg_old_ms = std::numeric_limits<double>::infinity();
+    double cg_new_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < 2; ++r) {
+      {
+        Timer t;
+        cg_old = solve_ssb_column_generation(p, cg_legacy);
+        cg_old_ms = std::min(cg_old_ms, t.millis());
+      }
+      {
+        Timer t;
+        cg_new = solve_ssb_column_generation(p, colgen_default);
+        cg_new_ms = std::min(cg_new_ms, t.millis());
+      }
+    }
+    records.push_back(record(n, "colgen_legacy_core", cg_old_ms, cg_old.lp_iterations));
+    records.back().attach_stats(cg_old.lp_stats);
+    records.push_back(record(n, "colgen_hypersparse", cg_new_ms, cg_new.lp_iterations));
+    records.back().attach_stats(cg_new.lp_stats);
+    const double cg_speedup = cg_old_ms / cg_new_ms;
+    hs.add_row({"colgen n=150 (end-to-end)", TablePrinter::fmt(cg_old_ms, 2),
+                TablePrinter::fmt(cg_new_ms, 2), TablePrinter::fmt(cg_speedup, 2),
+                TablePrinter::fmt(std::abs(cg_new.throughput - cg_old.throughput), 9)});
+    summary.push_back({"colgen_hypersparse_speedup_n150", num(cg_speedup)});
+  }
+  hs.render(std::cout);
 
   // Engine ablation: the production configuration (standing incremental
   // master on the sparse LU engine) against the pre-LU configuration (master
@@ -190,8 +412,8 @@ int main() {
       }
     }
 
-    records.push_back({n, "colgen_dense_legacy", dense_ms, dense_solution.lp_iterations});
-    records.push_back({n, "colgen_incremental", sparse_ms, sparse_solution.lp_iterations});
+    records.push_back(record(n, "colgen_dense_legacy", dense_ms, dense_solution.lp_iterations));
+    records.push_back(record(n, "colgen_incremental", sparse_ms, sparse_solution.lp_iterations));
 
     const double speedup = dense_ms / sparse_ms;
     if (n == 50) speedup_n50 = speedup;
@@ -243,13 +465,13 @@ int main() {
       }
     }
 
-    records.push_back({n, "cutting_incremental", inc_ms, inc_solution.lp_iterations});
-    records.push_back({n, "cutting_rebuild", reb_ms, reb_solution.lp_iterations});
+    records.push_back(record(n, "cutting_incremental", inc_ms, inc_solution.lp_iterations));
+    records.push_back(record(n, "cutting_rebuild", reb_ms, reb_solution.lp_iterations));
     // Master-only wall clock (separation and polish excluded); no
     // master-specific iteration counter exists, so record 0 rather than a
     // misleading end-to-end count.
-    records.push_back({n, "cutting_incremental_master", inc_master_ms, 0});
-    records.push_back({n, "cutting_rebuild_master", reb_master_ms, 0});
+    records.push_back(record(n, "cutting_incremental_master", inc_master_ms, 0));
+    records.push_back(record(n, "cutting_rebuild_master", reb_master_ms, 0));
 
     const bool bitwise = inc_solution.throughput == reb_solution.throughput;
     cutting_bitwise = cutting_bitwise && bitwise;
@@ -265,8 +487,12 @@ int main() {
   }
   cp.render(std::cout);
 
-  write_json(records, speedup_n50, cutting_speedup_n80, cutting_master_speedup_n80,
-             cutting_bitwise);
+  summary.push_back({"colgen_speedup_vs_dense_n50", num(speedup_n50)});
+  summary.push_back({"cutting_speedup_incremental_n80", num(cutting_speedup_n80)});
+  summary.push_back({"cutting_master_speedup_incremental_n80", num(cutting_master_speedup_n80)});
+  summary.push_back({"cutting_bitwise_agree", cutting_bitwise ? "true" : "false"});
+
+  write_json(records, summary);
   std::cout << "\nwrote BENCH_lp.json (" << records.size() << " records, "
             << "colgen n=50 speedup vs dense-inverse engine: "
             << TablePrinter::fmt(speedup_n50, 2) << "x, cutting-plane n=80 master "

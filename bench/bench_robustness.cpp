@@ -6,11 +6,17 @@
 // up to a factor (1 + eps); plan on the perturbed platform (trees via the
 // heuristics, the MTP schedule via column generation); execute on the true
 // platform; report achieved / true-optimal throughput.
+//
+// BT_SIZES lifts the platform sizes (e.g. "100,150"; the MTP planner needs
+// the explicit tree packing, so E9 keeps the column-generation solver).
+// Records are archived to BENCH_robustness.json together with the sweep's
+// 1-vs-N-thread wall-clock.
 
 #include <iostream>
 #include <map>
 
 #include "experiments/robustness.hpp"
+#include "experiments/sweep_json.hpp"
 #include "experiments/sweeps.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
@@ -22,33 +28,47 @@ int main() {
 
   RobustnessSweepConfig config;
   config.replicates = replicates_from_env(5);
+  config.sizes = sizes_from_env("BT_SIZES", {30});
 
   std::cout << "E9 -- robustness to link-estimate noise\n"
             << "plan on a platform whose rates are off by up to (1+eps), execute on\n"
-            << "the true one; " << config.replicates
-            << " random platform(s) of 30 nodes, density 0.12\n\n";
+            << "the true one; " << config.replicates << " random platform(s) of size(s)";
+  for (std::size_t n : config.sizes) std::cout << " " << n;
+  std::cout << ", density 0.12\n\n";
 
-  const std::vector<RobustnessRecord> records = run_robustness_sweep(config);
+  std::vector<RobustnessRecord> records;
+  const ThreadScaling scaling = measure_thread_scaling([&](std::size_t threads) {
+    config.num_threads = threads;
+    records = run_robustness_sweep(config);
+  });
 
-  // Group achieved ratios by (eps, planner); iteration below recovers the
-  // eps order of the config.
-  std::map<double, std::map<std::string, RunningStats>> stats;
-  for (const RobustnessRecord& r : records) stats[r.eps][r.planner].add(r.achieved_ratio);
-
-  std::vector<std::string> header{"eps"};
-  for (const auto& name : config.planners) header.push_back(name);
-  header.push_back("MTP schedule");
-  TablePrinter table(std::move(header));
-
-  for (double eps : config.eps_values) {
-    std::vector<std::string> row{TablePrinter::fmt(eps, 2)};
-    for (const auto& name : config.planners) {
-      row.push_back(TablePrinter::fmt(stats[eps][name].mean(), 3));
-    }
-    row.push_back(TablePrinter::fmt(stats[eps][mtp_planner_name()].mean(), 3));
-    table.add_row(std::move(row));
+  // Group achieved ratios by (size, eps, planner); iteration below recovers
+  // the size/eps order of the config.
+  std::map<std::size_t, std::map<double, std::map<std::string, RunningStats>>> stats;
+  for (const RobustnessRecord& r : records) {
+    stats[r.num_nodes][r.eps][r.planner].add(r.achieved_ratio);
   }
-  table.render(std::cout);
+
+  for (std::size_t nodes : config.sizes) {
+    std::cout << "--- " << nodes << " nodes ---\n";
+    std::vector<std::string> header{"eps"};
+    for (const auto& name : config.planners) header.push_back(name);
+    header.push_back("MTP schedule");
+    TablePrinter table(std::move(header));
+    for (double eps : config.eps_values) {
+      std::vector<std::string> row{TablePrinter::fmt(eps, 2)};
+      for (const auto& name : config.planners) {
+        row.push_back(TablePrinter::fmt(stats[nodes][eps][name].mean(), 3));
+      }
+      row.push_back(TablePrinter::fmt(stats[nodes][eps][mtp_planner_name()].mean(), 3));
+      table.add_row(std::move(row));
+    }
+    table.render(std::cout);
+  }
+
+  write_robustness_json("BENCH_robustness.json", "robustness_e9", records, scaling);
+  std::cout << "\nwrote BENCH_robustness.json (" << records.size() << " records); "
+            << describe(scaling) << "\n";
 
   std::cout << "\nexpected: at eps = 0 the MTP schedule is optimal (1.0) and trees sit\n"
                "at their usual ~0.6-0.75; as eps grows the MTP schedule loses its\n"

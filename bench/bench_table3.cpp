@@ -2,11 +2,16 @@
 // and 65 nodes, reported as mean +- deviation of the relative performance.
 //
 // Paper scale is 100 platforms per size (BT_REPLICATES=100); the default is
-// reduced for quick runs.
+// reduced for quick runs.  BT_SIZES lifts the platform sizes beyond the
+// paper's (e.g. "100,150,200"; tiers_config_for scales the WAN/MAN levels
+// and the reference optimum rides the incremental cutting plane).  Records
+// are archived to BENCH_table3.json together with the sweep's
+// 1-vs-N-thread wall-clock.
 
 #include <iostream>
 
 #include "experiments/aggregate.hpp"
+#include "experiments/sweep_json.hpp"
 #include "experiments/sweeps.hpp"
 #include "util/timer.hpp"
 
@@ -16,16 +21,29 @@ int main() {
 
   TiersSweepConfig config;
   config.replicates = replicates_from_env(15);
+  config.families.clear();
+  for (std::size_t n : sizes_from_env("BT_SIZES", {30, 65})) {
+    config.families.push_back(tiers_config_for(n));
+  }
+  config.optimal_solver = OptimalSolver::kCuttingPlane;
 
   std::cout << "Table 3 -- one-port heuristics on Tiers-style platforms\n"
             << config.replicates << " platform(s) per size, mean (±deviation) of the\n"
             << "relative performance vs the optimal MTP throughput\n\n";
 
-  const auto records = run_tiers_sweep(config);
+  std::vector<SweepRecord> records;
+  const ThreadScaling scaling = measure_thread_scaling([&](std::size_t threads) {
+    config.num_threads = threads;
+    records = run_tiers_sweep(config);
+  });
 
   std::vector<std::string> order;
   for (const auto& spec : one_port_heuristics()) order.push_back(spec.name);
   tiers_table(records, order).render(std::cout);
+
+  write_sweep_json("BENCH_table3.json", "table3", records, scaling);
+  std::cout << "\nwrote BENCH_table3.json (" << records.size() << " records); "
+            << describe(scaling) << "\n";
 
   std::cout << "\npaper reference (Table 3):\n"
                "  30 nodes: prune_simple 46%, prune_degree 82%, grow_tree 75%,\n"

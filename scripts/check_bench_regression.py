@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI perf-regression guard for BENCH_lp.json.
+
+Compares key summary fields of a freshly produced BENCH_lp.json against the
+checked-in baseline (bench/baselines/BENCH_lp_baseline.json) with generous
+tolerances: shared CI runners are noisy, so only *large* regressions fail
+the bench-smoke job.  Checked:
+
+  * speedup fields (incremental-vs-rebuild master, hypersparse-core A/B,
+    colgen-vs-dense engine) must not fall below `speedup_floor_factor`
+    times the baseline value;
+  * reach-fraction fields must not grow above `reach_ceiling_factor` times
+    the baseline (a jump there means hypersparse solves stopped engaging);
+  * `cutting_bitwise_agree` must stay true (correctness, no tolerance).
+
+Usage: check_bench_regression.py <BENCH_lp.json> <baseline.json>
+"""
+
+import json
+import sys
+
+SPEEDUP_FLOOR_FACTOR = 0.4   # fail when a speedup drops below 40% of baseline
+REACH_CEILING_FACTOR = 2.0   # fail when a reach fraction doubles
+REACH_ABS_SLACK = 0.10       # ... with this much absolute headroom on top
+
+SPEEDUP_FIELDS = [
+    "cutting_master_speedup_incremental_n80",
+    "cutting_speedup_incremental_n80",
+    "colgen_speedup_vs_dense_n50",
+    "cutting_hypersparse_master_speedup_n120",
+    "colgen_hypersparse_speedup_n120",
+    "colgen_hypersparse_speedup_n150",
+]
+REACH_FIELDS = [
+    "cutting_ftran_reach_fraction_n80",
+    "cutting_btran_reach_fraction_n80",
+    "colgen_btran_reach_fraction_n80",
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+    checked = 0
+
+    for field in SPEEDUP_FIELDS:
+        if field not in baseline:
+            continue
+        base = float(baseline[field])
+        if field not in current:
+            failures.append(f"{field}: missing from current BENCH_lp.json")
+            continue
+        cur = float(current[field])
+        floor = base * SPEEDUP_FLOOR_FACTOR
+        checked += 1
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(f"{field}: current {cur:.2f} vs baseline {base:.2f} (floor {floor:.2f}) {status}")
+        if cur < floor:
+            failures.append(f"{field}: {cur:.2f} < floor {floor:.2f} (baseline {base:.2f})")
+
+    for field in REACH_FIELDS:
+        if field not in baseline:
+            continue
+        base = float(baseline[field])
+        if field not in current:
+            failures.append(f"{field}: missing from current BENCH_lp.json")
+            continue
+        cur = float(current[field])
+        ceiling = base * REACH_CEILING_FACTOR + REACH_ABS_SLACK
+        checked += 1
+        status = "ok" if cur <= ceiling else "REGRESSION"
+        print(f"{field}: current {cur:.3f} vs baseline {base:.3f} (ceiling {ceiling:.3f}) {status}")
+        if cur > ceiling:
+            failures.append(f"{field}: {cur:.3f} > ceiling {ceiling:.3f} (baseline {base:.3f})")
+
+    if "cutting_bitwise_agree" in baseline:
+        checked += 1
+        if not current.get("cutting_bitwise_agree", False):
+            failures.append("cutting_bitwise_agree: expected true")
+        else:
+            print("cutting_bitwise_agree: true ok")
+
+    if checked == 0:
+        print("error: no comparable fields found between current and baseline")
+        return 2
+    if failures:
+        print("\nFAIL: large perf regressions detected:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nPASS: {checked} field(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include "sched/validate.hpp"
 #include "sim/schedule_replay.hpp"
 #include "ssb/ssb_column_generation.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -13,12 +14,15 @@ namespace bt {
 
 PlatformEvaluation evaluate_platform(const Platform& platform,
                                      const std::vector<HeuristicSpec>& heuristics,
-                                     bool multiport_eval) {
+                                     bool multiport_eval, OptimalSolver solver) {
   PlatformEvaluation evaluation;
 
   // One LP solve per platform feeds both the reference value and the
-  // LP-based heuristics.
-  const SsbSolution optimum = solve_ssb(platform);
+  // LP-based heuristics (only TP* and the edge loads are consumed here, so
+  // either solver serves; see OptimalSolver).
+  const SsbSolution optimum = solver == OptimalSolver::kCuttingPlane
+                                  ? static_cast<SsbSolution>(solve_ssb_cutting_plane(platform))
+                                  : static_cast<SsbSolution>(solve_ssb(platform));
   BT_ASSERT(optimum.solved, "evaluate_platform: SSB solver did not converge");
   evaluation.optimal_throughput = optimum.throughput;
 

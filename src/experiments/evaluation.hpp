@@ -28,13 +28,23 @@ struct PlatformEvaluation {
   std::vector<HeuristicResult> results;
 };
 
+/// Which solver computes the reference optimum TP* (and the edge loads fed
+/// to the LP-based heuristics).  Both agree to ~1e-9 relative (pinned by
+/// tests/test_ssb_agreement.cpp); they differ in cost profile: column
+/// generation also yields the explicit tree packing but tails off on
+/// massively degenerate masters beyond ~150 nodes, while the cutting plane
+/// rides the incremental dual-simplex master and stays fast to 200+ nodes
+/// -- the experiment sweeps pick it for the lifted 100-200 node grids.
+enum class OptimalSolver { kColumnGeneration, kCuttingPlane };
+
 /// Evaluate `heuristics` on `platform`.  When `multiport_eval` is set the
 /// trees are rated with the multi-port period (Figure 5); the reference TP*
 /// stays the one-port LP optimum, so ratios may exceed 1 exactly as in the
 /// paper.
 PlatformEvaluation evaluate_platform(const Platform& platform,
                                      const std::vector<HeuristicSpec>& heuristics,
-                                     bool multiport_eval = false);
+                                     bool multiport_eval = false,
+                                     OptimalSolver solver = OptimalSolver::kColumnGeneration);
 
 /// End-to-end schedule synthesis measurement (the sched/ + sim/ pipeline):
 /// solve the SSB optimum, decompose it into weighted trees, orchestrate the

@@ -60,26 +60,35 @@ double packing_throughput_on(const Platform& truth, const SsbPackingSolution& pl
 }
 
 std::vector<RobustnessRecord> run_robustness_sweep(const RobustnessSweepConfig& config) {
-  // Pre-split the per-replicate generators in deterministic (eps, replicate)
-  // order on the calling thread; afterwards every task owns two independent
-  // streams (platform draw, noise draw) and can run on any worker.
+  // Pre-split the per-replicate generators in deterministic (size, eps,
+  // replicate) order on the calling thread; afterwards every task owns two
+  // independent streams (platform draw, noise draw) and can run on any
+  // worker.  A single-size config seeds exactly as the pre-sizes protocol
+  // did, so legacy records stay bitwise-reproducible.
+  const std::vector<std::size_t> sizes =
+      config.sizes.empty() ? std::vector<std::size_t>{config.num_nodes} : config.sizes;
   struct Task {
+    std::size_t nodes = 0;
     double eps = 0.0;
     std::size_t rep = 0;
     Rng platform_rng{0};
     Rng noise_rng{0};
   };
   std::vector<Task> tasks;
-  tasks.reserve(config.eps_values.size() * config.replicates);
-  for (double eps : config.eps_values) {
-    Rng rng(config.base_seed ^ static_cast<std::uint64_t>(eps * 1000));
-    for (std::size_t rep = 0; rep < config.replicates; ++rep) {
-      Task task;
-      task.eps = eps;
-      task.rep = rep;
-      task.platform_rng = rng.split();
-      task.noise_rng = rng.split();
-      tasks.push_back(std::move(task));
+  tasks.reserve(sizes.size() * config.eps_values.size() * config.replicates);
+  for (std::size_t nodes : sizes) {
+    for (double eps : config.eps_values) {
+      Rng rng(config.base_seed ^ static_cast<std::uint64_t>(eps * 1000) ^
+              (nodes == config.num_nodes ? 0 : nodes * 0x9e3779b9ULL));
+      for (std::size_t rep = 0; rep < config.replicates; ++rep) {
+        Task task;
+        task.nodes = nodes;
+        task.eps = eps;
+        task.rep = rep;
+        task.platform_rng = rng.split();
+        task.noise_rng = rng.split();
+        tasks.push_back(std::move(task));
+      }
     }
   }
 
@@ -88,7 +97,7 @@ std::vector<RobustnessRecord> run_robustness_sweep(const RobustnessSweepConfig& 
   parallel_for(pool, tasks.size(), [&](std::size_t i) {
     Task& task = tasks[i];
     RandomPlatformConfig pc;
-    pc.num_nodes = config.num_nodes;
+    pc.num_nodes = task.nodes;
     pc.density = config.density;
     pc.multiport_ratio = config.multiport_ratio;
     const Platform truth = generate_random_platform(pc, task.platform_rng);
@@ -100,6 +109,7 @@ std::vector<RobustnessRecord> run_robustness_sweep(const RobustnessSweepConfig& 
 
     auto emit = [&](const std::string& planner, double achieved) {
       RobustnessRecord record;
+      record.num_nodes = task.nodes;
       record.eps = task.eps;
       record.replicate = task.rep;
       record.planner = planner;

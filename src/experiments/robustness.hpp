@@ -36,21 +36,26 @@ double packing_throughput_on(const Platform& truth, const SsbPackingSolution& pl
 /// Planner label used for the optimal multi-tree schedule in the records.
 inline const char* mtp_planner_name() { return "mtp_schedule"; }
 
-/// One (noise level, replicate, planner) measurement of the E9 protocol.
+/// One (size, noise level, replicate, planner) measurement of the E9
+/// protocol.
 struct RobustnessRecord {
+  std::size_t num_nodes = 0;  ///< platform size of this measurement
   double eps = 0.0;           ///< link-estimate noise bound (factor 1 + eps)
   std::size_t replicate = 0;  ///< platform index within the eps level
   std::string planner;        ///< heuristic code name or mtp_planner_name()
   double achieved_ratio = 0.0;  ///< throughput on truth / true optimum
 };
 
-/// Full E9 protocol: for every eps and replicate, draw a random platform
-/// ("truth"), perturb it into the estimate the planner sees, plan trees and
-/// the MTP schedule on the estimate, execute on truth.
+/// Full E9 protocol: for every size, eps and replicate, draw a random
+/// platform ("truth"), perturb it into the estimate the planner sees, plan
+/// trees and the MTP schedule on the estimate, execute on truth.
 struct RobustnessSweepConfig {
   std::vector<double> eps_values = {0.0, 0.1, 0.25, 0.5, 1.0};
   std::size_t replicates = 5;
   std::size_t num_nodes = 30;
+  /// Platform sizes to sweep; empty = the single legacy `num_nodes`.  The
+  /// lifted bench runs this at 100-200 nodes (env-tunable).
+  std::vector<std::size_t> sizes;
   double density = 0.12;
   double multiport_ratio = 0.8;
   std::vector<std::string> planners = {"prune_degree", "grow_tree", "lp_prune"};

@@ -1,0 +1,82 @@
+#include "experiments/sweep_json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+
+void write_scaling(std::ostream& out, const ThreadScaling& scaling) {
+  out << "  \"thread_scaling\": {\"threads\": " << scaling.threads
+      << ", \"wall_ms_threads\": " << scaling.wall_ms_threads
+      << ", \"wall_ms_single\": " << scaling.wall_ms_single
+      << ", \"single_core_hardware\": " << (scaling.single_core_hardware ? "true" : "false")
+      << "}\n";
+}
+
+}  // namespace
+
+bool thread_scaling_enabled() {
+  const char* env = std::getenv("BT_THREAD_SCALING");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::string describe(const ThreadScaling& scaling) {
+  std::ostringstream out;
+  if (scaling.single_core_hardware) {
+    out << "single-core hardware: multicore scaling not measurable here "
+        << "(wall " << scaling.wall_ms_threads << " ms at 1 thread)";
+  } else if (scaling.wall_ms_single <= 0.0) {
+    out << "thread scaling skipped (BT_THREAD_SCALING=0); wall "
+        << scaling.wall_ms_threads << " ms at " << scaling.threads << " threads";
+  } else {
+    out << "wall " << scaling.wall_ms_single << " ms at 1 thread vs "
+        << scaling.wall_ms_threads << " ms at " << scaling.threads << " threads ("
+        << (scaling.wall_ms_threads > 0.0 ? scaling.wall_ms_single / scaling.wall_ms_threads
+                                          : 0.0)
+        << "x)";
+  }
+  return out.str();
+}
+
+void write_sweep_json(const std::string& path, const std::string& bench,
+                      const std::vector<SweepRecord>& records,
+                      const ThreadScaling& scaling) {
+  std::ofstream out(path);
+  BT_REQUIRE(out.good(), "write_sweep_json: cannot open " + path);
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SweepRecord& r = records[i];
+    out << "    {\"nodes\": " << r.num_nodes << ", \"density\": " << r.density
+        << ", \"replicate\": " << r.replicate << ", \"heuristic\": \"" << r.heuristic
+        << "\", \"throughput\": " << r.throughput << ", \"optimal\": " << r.optimal
+        << ", \"ratio\": " << r.ratio << "}" << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  write_scaling(out, scaling);
+  out << "}\n";
+}
+
+void write_robustness_json(const std::string& path, const std::string& bench,
+                           const std::vector<RobustnessRecord>& records,
+                           const ThreadScaling& scaling) {
+  std::ofstream out(path);
+  BT_REQUIRE(out.good(), "write_robustness_json: cannot open " + path);
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RobustnessRecord& r = records[i];
+    out << "    {\"nodes\": " << r.num_nodes << ", \"eps\": " << r.eps
+        << ", \"replicate\": " << r.replicate << ", \"planner\": \"" << r.planner
+        << "\", \"achieved_ratio\": " << r.achieved_ratio << "}"
+        << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  write_scaling(out, scaling);
+  out << "}\n";
+}
+
+}  // namespace bt

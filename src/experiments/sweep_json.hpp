@@ -1,0 +1,72 @@
+#pragma once
+
+// Machine-readable archives of the experiment sweeps.
+//
+// The paper-figure benches (Fig. 4a/4b/5, Table 3, E9 robustness) print
+// human-readable tables; CI additionally archives their raw records as
+// BENCH_<figure>.json next to BENCH_lp.json so the lifted 100-200 node
+// curves are tracked per commit.  Each archive also carries a
+// thread-scaling record: the sweep's wall-clock at 1 worker thread vs the
+// BT_THREADS / hardware default, with single-core hardware flagged
+// explicitly (CI runners often expose one core, where speedup parity is
+// the expected result).
+
+#include <string>
+#include <vector>
+
+#include "experiments/robustness.hpp"
+#include "experiments/sweeps.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace bt {
+
+/// Wall-clock of one sweep at the default thread count and, when the
+/// hardware is multicore, at a single worker thread.
+struct ThreadScaling {
+  std::size_t threads = 1;       ///< worker count of the parallel run
+  double wall_ms_threads = 0.0;  ///< sweep wall-clock at `threads` workers
+  double wall_ms_single = 0.0;   ///< at 1 worker (0 = not measured)
+  bool single_core_hardware = false;
+};
+
+/// BT_THREAD_SCALING != "0" (default on): whether the 1-thread comparison
+/// run of measure_thread_scaling is taken.
+bool thread_scaling_enabled();
+
+/// Run `sweep(num_threads)` once at the default worker count and -- on
+/// multicore hardware, unless BT_THREAD_SCALING=0 -- once more with a
+/// single worker, timing both.  The sweep records are bitwise-identical
+/// across thread counts (the sweeps pre-split their seeds), so the second
+/// run only buys the scaling measurement.
+template <typename Sweep>
+ThreadScaling measure_thread_scaling(const Sweep& sweep) {
+  ThreadScaling scaling;
+  scaling.threads = ThreadPool::default_thread_count();
+  Timer timer;
+  sweep(/*num_threads=*/0);
+  scaling.wall_ms_threads = timer.millis();
+  scaling.single_core_hardware = scaling.threads <= 1;
+  if (!scaling.single_core_hardware && thread_scaling_enabled()) {
+    timer.reset();
+    sweep(/*num_threads=*/1);
+    scaling.wall_ms_single = timer.millis();
+  }
+  return scaling;
+}
+
+/// One-line human-readable summary of `scaling` (speedup, or the
+/// single-core note where it applies).
+std::string describe(const ThreadScaling& scaling);
+
+/// Archive a random/Tiers sweep: raw records plus the scaling block.
+void write_sweep_json(const std::string& path, const std::string& bench,
+                      const std::vector<SweepRecord>& records,
+                      const ThreadScaling& scaling);
+
+/// Archive an E9 robustness sweep, same layout with eps instead of density.
+void write_robustness_json(const std::string& path, const std::string& bench,
+                           const std::vector<RobustnessRecord>& records,
+                           const ThreadScaling& scaling);
+
+}  // namespace bt

@@ -69,7 +69,7 @@ std::vector<SweepRecord> run_random_sweep(const RandomSweepConfig& config) {
     pc.multiport_ratio = config.multiport_ratio;
     const Platform platform = generate_random_platform(pc, rng);
     const PlatformEvaluation eval =
-        evaluate_platform(platform, heuristics, config.multiport_eval);
+        evaluate_platform(platform, heuristics, config.multiport_eval, config.optimal_solver);
     append_records(per_cell[i], eval, cell.size, cell.density, cell.rep);
   });
   return concatenate_in_order(std::move(per_cell));
@@ -103,7 +103,7 @@ std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config) {
     Rng rng(seed);
     const Platform platform = generate_tiers_platform(family, rng);
     const PlatformEvaluation eval =
-        evaluate_platform(platform, heuristics, config.multiport_eval);
+        evaluate_platform(platform, heuristics, config.multiport_eval, config.optimal_solver);
     append_records(per_cell[i], eval, family.num_nodes, platform.graph().density(), rep);
   });
   return concatenate_in_order(std::move(per_cell));
@@ -115,6 +115,25 @@ std::size_t replicates_from_env(std::size_t default_value) {
   const long parsed = std::strtol(env, nullptr, 10);
   BT_REQUIRE(parsed > 0, "BT_REPLICATES must be a positive integer");
   return static_cast<std::size_t>(parsed);
+}
+
+std::vector<std::size_t> sizes_from_env(const char* name,
+                                        std::vector<std::size_t> default_sizes) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_sizes;
+  std::vector<std::size_t> sizes;
+  const char* cursor = env;
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(cursor, &end, 10);
+    BT_REQUIRE(end != cursor && parsed > 1,
+               std::string(name) + " must be a comma-separated list of sizes > 1");
+    sizes.push_back(static_cast<std::size_t>(parsed));
+    cursor = end;
+    while (*cursor == ',' || *cursor == ' ') ++cursor;
+  }
+  BT_REQUIRE(!sizes.empty(), std::string(name) + " must name at least one size");
+  return sizes;
 }
 
 }  // namespace bt

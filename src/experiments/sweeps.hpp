@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "experiments/evaluation.hpp"
 #include "platform/random_generator.hpp"
 #include "platform/tiers_generator.hpp"
 
@@ -40,6 +41,10 @@ struct RandomSweepConfig {
   /// Worker threads; 0 = BT_THREADS / hardware concurrency.  The records are
   /// bitwise-identical for every thread count (per-cell seeding).
   std::size_t num_threads = 0;
+  /// Solver computing the reference TP* and the LP-heuristic loads; the
+  /// benches pick the cutting plane for the lifted 100-200 node grids
+  /// (see OptimalSolver in evaluation.hpp).
+  OptimalSolver optimal_solver = OptimalSolver::kColumnGeneration;
 };
 
 std::vector<SweepRecord> run_random_sweep(const RandomSweepConfig& config);
@@ -55,6 +60,8 @@ struct TiersSweepConfig {
   /// Worker threads; 0 = BT_THREADS / hardware concurrency (deterministic
   /// for every value).
   std::size_t num_threads = 0;
+  /// Reference-optimum solver, as in RandomSweepConfig.
+  OptimalSolver optimal_solver = OptimalSolver::kColumnGeneration;
 };
 
 std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config);
@@ -62,5 +69,12 @@ std::vector<SweepRecord> run_tiers_sweep(const TiersSweepConfig& config);
 /// Honor the BT_REPLICATES environment variable (benches use it so CI runs
 /// stay quick while full paper-scale runs remain one env var away).
 std::size_t replicates_from_env(std::size_t default_value);
+
+/// Honor a comma-separated size-list environment variable (e.g.
+/// BT_SIZES="100,150,200"), falling back to `default_sizes` when unset.
+/// The benches use it to lift the paper-size grids to the solvers' current
+/// ceiling without recompiling.
+std::vector<std::size_t> sizes_from_env(const char* name,
+                                        std::vector<std::size_t> default_sizes);
 
 }  // namespace bt

@@ -1,7 +1,9 @@
 #include "lp/basis_lu.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <limits>
 
 #include "util/error.hpp"
@@ -27,12 +29,33 @@ constexpr double kFtGrowthLimit = 1e8;
 /// would make each factorization O(m * nnz).
 constexpr std::size_t kMarkowitzCandidates = 8;
 
+/// Reach-set cutover: the structural closure is only *processed* sparsely
+/// while it stays below this fraction of the dimension; a flood that grows
+/// past the budget abandons the traversal and the solve falls back to the
+/// full sweep.  Reach bookkeeping (flood stack + sorts) costs ~2-3x the
+/// plain per-step sweep work, so hypersparse processing only profits on
+/// genuinely sparse closures -- unit rho rows, rhs deltas, sparse entering
+/// columns -- which is exactly where it turns O(m) solves into O(reach).
+constexpr double kReachBudgetFraction = 0.3;
+
+/// Adaptive kAuto solves: after this many consecutive abandoned reach
+/// traversals the structural flood is skipped entirely ...
+constexpr std::uint32_t kDenseStreakLimit = 4;
+/// ... re-probing the closure density once per this many skipped calls.
+constexpr std::uint32_t kSparseProbePeriod = 16;
+
 }  // namespace
 
 void BasisLu::set_update_mode(UpdateMode mode) {
   BT_ASSERT(updates_ == 0,
             "BasisLu::set_update_mode: updates pending; refactorize first");
   mode_ = mode;
+}
+
+void BasisLu::set_solve_mode(SolveMode mode) {
+  // Both strategies maintain the all-zero work_ invariant (the full sweep
+  // re-zeros each slot in its scatter pass), so switching is free.
+  solve_mode_ = mode;
 }
 
 bool BasisLu::factorize(std::size_t m, const std::vector<SparseColumnView>& columns) {
@@ -60,6 +83,15 @@ bool BasisLu::factorize(std::size_t m, const std::vector<SparseColumnView>& colu
   diag_.reserve(m);
   work_.assign(m, 0.0);
   flag_.assign(m, 0);
+  reach_flag_.assign(m, 0);
+  reach_.clear();
+  // Fresh factor structure: let the adaptive solves re-probe their density.
+  for (std::size_t c = 0; c < 2; ++c) {
+    ftran_dense_streak_[c] = 0;
+    btran_dense_streak_[c] = 0;
+    ftran_probe_countdown_[c] = 0;
+    btran_probe_countdown_[c] = 0;
+  }
   spike_.assign(m, 0.0);
   spike_flag_.assign(m, 0);
   spike_nz_.clear();
@@ -288,7 +320,323 @@ void BasisLu::compact_nonzeros(ScatteredVector& x) {
   for (const std::uint32_t i : x.nonzero) flag_[i] = 0;
 }
 
-void BasisLu::ftran(ScatteredVector& x) {
+void BasisLu::ftran(ScatteredVector& x, SolveHint hint) {
+  ++stats_.ftran_calls;
+  stats_.ftran_dim_steps += m_;
+  if (collect_timing_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ftran_dispatch(x, hint);
+    stats_.ftran_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0).count());
+  } else {
+    ftran_dispatch(x, hint);
+  }
+}
+
+void BasisLu::btran(ScatteredVector& x, SolveHint hint) {
+  ++stats_.btran_calls;
+  stats_.btran_dim_steps += m_;
+  if (collect_timing_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    btran_dispatch(x, hint);
+    stats_.btran_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0).count());
+  } else {
+    btran_dispatch(x, hint);
+  }
+}
+
+void BasisLu::ftran_dispatch(ScatteredVector& x, SolveHint hint) {
+  bool attempt = solve_mode_ == SolveMode::kReachSet && hint != SolveHint::kDense;
+  bool track = false;
+  const std::size_t cls = hint == SolveHint::kSparse ? 1 : 0;
+  if (attempt) {
+    if (x.nonzero.size() > reach_budget()) {
+      attempt = false;  // dense support: skip for free, don't bias the streak
+    } else if (ftran_dense_streak_[cls] >= kDenseStreakLimit) {
+      if (++ftran_probe_countdown_[cls] < kSparseProbePeriod) attempt = false;
+      else {
+        ftran_probe_countdown_[cls] = 0;
+        track = true;
+      }
+    } else {
+      track = true;
+    }
+  }
+  const bool sparse = attempt && ftran_reach(x);
+  if (track) ftran_dense_streak_[cls] = sparse ? 0 : ftran_dense_streak_[cls] + 1;
+  if (!sparse) {
+    ftran_full(x);
+    stats_.ftran_reach_steps += m_;
+  }
+
+  // Product-form etas, oldest first (explicit about the positions they
+  // touch; shared by both solve strategies).
+  for (const Eta& e : etas_) {
+    double t = x.value[e.pivot_pos];
+    if (t == 0.0) continue;
+    t /= e.pivot_value;
+    x.value[e.pivot_pos] = t;
+    for (std::size_t s = 0; s < e.idx.size(); ++s) {
+      const std::uint32_t i = e.idx[s];
+      if (x.value[i] == 0.0) x.nonzero.push_back(i);
+      x.value[i] -= e.val[s] * t;
+    }
+  }
+  compact_nonzeros(x);
+}
+
+void BasisLu::btran_dispatch(ScatteredVector& x, SolveHint hint) {
+  // Product-form eta transposes, newest first: only the eta's pivot
+  // position changes (shared by both solve strategies).
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = x.value[it->pivot_pos];
+    for (std::size_t s = 0; s < it->idx.size(); ++s) acc -= it->val[s] * x.value[it->idx[s]];
+    acc /= it->pivot_value;
+    if (x.value[it->pivot_pos] == 0.0 && acc != 0.0) x.nonzero.push_back(it->pivot_pos);
+    x.value[it->pivot_pos] = acc;
+  }
+
+  bool attempt = solve_mode_ == SolveMode::kReachSet && hint != SolveHint::kDense;
+  bool track = false;
+  const std::size_t cls = hint == SolveHint::kSparse ? 1 : 0;
+  if (attempt) {
+    if (x.nonzero.size() > reach_budget()) {
+      attempt = false;  // dense support: skip for free, don't bias the streak
+    } else if (btran_dense_streak_[cls] >= kDenseStreakLimit) {
+      if (++btran_probe_countdown_[cls] < kSparseProbePeriod) attempt = false;
+      else {
+        btran_probe_countdown_[cls] = 0;
+        track = true;
+      }
+    } else {
+      track = true;
+    }
+  }
+  const bool sparse = attempt && btran_reach(x);
+  if (track) btran_dense_streak_[cls] = sparse ? 0 : btran_dense_streak_[cls] + 1;
+  if (!sparse) {
+    btran_full(x);
+    stats_.btran_reach_steps += m_;
+  }
+  compact_nonzeros(x);
+}
+
+template <typename Adjacency>
+bool BasisLu::extend_reach(std::size_t first, std::size_t budget, const Adjacency& adj) {
+  // Iterative flood fill: close reach_[first..] over `adj`.  Every visited
+  // step is flagged and appended, so repeated extensions (L closure, then
+  // eta targets, then U closure) compose into one combined reach list.
+  // Growing past `budget` aborts: reach bookkeeping costs more than the
+  // plain sweep saves on dense-ish closures (see kReachBudgetFraction).
+  reach_stack_.clear();
+  for (std::size_t i = first; i < reach_.size(); ++i) reach_stack_.push_back(reach_[i]);
+  while (!reach_stack_.empty()) {
+    const std::uint32_t k = reach_stack_.back();
+    reach_stack_.pop_back();
+    adj(k, [this](std::uint32_t next) {
+      if (!reach_flag_[next]) {
+        reach_flag_[next] = 1;
+        reach_.push_back(next);
+        reach_stack_.push_back(next);
+      }
+    });
+    if (reach_.size() > budget) return false;
+  }
+  return true;
+}
+
+void BasisLu::abandon_reach() {
+  for (const std::uint32_t k : reach_) reach_flag_[k] = 0;
+  reach_.clear();
+}
+
+std::size_t BasisLu::reach_budget() const {
+  return std::max<std::size_t>(
+      16, static_cast<std::size_t>(kReachBudgetFraction * static_cast<double>(m_)));
+}
+
+bool BasisLu::ftran_reach(ScatteredVector& x) {
+  // ---- Structural pass (no numerics touched yet): close the rhs support
+  // over L's row structure, pull in row-eta targets, close over U's column
+  // structure.  Abandon to the full sweep when the closure outgrows the
+  // budget. ----
+  const std::size_t budget = reach_budget();
+  reach_.clear();
+  for (const std::uint32_t i : x.nonzero) {
+    const std::uint32_t k = step_of_row_[i];
+    if (!reach_flag_[k]) {
+      reach_flag_[k] = 1;
+      reach_.push_back(k);
+    }
+  }
+  if (reach_.size() > budget ||
+      !extend_reach(0, budget, [this](std::uint32_t k, auto&& visit) {
+        for (const std::uint32_t row : lrows_[k]) visit(step_of_row_[row]);
+      })) {
+    abandon_reach();
+    return false;
+  }
+  // Row-eta targets, oldest first (a target flagged here can feed later
+  // etas, matching the numeric application order below).
+  for (const RowEta& e : ft_etas_) {
+    if (reach_flag_[e.step]) continue;
+    bool touched = false;
+    for (const std::uint32_t src : e.src) touched = touched || reach_flag_[src] != 0;
+    if (touched) {
+      reach_flag_[e.step] = 1;
+      reach_.push_back(e.step);
+    }
+  }
+  if (reach_.size() > budget ||
+      !extend_reach(0, budget, [this](std::uint32_t k, auto&& visit) {
+        for (const std::uint32_t s : utrans_step_[k]) visit(s);
+      })) {
+    abandon_reach();
+    return false;
+  }
+
+  // ---- Numeric phases over the (sorted) closure -- exactly the
+  // subsequence of steps the full sweep would visit, in its visit order,
+  // so both strategies perform bit-identical arithmetic.  Steps reached
+  // only through later phases read zeros here, as they would in the full
+  // sweep. ----
+  double* r = x.value.data();
+  std::sort(reach_.begin(), reach_.end());
+  for (const std::uint32_t k : reach_) {
+    const double zk = r[pivot_row_[k]];
+    work_[k] = zk;
+    if (zk == 0.0) continue;
+    const auto& lr = lrows_[k];
+    const auto& lv = lvals_[k];
+    for (std::size_t t = 0; t < lr.size(); ++t) {
+      r[lr[t]] -= lv[t] * zk;
+      x.nonzero.push_back(lr[t]);
+    }
+  }
+  for (const std::uint32_t i : x.nonzero) r[i] = 0.0;
+  x.nonzero.clear();
+
+  // Forrest-Tomlin row etas, oldest first; unreached sources read zero.
+  for (const RowEta& e : ft_etas_) {
+    if (!reach_flag_[e.step]) continue;
+    double acc = work_[e.step];
+    for (std::size_t s = 0; s < e.src.size(); ++s) acc -= e.mult[s] * work_[e.src[s]];
+    work_[e.step] = acc;
+  }
+
+  // Backward substitution over U in (update-permuted) elimination order.
+  std::sort(reach_.begin(), reach_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return order_pos_[a] > order_pos_[b];
+  });
+  for (const std::uint32_t k : reach_) {
+    const double wk = work_[k] / diag_[k];
+    work_[k] = wk;
+    if (wk == 0.0) continue;
+    const auto& us = utrans_step_[k];
+    const auto& uv = utrans_val_[k];
+    for (std::size_t t = 0; t < us.size(); ++t) work_[us[t]] -= uv[t] * wk;
+  }
+
+  // Scatter to position space in ascending step order (the full sweep's
+  // scatter order, so downstream consumers see identical nonzero lists)
+  // and restore the all-zero work_ invariant.
+  std::sort(reach_.begin(), reach_.end());
+  for (const std::uint32_t k : reach_) {
+    if (work_[k] != 0.0) x.push(pivot_col_[k], work_[k]);
+    work_[k] = 0.0;
+    reach_flag_[k] = 0;
+  }
+  stats_.ftran_reach_steps += reach_.size();
+  return true;
+}
+
+bool BasisLu::btran_reach(ScatteredVector& x) {
+  // ---- Structural pass: close the cost support over U's row structure,
+  // pull in transposed row-eta sources (newest first), close over L^T. ----
+  const std::size_t budget = reach_budget();
+  reach_.clear();
+  for (const std::uint32_t i : x.nonzero) {
+    const std::uint32_t k = step_of_col_[i];
+    if (!reach_flag_[k]) {
+      reach_flag_[k] = 1;
+      reach_.push_back(k);
+    }
+  }
+  if (reach_.size() > budget ||
+      !extend_reach(0, budget, [this](std::uint32_t k, auto&& visit) {
+        for (const std::uint32_t colid : ucols_[k]) visit(step_of_col_[colid]);
+      })) {
+    abandon_reach();
+    return false;
+  }
+  for (auto it = ft_etas_.rbegin(); it != ft_etas_.rend(); ++it) {
+    if (!reach_flag_[it->step]) continue;
+    for (const std::uint32_t src : it->src) {
+      if (!reach_flag_[src]) {
+        reach_flag_[src] = 1;
+        reach_.push_back(src);
+      }
+    }
+  }
+  if (reach_.size() > budget ||
+      !extend_reach(0, budget, [this](std::uint32_t k, auto&& visit) {
+        for (const std::uint32_t s : ltrans_step_[k]) visit(s);
+      })) {
+    abandon_reach();
+    return false;
+  }
+
+  // ---- Numeric phases over the sorted closure (see ftran_reach). ----
+  double* c = x.value.data();
+  std::sort(reach_.begin(), reach_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return order_pos_[a] < order_pos_[b];
+  });
+  for (const std::uint32_t k : reach_) {
+    const double tk = c[pivot_col_[k]] / diag_[k];
+    work_[k] = tk;
+    if (tk == 0.0) continue;
+    const auto& uc = ucols_[k];
+    const auto& uv = uvals_[k];
+    for (std::size_t t = 0; t < uc.size(); ++t) {
+      c[uc[t]] -= uv[t] * tk;
+      x.nonzero.push_back(uc[t]);
+    }
+  }
+  for (const std::uint32_t i : x.nonzero) c[i] = 0.0;
+  x.nonzero.clear();
+
+  // Transposed Forrest-Tomlin row etas, newest first.
+  for (auto it = ft_etas_.rbegin(); it != ft_etas_.rend(); ++it) {
+    const double v = work_[it->step];
+    if (v == 0.0) continue;
+    for (std::size_t s = 0; s < it->src.size(); ++s) work_[it->src[s]] -= it->mult[s] * v;
+  }
+
+  // L^T solve, backward in step order (L is untouched by updates).
+  std::sort(reach_.begin(), reach_.end(), std::greater<std::uint32_t>());
+  for (const std::uint32_t k : reach_) {
+    const double vk = work_[k];
+    if (vk == 0.0) continue;
+    const auto& ls = ltrans_step_[k];
+    const auto& lv = ltrans_val_[k];
+    for (std::size_t t = 0; t < ls.size(); ++t) work_[ls[t]] -= lv[t] * vk;
+  }
+
+  // Scatter to row space in ascending step order; restore the invariant.
+  std::sort(reach_.begin(), reach_.end());
+  for (const std::uint32_t k : reach_) {
+    if (work_[k] != 0.0) x.push(pivot_row_[k], work_[k]);
+    work_[k] = 0.0;
+    reach_flag_[k] = 0;
+  }
+  stats_.btran_reach_steps += reach_.size();
+  return true;
+}
+
+void BasisLu::ftran_full(ScatteredVector& x) {
   double* r = x.value.data();
   // L z = P a, in step order; z lands in work_.  Touched rows are appended
   // to the nonzero list so the row-space residue can be cleared in O(nnz).
@@ -330,36 +678,16 @@ void BasisLu::ftran(ScatteredVector& x) {
     for (std::size_t t = 0; t < us.size(); ++t) work_[us[t]] -= uv[t] * wk;
   }
 
-  // Scatter to position space: x[q_k] = w_k.
+  // Scatter to position space (x[q_k] = w_k), re-zeroing each slot so the
+  // all-zero work_ invariant of the reach traversal survives full sweeps.
   for (std::size_t k = 0; k < m_; ++k) {
-    if (work_[k] != 0.0) x.push(pivot_col_[k], work_[k]);
+    const double wk = work_[k];
+    work_[k] = 0.0;
+    if (wk != 0.0) x.push(pivot_col_[k], wk);
   }
-
-  // Product-form etas, oldest first.
-  for (const Eta& e : etas_) {
-    double t = x.value[e.pivot_pos];
-    if (t == 0.0) continue;
-    t /= e.pivot_value;
-    x.value[e.pivot_pos] = t;
-    for (std::size_t s = 0; s < e.idx.size(); ++s) {
-      const std::uint32_t i = e.idx[s];
-      if (x.value[i] == 0.0) x.nonzero.push_back(i);
-      x.value[i] -= e.val[s] * t;
-    }
-  }
-  compact_nonzeros(x);
 }
 
-void BasisLu::btran(ScatteredVector& x) {
-  // Eta transposes, newest first: only the eta's pivot position changes.
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    double acc = x.value[it->pivot_pos];
-    for (std::size_t s = 0; s < it->idx.size(); ++s) acc -= it->val[s] * x.value[it->idx[s]];
-    acc /= it->pivot_value;
-    if (x.value[it->pivot_pos] == 0.0 && acc != 0.0) x.nonzero.push_back(it->pivot_pos);
-    x.value[it->pivot_pos] = acc;
-  }
-
+void BasisLu::btran_full(ScatteredVector& x) {
   double* c = x.value.data();
   // U^T t = Q^T c, forward over the elimination order (push to later
   // steps); t lands in work_.
@@ -396,11 +724,13 @@ void BasisLu::btran(ScatteredVector& x) {
     for (std::size_t t = 0; t < ls.size(); ++t) work_[ls[t]] -= lv[t] * vk;
   }
 
-  // Scatter to row space: y[p_k] = v_k.
+  // Scatter to row space (y[p_k] = v_k), re-zeroing each slot so the
+  // all-zero work_ invariant of the reach traversal survives full sweeps.
   for (std::size_t k = 0; k < m_; ++k) {
-    if (work_[k] != 0.0) x.push(pivot_row_[k], work_[k]);
+    const double vk = work_[k];
+    work_[k] = 0.0;
+    if (vk != 0.0) x.push(pivot_row_[k], vk);
   }
-  compact_nonzeros(x);
 }
 
 bool BasisLu::update(std::size_t leave_pos, const ScatteredVector& w) {

@@ -31,6 +31,21 @@
 //    direction, and solves replay the whole file.  Retained for
 //    differential testing and benchmarking against Forrest-Tomlin.
 //
+// Two solve strategies are available (SolveMode):
+//
+//  * Reach set (default): before each triangular solve, a Gilbert-Peierls
+//    flood fill over the static factor dependency structure computes the
+//    exact structural closure of the right-hand side's nonzeros; only the
+//    reached elimination steps are visited, so a hypersparse solve (unit
+//    rho rows, entering columns, rhs deltas) costs O(reach log reach)
+//    instead of O(m).  The reached steps are processed in the *same*
+//    elimination order the full sweep uses (sorted, not DFS postorder), so
+//    both modes perform bit-identical floating-point arithmetic.
+//
+//  * Full sweep: walk all m elimination steps, skipping zero positions --
+//    the pre-hypersparse behavior, retained for differential testing and
+//    A/B benchmarking.
+//
 // The owning solver refactorizes periodically
 // (SimplexOptions::refactor_period) or when update() reports a numerically
 // unsafe pivot, which restores a fresh L U and empties the update files.
@@ -38,6 +53,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "lp/engine_stats.hpp"
 
 namespace bt {
 
@@ -80,10 +97,40 @@ class BasisLu {
     kProductForm,    ///< append one full eta per pivot (reference)
   };
 
+  /// Triangular-solve strategy of ftran()/btran().
+  enum class SolveMode {
+    kReachSet,   ///< Gilbert-Peierls reach traversal (production)
+    kFullSweep,  ///< visit all m elimination steps (reference)
+  };
+
+  /// Caller-side density class of one solve (reach-set mode only).  kAuto
+  /// (bulk solves: basic values, cost BTRANs, entering columns) and
+  /// kSparse (unit rho rows, rhs deltas, tau solves) adapt independently:
+  /// each class attempts the budgeted reach traversal until a streak of
+  /// abandoned floods shows its closures are dense here, then skips the
+  /// flood and re-probes periodically.  A right-hand side whose support
+  /// already exceeds the budget skips for free without biasing the
+  /// streak.  kDense always takes the full sweep.
+  enum class SolveHint { kAuto, kSparse, kDense };
+
   /// Select the update strategy.  Must be called while no updates are
   /// pending (i.e. right after construction or a factorize()).
   void set_update_mode(UpdateMode mode);
   UpdateMode update_mode() const { return mode_; }
+
+  /// Select the solve strategy; both modes compute bit-identical results
+  /// (the reach set is processed in full-sweep elimination order), so this
+  /// may be switched at any time.
+  void set_solve_mode(SolveMode mode);
+  SolveMode solve_mode() const { return solve_mode_; }
+
+  /// Collect per-call wall-clock in the stats (counters are always on).
+  void set_collect_timing(bool collect) { collect_timing_ = collect; }
+
+  /// FTRAN/BTRAN call, reach and (optional) timing counters accumulated
+  /// since the last reset_stats(); only the kernel fields are filled.
+  const LpEngineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LpEngineStats{}; }
 
   /// Factorize the m x m basis whose k-th column is `columns[k]`.  Discards
   /// any pending updates.  Returns false if the basis is numerically
@@ -92,11 +139,11 @@ class BasisLu {
 
   /// Solve B x = a in place: on entry `x` holds a row-space right-hand side,
   /// on exit the position-space solution (nonzero list maintained).
-  void ftran(ScatteredVector& x);
+  void ftran(ScatteredVector& x, SolveHint hint = SolveHint::kAuto);
 
   /// Solve B^T y = c in place: on entry `x` holds a position-space cost
   /// vector, on exit the row-space duals (nonzero list maintained).
-  void btran(ScatteredVector& x);
+  void btran(ScatteredVector& x, SolveHint hint = SolveHint::kAuto);
 
   /// Update the factorization for a pivot that replaces the basic variable
   /// at position `leave_pos`, where `w` = ftran(entering column).  Returns
@@ -131,6 +178,9 @@ class BasisLu {
   };
 
   UpdateMode mode_ = UpdateMode::kForrestTomlin;
+  SolveMode solve_mode_ = SolveMode::kReachSet;
+  bool collect_timing_ = false;
+  LpEngineStats stats_;
   std::size_t m_ = 0;
   std::size_t updates_ = 0;
   // Elimination step k pivoted on (row pivot_row_[k], column pivot_col_[k]).
@@ -170,9 +220,48 @@ class BasisLu {
   /// it as an exact support set (e.g. for delta updates of xb).
   void compact_nonzeros(ScatteredVector& x);
 
-  // Solve workspaces (sized m_), reused across calls.
+  // Solve workspaces (sized m_), reused across calls.  Under the reach-set
+  // mode `work_` is all-zero between solves (each solve clears exactly the
+  // steps it reached); the full sweep overwrites every entry anyway.
   std::vector<double> work_;
   std::vector<char> flag_;
+  // Reach-set traversal state: flags + the reached step list (segments per
+  // solve phase) and the flood-fill stack.
+  std::vector<char> reach_flag_;
+  std::vector<std::uint32_t> reach_;
+  std::vector<std::uint32_t> reach_stack_;
+  // Adaptive solve behavior, per kernel x hint class (0 = kAuto,
+  // 1 = kSparse): after kDenseStreakLimit consecutive abandoned floods the
+  // flood is skipped, re-probing every kSparseProbePeriod calls.
+  std::uint32_t ftran_dense_streak_[2] = {0, 0};
+  std::uint32_t btran_dense_streak_[2] = {0, 0};
+  std::uint32_t ftran_probe_countdown_[2] = {0, 0};
+  std::uint32_t btran_probe_countdown_[2] = {0, 0};
+
+  /// Flood-fill the structural closure of the steps already in
+  /// reach_[first..] over the step adjacency `adj` (L rows mapped through
+  /// step_of_row_, or the transposed-factor step lists), appending newly
+  /// reached steps to reach_.  Returns false -- leaving the partial
+  /// closure flagged for the caller to abandon -- as soon as the list
+  /// grows past `budget`.
+  template <typename Adjacency>
+  bool extend_reach(std::size_t first, std::size_t budget, const Adjacency& adj);
+
+  /// Unflag and drop the current reach list (abandoned traversal).
+  void abandon_reach();
+  /// Reach budget for this factor dimension (kReachBudgetFraction * m).
+  std::size_t reach_budget() const;
+
+  void ftran_dispatch(ScatteredVector& x, SolveHint hint);
+  void btran_dispatch(ScatteredVector& x, SolveHint hint);
+  // Triangular solves without the product-form eta pass (the dispatchers
+  // own it); the reach variants run the budgeted structural closure first
+  // and return false -- with no numeric state touched -- when it exceeds
+  // the budget, upon which the dispatcher falls back to the full sweep.
+  void ftran_full(ScatteredVector& x);
+  void btran_full(ScatteredVector& x);
+  bool ftran_reach(ScatteredVector& x);
+  bool btran_reach(ScatteredVector& x);
   // Forrest-Tomlin update workspaces (sized m_).
   std::vector<double> spike_;
   std::vector<char> spike_flag_;

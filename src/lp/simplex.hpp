@@ -5,10 +5,13 @@
 // Solves LpProblem instances (non-negative variables, <=/>=/= rows).  The
 // production engine keeps the basis in sparse LU form (basis_lu.hpp) with
 // Forrest-Tomlin updates between periodic refactorizations (product-form
-// etas remain selectable for differential testing), prices with a cyclic
-// candidate-list (partial) pricing rule plus a Bland's-rule fallback
-// against cycling, and uses a two-phase start (artificial variables
-// minimized first).  The previous dense-inverse engine is retained as
+// etas remain selectable for differential testing), solves its triangular
+// systems with hypersparse reach-set traversal (BasisLu::SolveMode), prices
+// with Devex reference weights over a cyclic candidate-list window (primal)
+// and dual steepest-edge row selection (dual) -- Dantzig / most-infeasible
+// remain selectable for A/B runs -- plus a Bland's-rule fallback against
+// cycling, and uses a two-phase start (artificial variables minimized
+// first).  The previous dense-inverse engine is retained as
 // LpEngine::kDenseReference for benchmarking and differential testing.
 //
 // Besides the primal method the sparse engine carries a dual simplex phase
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "lp/basis_lu.hpp"
+#include "lp/engine_stats.hpp"
 #include "lp/lp_problem.hpp"
 
 namespace bt {
@@ -45,6 +49,23 @@ enum class LpEngine {
   kSparse,          ///< sparse LU basis + Forrest-Tomlin updates (production)
   kDenseReference,  ///< dense basis inverse (reference / benchmarking)
 };
+
+/// Entering-column rule of the primal simplex (sparse engine).
+enum class PricingRule {
+  kDantzig,  ///< most negative reduced cost within the candidate window
+  kDevex,    ///< best d_j^2 / w_j under Devex reference weights (production)
+};
+
+/// Leaving-row rule of the dual simplex (sparse engine).
+enum class DualRowRule {
+  kMostInfeasible,  ///< most negative basic value (pre-PR-5 behavior)
+  kDevex,           ///< best xb_r^2 / gamma_r, Devex max-form weight updates
+  kSteepestEdge,    ///< exact Forrest-Goldfarb weights via an extra FTRAN
+                    ///< per pivot (production)
+};
+
+std::string to_string(PricingRule rule);
+std::string to_string(DualRowRule rule);
 
 struct SimplexOptions {
   double tolerance = 1e-9;        ///< feasibility / optimality tolerance
@@ -62,6 +83,21 @@ struct SimplexOptions {
   /// Forrest-Tomlin keeps the factors short; the product-form eta file is
   /// retained for differential testing (see BasisLu::UpdateMode).
   BasisLu::UpdateMode update_mode = BasisLu::UpdateMode::kForrestTomlin;
+  /// Triangular-solve strategy: hypersparse reach-set traversal (default)
+  /// or the all-m full sweep (reference; see BasisLu::SolveMode).
+  BasisLu::SolveMode solve_mode = BasisLu::SolveMode::kReachSet;
+  /// Pricing rules of the sparse engine.  The Devex / steepest-edge weight
+  /// maintenance rides the hypersparse kernels (one extra unit BTRAN per
+  /// primal pivot, one extra FTRAN per dual steepest-edge pivot) and resets
+  /// its reference framework on every refactorization as a drift safeguard.
+  PricingRule pricing = PricingRule::kDevex;
+  DualRowRule dual_row_rule = DualRowRule::kSteepestEdge;
+  /// Collect per-call FTRAN/BTRAN wall-clock into the engine stats (the
+  /// structural reach counters are always collected).
+  bool collect_kernel_timing = false;
+  /// When set, solve_lp() accumulates the solve's LpEngineStats here
+  /// (sparse engine only; the dense reference engine records nothing).
+  LpEngineStats* stats = nullptr;
 };
 
 /// Basis label encoding for warm starts: structural variable j is labeled j;
@@ -158,6 +194,11 @@ class IncrementalSimplex {
   /// restores optimality.  Equivalent to solve(); the name documents the
   /// intended usage pattern.
   LpSolution reoptimize_dual();
+
+  /// Hypersparsity / pricing diagnostics accumulated over the engine's
+  /// lifetime (FTRAN/BTRAN reach fractions, pivot and refactorization
+  /// counts, pricing mode; see engine_stats.hpp).
+  LpEngineStats engine_stats() const;
 
  private:
   std::unique_ptr<detail::SparseSimplexCore> core_;

@@ -1,6 +1,7 @@
 #include "platform/tiers_generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,30 @@ TiersConfig tiers_config_65() {
   c.mans_per_wan = 3;
   c.wan_redundancy = 4;
   c.man_redundancy = 2;
+  return c;
+}
+
+TiersConfig tiers_config_for(std::size_t num_nodes) {
+  BT_REQUIRE(num_nodes >= 4, "tiers_config_for: need at least 4 nodes");
+  if (num_nodes == 30) return tiers_config_30();
+  if (num_nodes == 65) return tiers_config_65();
+  // Follow the 30/65-node proportions: the router levels grow with the
+  // square root of the node count (so LAN hosts dominate, as in Tiers),
+  // redundancy with the WAN width.
+  TiersConfig c;
+  c.num_nodes = num_nodes;
+  c.wan_nodes = std::max<std::size_t>(2, static_cast<std::size_t>(0.75 * std::sqrt(
+                                             static_cast<double>(num_nodes))));
+  c.mans_per_wan = std::max<std::size_t>(2, c.wan_nodes / 2);
+  // Keep at least one LAN host per MAN router.
+  while (c.wan_nodes * (1 + c.mans_per_wan) * 2 > num_nodes && c.mans_per_wan > 2) {
+    --c.mans_per_wan;
+  }
+  while (c.wan_nodes * (1 + c.mans_per_wan) * 2 > num_nodes && c.wan_nodes > 2) {
+    --c.wan_nodes;
+  }
+  c.wan_redundancy = c.wan_nodes / 2 + 1;
+  c.man_redundancy = c.mans_per_wan / 2;
   return c;
 }
 

@@ -52,6 +52,13 @@ struct TiersConfig {
 TiersConfig tiers_config_30();
 TiersConfig tiers_config_65();
 
+/// Configuration for an arbitrary node count: returns the exact paper
+/// configuration at 30 / 65 nodes and scales the WAN/MAN level widths and
+/// redundancy with the same proportions beyond that (the lifted Table 3
+/// sweeps use it for 100-200 node platforms, which land in the paper's
+/// 0.05-0.15 density range like the originals).
+TiersConfig tiers_config_for(std::size_t num_nodes);
+
 /// Generate one Tiers-style platform; deterministic given `rng` state.
 Platform generate_tiers_platform(const TiersConfig& config, Rng& rng);
 

@@ -121,6 +121,14 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
     return add_column(priced.edges);  // duplicate: numerically converged
   };
 
+  // Master engine knobs shared by both paths (the rebuild path adds its
+  // engine selection and warm basis per round).
+  SimplexOptions master_lp_options;
+  master_lp_options.pricing = options.master_pricing;
+  master_lp_options.dual_row_rule = options.master_dual_row_rule;
+  master_lp_options.solve_mode = options.master_solve_mode;
+  master_lp_options.collect_kernel_timing = options.master_kernel_timing;
+
   if (options.incremental_master) {
     // ---- Standing master: rows are fixed up front, each pricing round
     // appends one column and re-optimizes from the current basis. ----
@@ -129,7 +137,7 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
     for (const std::vector<LpTerm>& row : build_master_rows(1)) {
       lp.add_constraint(row, RowSense::kLessEqual, 1.0);
     }
-    IncrementalSimplex engine(lp);
+    IncrementalSimplex engine(lp, master_lp_options);
     std::vector<double> smoothed;  // Wentges stabilization center
     while (columns.size() < options.max_columns) {
       ++solution.separation_rounds;
@@ -161,6 +169,7 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
       if (!progressed) break;
       engine.add_column(1.0, master_terms(columns.back(), p, model));
     }
+    solution.lp_stats.accumulate(engine.engine_stats());
   } else {
     // ---- Legacy path: rebuild the whole master LP every round and re-solve
     // it from the previous optimal basis (kept for benchmarking). ----
@@ -175,8 +184,9 @@ SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
         lp.add_constraint(row, RowSense::kLessEqual, 1.0);
       }
 
-      SimplexOptions lp_options;
+      SimplexOptions lp_options = master_lp_options;
       lp_options.engine = options.master_engine;
+      lp_options.stats = &solution.lp_stats;
       if (!warm_basis.empty()) lp_options.warm_basis = &warm_basis;
       Timer master_timer;
       const LpSolution master = solve_lp(lp, lp_options);

@@ -73,6 +73,17 @@ struct SsbColumnGenOptions {
   /// are an exact decomposition).  Disable to measure the decomposer on
   /// colgen loads.
   bool export_tree_columns = true;
+  /// Master LP engine knobs, forwarded into SimplexOptions on both master
+  /// paths.  Defaults are the production configuration: Devex primal
+  /// pricing, dual steepest-edge row selection, reach-set (hypersparse)
+  /// FTRAN/BTRAN; Dantzig / most-infeasible / full-sweep remain selectable
+  /// for A/B benchmarking.
+  PricingRule master_pricing = PricingRule::kDevex;
+  DualRowRule master_dual_row_rule = DualRowRule::kSteepestEdge;
+  BasisLu::SolveMode master_solve_mode = BasisLu::SolveMode::kReachSet;
+  /// Also collect per-call FTRAN/BTRAN wall-clock into
+  /// SsbSolution::lp_stats (the reach counters are always collected).
+  bool master_kernel_timing = false;
 };
 
 /// Solve the SSB program by arborescence column generation.  Throws

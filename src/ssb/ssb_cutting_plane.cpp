@@ -33,11 +33,18 @@ double stabilization_weight(const Platform& platform, EdgeId e) {
 
 /// Master tolerance: tighter than the solver default so the tie-broken
 /// stabilization weights resolve alternative optima (vertex gaps are
-/// ~T_e * kWeightTieBreak / m, orders of magnitude above this).
-SimplexOptions master_options() {
-  SimplexOptions options;
-  options.tolerance = 1e-10;
-  return options;
+/// ~T_e * kWeightTieBreak / m, orders of magnitude above this).  Engine
+/// knobs (pricing rules, solve mode, kernel timing) come from the caller;
+/// `stats` receives the LpEngineStats of cold solve_lp calls.
+SimplexOptions master_options(const SsbCuttingPlaneOptions& options, LpEngineStats* stats) {
+  SimplexOptions lp;
+  lp.tolerance = 1e-10;
+  lp.pricing = options.master_pricing;
+  lp.dual_row_rule = options.master_dual_row_rule;
+  lp.solve_mode = options.master_solve_mode;
+  lp.collect_kernel_timing = options.master_kernel_timing;
+  lp.stats = stats;
+  return lp;
 }
 
 }  // namespace
@@ -163,12 +170,22 @@ SsbSolution solve_ssb_cutting_plane(const Platform& platform,
     if (warm) {
       if (value_master == nullptr) {
         value_master = std::make_unique<IncrementalSimplex>(build_master(false, 0.0),
-                                                            master_options());
+                                                            master_options(options, &solution.lp_stats));
       }
       value_sol = value_cold ? value_master->solve() : value_master->reoptimize_dual();
       value_cold = false;
+      if (value_sol.status != LpStatus::kOptimal) {
+        // Numerical breakdown of the standing master (drifted basis the
+        // engine could not repair): the pool fully determines the model,
+        // so rebuild it cold and continue incrementally from there.  Fold
+        // the replaced instance's lifetime stats in first.
+        solution.lp_stats.accumulate(value_master->engine_stats());
+        value_master = std::make_unique<IncrementalSimplex>(
+            build_master(false, 0.0), master_options(options, &solution.lp_stats));
+        value_sol = value_master->solve();
+      }
     } else {
-      value_sol = solve_lp(build_master(false, 0.0), master_options());
+      value_sol = solve_lp(build_master(false, 0.0), master_options(options, &solution.lp_stats));
     }
     BT_REQUIRE(value_sol.status == LpStatus::kOptimal,
                "solve_ssb_cutting_plane: value master " + to_string(value_sol.status));
@@ -183,14 +200,22 @@ SsbSolution solve_ssb_cutting_plane(const Platform& platform,
       if (warm) {
         if (stable_master == nullptr) {
           stable_master = std::make_unique<IncrementalSimplex>(build_master(true, tp_floor),
-                                                               master_options());
+                                                               master_options(options, &solution.lp_stats));
         } else {
           stable_master->set_row_rhs(0, tp_floor);
         }
         stable_sol = stable_cold ? stable_master->solve() : stable_master->reoptimize_dual();
         stable_cold = false;
+        if (stable_sol.status != LpStatus::kOptimal) {
+          // Numerical breakdown: rebuild the standing stable master from
+          // the pool (see the value master above; stats folded in first).
+          solution.lp_stats.accumulate(stable_master->engine_stats());
+          stable_master = std::make_unique<IncrementalSimplex>(
+              build_master(true, tp_floor), master_options(options, &solution.lp_stats));
+          stable_sol = stable_master->solve();
+        }
       } else {
-        stable_sol = solve_lp(build_master(true, tp_floor), master_options());
+        stable_sol = solve_lp(build_master(true, tp_floor), master_options(options, &solution.lp_stats));
       }
       BT_REQUIRE(stable_sol.status == LpStatus::kOptimal,
                  "solve_ssb_cutting_plane: stable master " + to_string(stable_sol.status));
@@ -258,6 +283,10 @@ SsbSolution solve_ssb_cutting_plane(const Platform& platform,
   solution.throughput = std::round(raw / grain) * grain;
   solution.edge_load = std::move(load);
   solution.cuts_generated = cut_pool.size();
+  // Cold solve_lp calls accumulated into lp_stats as they ran; fold in the
+  // standing incremental masters' lifetime stats.
+  if (value_master != nullptr) solution.lp_stats.accumulate(value_master->engine_stats());
+  if (stable_master != nullptr) solution.lp_stats.accumulate(stable_master->engine_stats());
   return solution;
 }
 

@@ -42,6 +42,7 @@
 // report bitwise-identical throughput even when degenerate min-cut ties
 // let their pools differ in equivalent cuts.
 
+#include "lp/simplex.hpp"
 #include "platform/platform.hpp"
 #include "ssb/ssb_solution.hpp"
 
@@ -74,6 +75,21 @@ struct SsbCuttingPlaneOptions {
   bool incremental_master = true;
   /// Port model of the emission/reception rows.
   PortModel port_model = PortModel::kBidirectional;
+  /// Master LP engine knobs, forwarded into SimplexOptions for every master
+  /// solve (warm and cold).  The engine-wide defaults are Devex primal
+  /// pricing + dual steepest-edge rows (SimplexOptions); *this* master
+  /// overrides the primal rule to Dantzig and the dual rule to the cheap
+  /// Devex recurrence -- its lexicographic two-master rounds re-optimize in
+  /// a handful of pivots each, where the candidate-list Dantzig scan wins
+  /// and reference weights never amortize their per-pivot pivot-row cost
+  /// (see the hypersparse-core ablation in BENCH_lp.json).  All
+  /// combinations remain selectable for A/B runs.
+  PricingRule master_pricing = PricingRule::kDantzig;
+  DualRowRule master_dual_row_rule = DualRowRule::kDevex;
+  BasisLu::SolveMode master_solve_mode = BasisLu::SolveMode::kReachSet;
+  /// Also collect per-call FTRAN/BTRAN wall-clock into
+  /// SsbSolution::lp_stats (the reach counters are always collected).
+  bool master_kernel_timing = false;
 };
 
 /// Solve the SSB program by lazy cut generation.  Throws bt::Error if the

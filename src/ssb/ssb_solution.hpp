@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "lp/engine_stats.hpp"
 
 namespace bt {
 
@@ -52,6 +53,10 @@ struct SsbSolution {
   /// Wall-clock spent inside master LP solves (excludes separation /
   /// pricing oracles), for the incremental-vs-rebuild ablations.
   double master_wall_ms = 0.0;
+  /// Hypersparsity / pricing diagnostics of the master LP engine(s):
+  /// FTRAN/BTRAN reach fractions, pivot and refactorization counts, the
+  /// pricing mode the masters ran under (see lp/engine_stats.hpp).
+  LpEngineStats lp_stats;
 };
 
 }  // namespace bt

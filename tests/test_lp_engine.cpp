@@ -400,6 +400,236 @@ TEST(SparseEngine, UpdateModesAgreeOnRandomPrograms) {
   }
 }
 
+// ------------------------------------ Devex / steepest-edge pricing (PR 5) --
+
+TEST(SparseEngine, DevexWeightResetsAreCorrectAcrossRefactorPeriods) {
+  // The Devex reference framework persists across re-solves and is reset by
+  // the drift safeguards (overflow, Bland exits, structure changes); a
+  // refactorization itself must not change where the solve lands.  Solving
+  // the same programs with refactorization after every pivot, every other
+  // pivot, and on the default period must agree with the exact optimum --
+  // under both pricing rules and both dual row selections.
+  Rng rng(0xDE5E);
+  for (int trial = 0; trial < 30; ++trial) {
+    PairedLp lp = random_paired_lp(rng, 4, 5);
+    const auto exact = solve_exact_lp(lp.exact);
+    if (exact.status != ExactStatus::kOptimal) continue;
+    for (const std::size_t period : {std::size_t{1}, std::size_t{2}, std::size_t{64}}) {
+      SimplexOptions options;
+      options.pricing = PricingRule::kDevex;
+      options.dual_row_rule = DualRowRule::kSteepestEdge;
+      options.refactor_period = period;
+      const LpSolution s = solve_lp(lp.approx, options);
+      ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial << " period " << period;
+      EXPECT_NEAR(s.objective, exact.objective.to_double(), 1e-7)
+          << "trial " << trial << " period " << period;
+    }
+  }
+}
+
+TEST(IncrementalSimplex, DevexWeightsSurviveRefactorizationDuringRowRanging) {
+  // Standing-master usage under the production pricing: appended rows and
+  // rhs ranging interleave dual and primal pivots across many
+  // refactorizations (period 1 = refactor on every pivot); the weighted
+  // frameworks must keep landing on the same optimum as the default-period
+  // engine.
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t vars = 3 + rng.index(4);
+    const std::size_t nrows = 3 + rng.index(3);
+    LpProblem lp(Objective::kMaximize);
+    std::vector<double> c(vars);
+    for (std::size_t j = 0; j < vars; ++j) {
+      c[j] = rng.uniform_int(1, 9);
+      lp.add_variable(c[j]);
+    }
+    std::vector<std::vector<LpTerm>> rows(nrows);
+    std::vector<double> rhs(nrows);
+    for (std::size_t i = 0; i < nrows; ++i) {
+      for (std::size_t j = 0; j < vars; ++j) {
+        const int aij = rng.uniform_int(0, 5);
+        if (aij != 0) rows[i].push_back({j, static_cast<double>(aij)});
+      }
+      rhs[i] = rng.uniform_int(1, 12);
+      lp.add_constraint(rows[i], RowSense::kLessEqual, rhs[i]);
+    }
+    SimplexOptions every_pivot;
+    every_pivot.pricing = PricingRule::kDevex;
+    every_pivot.dual_row_rule = DualRowRule::kSteepestEdge;
+    every_pivot.refactor_period = 1;
+    IncrementalSimplex frequent(lp, every_pivot);
+    IncrementalSimplex standard(lp);
+    if (frequent.solve().status != LpStatus::kOptimal) continue;
+    ASSERT_EQ(standard.solve().status, LpStatus::kOptimal) << "trial " << trial;
+    for (int change = 0; change < 5; ++change) {
+      const std::size_t row = rng.index(nrows);
+      const double new_rhs = rng.uniform_int(0, 12);
+      frequent.set_row_rhs(row, new_rhs);
+      standard.set_row_rhs(row, new_rhs);
+      const LpSolution a = frequent.reoptimize_dual();
+      const LpSolution b = standard.reoptimize_dual();
+      ASSERT_EQ(a.status, b.status) << "trial " << trial << " change " << change;
+      if (a.status == LpStatus::kOptimal) {
+        EXPECT_NEAR(a.objective, b.objective, 1e-7) << "trial " << trial << " change " << change;
+      }
+    }
+  }
+}
+
+// ------------------------------------------- reach-set FTRAN/BTRAN (PR 5) --
+
+namespace reach_test {
+
+/// Owning sparse column set with view access for BasisLu::factorize.
+struct Columns {
+  std::vector<std::vector<std::uint32_t>> rows;
+  std::vector<std::vector<double>> vals;
+
+  void add(std::vector<std::uint32_t> r, std::vector<double> v) {
+    rows.push_back(std::move(r));
+    vals.push_back(std::move(v));
+  }
+  std::vector<SparseColumnView> views() const {
+    std::vector<SparseColumnView> out(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      out[k] = SparseColumnView{rows[k].data(), vals[k].data(), rows[k].size()};
+    }
+    return out;
+  }
+};
+
+/// Unit-vector FTRAN/BTRAN through `lu`, returning the number of
+/// elimination steps the solve visited (reach under kReachSet, m under
+/// kFullSweep) via the stats delta.
+std::uint64_t probe_steps(BasisLu& lu, std::size_t m, std::size_t position, bool do_btran,
+                          ScatteredVector& x) {
+  x.reset(m);
+  x.push(static_cast<std::uint32_t>(position), 1.0);
+  const LpEngineStats before = lu.stats();
+  if (do_btran) {
+    lu.btran(x, BasisLu::SolveHint::kSparse);
+    return lu.stats().btran_reach_steps - before.btran_reach_steps;
+  }
+  lu.ftran(x, BasisLu::SolveHint::kSparse);
+  return lu.stats().ftran_reach_steps - before.ftran_reach_steps;
+}
+
+}  // namespace reach_test
+
+TEST(BasisLuReach, IdentityBasisSolvesTouchOneStep) {
+  using reach_test::Columns;
+  const std::size_t m = 32;
+  Columns cols;
+  for (std::size_t k = 0; k < m; ++k) cols.add({static_cast<std::uint32_t>(k)}, {2.0});
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(m, cols.views()));
+  ASSERT_EQ(lu.solve_mode(), BasisLu::SolveMode::kReachSet);  // production default
+  ScatteredVector x;
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{7}, std::size_t{31}}) {
+    EXPECT_EQ(reach_test::probe_steps(lu, m, pos, /*do_btran=*/false, x), 1u) << pos;
+    EXPECT_DOUBLE_EQ(x.value[pos], 0.5);
+    ASSERT_EQ(x.nonzero.size(), 1u);
+    EXPECT_EQ(reach_test::probe_steps(lu, m, pos, /*do_btran=*/true, x), 1u) << pos;
+    EXPECT_DOUBLE_EQ(x.value[pos], 0.5);
+  }
+}
+
+TEST(BasisLuReach, BlockDiagonalBasisConfinesTheReachToOneBlock) {
+  // Two decoupled lower-bidiagonal blocks: a right-hand side supported in
+  // one block must never visit elimination steps of the other, and a unit
+  // rhs at a block's *last* position reaches exactly one step.
+  using reach_test::Columns;
+  const std::size_t block = 6;
+  const std::size_t m = 2 * block;
+  Columns cols;
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t k = 0; k < block; ++k) {
+      const std::uint32_t col = static_cast<std::uint32_t>(b * block + k);
+      if (k + 1 < block) {
+        cols.add({col, col + 1}, {1.0, -0.5});
+      } else {
+        cols.add({col}, {1.0});
+      }
+    }
+  }
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(m, cols.views()));
+  ScatteredVector x;
+
+  // Head of block 0: the full chain of that block (and only it).
+  EXPECT_EQ(reach_test::probe_steps(lu, m, 0, /*do_btran=*/false, x), block);
+  for (std::size_t k = 0; k < block; ++k) {
+    EXPECT_NEAR(x.value[k], std::pow(0.5, static_cast<double>(k)), 1e-12) << k;
+  }
+  for (std::size_t k = block; k < m; ++k) EXPECT_EQ(x.value[k], 0.0) << k;
+
+  // Head of block 1: same shape, confined to the second block.
+  EXPECT_EQ(reach_test::probe_steps(lu, m, block, /*do_btran=*/false, x), block);
+  for (std::size_t k = 0; k < block; ++k) EXPECT_EQ(x.value[k], 0.0) << k;
+
+  // Tail positions depend on no other column: exactly one step each.
+  EXPECT_EQ(reach_test::probe_steps(lu, m, block - 1, /*do_btran=*/false, x), 1u);
+  EXPECT_EQ(reach_test::probe_steps(lu, m, m - 1, /*do_btran=*/false, x), 1u);
+
+  // BTRAN transposes the dependency: the tail of a block reaches the whole
+  // block, its head exactly one step.
+  EXPECT_EQ(reach_test::probe_steps(lu, m, block - 1, /*do_btran=*/true, x), block);
+  EXPECT_EQ(reach_test::probe_steps(lu, m, 0, /*do_btran=*/true, x), 1u);
+}
+
+TEST(BasisLuReach, FullSweepCountsTheWholeDimensionAndMatchesReachValues) {
+  // Differential: the same factorization solved in both modes returns
+  // bit-identical values, while the stats separate reach from dimension.
+  using reach_test::Columns;
+  Rng rng(0x2EAC);
+  const std::size_t m = 24;
+  Columns cols;
+  for (std::size_t k = 0; k < m; ++k) {
+    std::vector<std::uint32_t> r{static_cast<std::uint32_t>(k)};
+    std::vector<double> v{3.0 + rng.uniform_real(0.0, 2.0)};
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i != k && rng.bernoulli(0.15)) {
+        r.push_back(static_cast<std::uint32_t>(i));
+        v.push_back(rng.uniform_real(-1.0, 1.0));
+      }
+    }
+    cols.add(std::move(r), std::move(v));
+  }
+  BasisLu reach, sweep;
+  sweep.set_solve_mode(BasisLu::SolveMode::kFullSweep);
+  ASSERT_TRUE(reach.factorize(m, cols.views()));
+  ASSERT_TRUE(sweep.factorize(m, cols.views()));
+  ScatteredVector a, b;
+  for (int probe = 0; probe < 12; ++probe) {
+    a.reset(m);
+    b.reset(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rng.bernoulli(0.2)) {
+        const double value = rng.uniform_real(-2.0, 2.0);
+        a.push(static_cast<std::uint32_t>(i), value);
+        b.push(static_cast<std::uint32_t>(i), value);
+      }
+    }
+    if (probe % 2 == 0) {
+      reach.ftran(a, BasisLu::SolveHint::kSparse);
+      sweep.ftran(b);
+    } else {
+      reach.btran(a, BasisLu::SolveHint::kSparse);
+      sweep.btran(b);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(a.value[i], b.value[i]) << "probe " << probe << " pos " << i;
+    }
+  }
+  // Full sweep always pays the whole dimension; the reach mode reports at
+  // most that (and its budgeted fallbacks count m too, so the fraction is
+  // an honest average).
+  EXPECT_EQ(sweep.stats().ftran_reach_steps, sweep.stats().ftran_calls * m);
+  EXPECT_EQ(sweep.stats().btran_reach_steps, sweep.stats().btran_calls * m);
+  EXPECT_LE(reach.stats().ftran_reach_steps, sweep.stats().ftran_reach_steps);
+  EXPECT_LE(reach.stats().btran_reach_steps, sweep.stats().btran_reach_steps);
+}
+
 TEST(IncrementalSimplex, RejectsBadInput) {
   LpProblem empty_rows(Objective::kMaximize);
   empty_rows.add_variable(1.0);

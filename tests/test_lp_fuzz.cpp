@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <vector>
 
 #include "lp/basis_lu.hpp"
@@ -213,6 +214,161 @@ TEST(LpFuzz, EnginesAgreeWithExactSimplexOnObjectivesAndDuals) {
   // The generator must exercise both terminal states.
   EXPECT_GT(optimal, cases / 10);
   EXPECT_GT(unbounded, 0u);
+}
+
+// ------------------------------------- pricing / solve mode matrix (PR 5) --
+
+/// All pricing x solve-mode combinations the engine supports; the dual row
+/// rule only acts in dual phases (exercised by the append_row matrix below).
+struct EngineCombo {
+  PricingRule pricing;
+  DualRowRule dual_rule;
+  BasisLu::SolveMode solve_mode;
+};
+
+const EngineCombo kCombos[] = {
+    {PricingRule::kDantzig, DualRowRule::kMostInfeasible, BasisLu::SolveMode::kFullSweep},
+    {PricingRule::kDantzig, DualRowRule::kDevex, BasisLu::SolveMode::kReachSet},
+    {PricingRule::kDantzig, DualRowRule::kSteepestEdge, BasisLu::SolveMode::kReachSet},
+    {PricingRule::kDevex, DualRowRule::kMostInfeasible, BasisLu::SolveMode::kFullSweep},
+    {PricingRule::kDevex, DualRowRule::kDevex, BasisLu::SolveMode::kFullSweep},
+    {PricingRule::kDevex, DualRowRule::kSteepestEdge, BasisLu::SolveMode::kReachSet},
+};
+
+SimplexOptions combo_options(const EngineCombo& combo, std::size_t refactor_period) {
+  SimplexOptions options;
+  options.pricing = combo.pricing;
+  options.dual_row_rule = combo.dual_rule;
+  options.solve_mode = combo.solve_mode;
+  options.refactor_period = refactor_period;
+  return options;
+}
+
+TEST(LpFuzz, PricingAndSolveModeMatrixAgreesWithExactSimplex) {
+  // Cold solves across the full generator mix (feasible / degenerate /
+  // near-rank-deficient / unbounded / mixed-sense): every combination must
+  // agree on status and optimum -- with each other and, where the program
+  // shape allows, with the exact rational simplex.
+  Rng rng(0x9A7E);
+  const std::size_t cases = fuzz_cases() / 2;
+  std::size_t optimal = 0;
+  for (std::size_t trial = 0; trial < cases; ++trial) {
+    const FuzzClass cls = static_cast<FuzzClass>(trial % 5);
+    FuzzLp lp = generate(rng, cls);
+    const std::size_t period = 1 + rng.index(64);
+
+    std::vector<LpSolution> solved;
+    for (const EngineCombo& combo : kCombos) {
+      solved.push_back(solve_lp(lp.approx, combo_options(combo, period)));
+    }
+    for (std::size_t c = 1; c < solved.size(); ++c) {
+      ASSERT_EQ(solved[c].status, solved[0].status) << "trial " << trial << " combo " << c;
+      if (solved[0].status == LpStatus::kOptimal) {
+        EXPECT_NEAR(solved[c].objective, solved[0].objective, 1e-7)
+            << "trial " << trial << " combo " << c;
+        EXPECT_LE(lp.approx.max_violation(solved[c].x), 1e-7)
+            << "trial " << trial << " combo " << c;
+      }
+    }
+
+    if (!lp.exact_comparable) continue;
+    const ExactSolution exact = solve_exact_lp(lp.exact);
+    if (exact.status == ExactStatus::kUnbounded) {
+      EXPECT_EQ(solved[0].status, LpStatus::kUnbounded) << "trial " << trial;
+      continue;
+    }
+    ASSERT_EQ(solved[0].status, LpStatus::kOptimal) << "trial " << trial;
+    ++optimal;
+    for (std::size_t c = 0; c < solved.size(); ++c) {
+      EXPECT_NEAR(solved[c].objective, exact.objective.to_double(), 1e-7)
+          << "trial " << trial << " combo " << c;
+    }
+  }
+  EXPECT_GT(optimal, cases / 10);
+}
+
+TEST(LpFuzz, RowAppendMatrixAgreesAcrossDualRowRulesAndSolveModes) {
+  // The dual row rules act only in the dual re-optimization after appended
+  // rows: replay random append_row sequences under every combination and
+  // pin them against cold default-engine solves (degenerate zero right-hand
+  // sides included, so weighted row selection hits ties).
+  Rng rng(0xD0A2);
+  const std::size_t cases = fuzz_cases() / 4;
+  for (std::size_t trial = 0; trial < cases; ++trial) {
+    const std::size_t vars = 2 + rng.index(5);
+    const std::size_t base_rows = 1 + rng.index(3);
+    const std::size_t extra_rows = 1 + rng.index(4);
+
+    std::vector<double> c(vars);
+    LpProblem base(Objective::kMaximize);
+    for (std::size_t j = 0; j < vars; ++j) {
+      c[j] = rng.uniform_int(0, 9);
+      base.add_variable(c[j]);
+    }
+    std::vector<std::vector<LpTerm>> rows;
+    std::vector<RowSense> senses;
+    std::vector<double> rhs;
+    auto random_row = [&]() {
+      std::vector<LpTerm> terms;
+      for (std::size_t j = 0; j < vars; ++j) {
+        const int aij = rng.uniform_int(-2, 5);
+        if (aij != 0) terms.push_back({j, static_cast<double>(aij)});
+      }
+      return terms;
+    };
+    for (std::size_t i = 0; i < base_rows; ++i) {
+      rows.push_back(random_row());
+      senses.push_back(RowSense::kLessEqual);
+      rhs.push_back(rng.uniform_int(0, 12));
+      base.add_constraint(rows.back(), senses.back(), rhs.back());
+    }
+    // The appended tail, shared across every engine combination.
+    struct Append {
+      std::vector<LpTerm> terms;
+      RowSense sense;
+      double rhs;
+    };
+    std::vector<Append> appends;
+    for (std::size_t k = 0; k < extra_rows; ++k) {
+      Append a;
+      a.terms = random_row();
+      a.sense = rng.bernoulli(0.25) ? RowSense::kGreaterEqual : RowSense::kLessEqual;
+      // Zero right-hand sides force degenerate dual pivots.
+      a.rhs = rng.bernoulli(0.3)
+                  ? 0.0
+                  : static_cast<double>(
+                        rng.uniform_int(a.sense == RowSense::kGreaterEqual ? 0 : -4, 10));
+      appends.push_back(std::move(a));
+    }
+
+    for (std::size_t combo_idx = 0; combo_idx < std::size(kCombos); ++combo_idx) {
+      IncrementalSimplex incremental(base, combo_options(kCombos[combo_idx], 16));
+      LpSolution inc = incremental.solve();
+      for (std::size_t k = 0; k < appends.size(); ++k) {
+        incremental.append_row(appends[k].terms, appends[k].sense, appends[k].rhs);
+        inc = inc.status == LpStatus::kOptimal ? incremental.reoptimize_dual()
+                                               : incremental.solve();
+
+        LpProblem full(Objective::kMaximize);
+        for (std::size_t j = 0; j < vars; ++j) full.add_variable(c[j]);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          full.add_constraint(rows[i], senses[i], rhs[i]);
+        }
+        for (std::size_t i = 0; i <= k; ++i) {
+          full.add_constraint(appends[i].terms, appends[i].sense, appends[i].rhs);
+        }
+        const LpSolution cold = solve_lp(full);
+        ASSERT_EQ(inc.status, cold.status)
+            << "trial " << trial << " combo " << combo_idx << " append " << k;
+        if (inc.status == LpStatus::kOptimal) {
+          EXPECT_NEAR(inc.objective, cold.objective, 1e-6)
+              << "trial " << trial << " combo " << combo_idx << " append " << k;
+          EXPECT_LE(full.max_violation(inc.x), 1e-6)
+              << "trial " << trial << " combo " << combo_idx << " append " << k;
+        }
+      }
+    }
+  }
 }
 
 // ----------------------------------------- dual simplex / append_row path --
