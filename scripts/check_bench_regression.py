@@ -1,29 +1,39 @@
 #!/usr/bin/env python3
-"""CI perf-regression guard for BENCH_lp.json.
+"""CI perf-regression guard for the BENCH_*.json archives.
 
-Compares key summary fields of a freshly produced BENCH_lp.json against the
-checked-in baseline (bench/baselines/BENCH_lp_baseline.json) with generous
-tolerances: shared CI runners are noisy, so only *large* regressions fail
-the bench-smoke job.  Checked:
+Compares key summary fields of a freshly produced bench archive against its
+checked-in baseline (bench/baselines/) with generous tolerances: shared CI
+runners are noisy, so only *large* regressions fail the bench-smoke job.
+The archive kind is dispatched on its "bench" field.
 
+BENCH_lp.json (bench "lp_solvers"):
   * speedup fields (incremental-vs-rebuild master, hypersparse-core A/B,
-    colgen-vs-dense engine) must not fall below `speedup_floor_factor`
+    colgen-vs-dense engine) must not fall below `SPEEDUP_FLOOR_FACTOR`
     times the baseline value;
-  * reach-fraction fields must not grow above `reach_ceiling_factor` times
+  * reach-fraction fields must not grow above `REACH_CEILING_FACTOR` times
     the baseline (a jump there means hypersparse solves stopped engaging);
   * `cutting_bitwise_agree` must stay true (correctness, no tolerance).
 
-Usage: check_bench_regression.py <BENCH_lp.json> <baseline.json>
+BENCH_service.json (bench "service"):
+  * `service_warm_over_cold_speedup` and `service_queries_per_sec` are
+    floors (times `SPEEDUP_FLOOR_FACTOR` of baseline);
+  * `service_replan_p99_ms` is a ceiling (`LATENCY_CEILING_FACTOR` times
+    baseline -- a p99 over a short CI stream needs the widest berth);
+  * `service_warm_cold_agree` must stay true (warm re-plans match cold
+    solves; correctness, no tolerance).
+
+Usage: check_bench_regression.py <BENCH_x.json> <baseline.json>
 """
 
 import json
 import sys
 
-SPEEDUP_FLOOR_FACTOR = 0.4   # fail when a speedup drops below 40% of baseline
-REACH_CEILING_FACTOR = 2.0   # fail when a reach fraction doubles
-REACH_ABS_SLACK = 0.10       # ... with this much absolute headroom on top
+SPEEDUP_FLOOR_FACTOR = 0.4     # fail when a speedup/rate drops below 40% of baseline
+REACH_CEILING_FACTOR = 2.0     # fail when a reach fraction doubles
+REACH_ABS_SLACK = 0.10         # ... with this much absolute headroom on top
+LATENCY_CEILING_FACTOR = 3.0   # fail when a latency triples
 
-SPEEDUP_FIELDS = [
+LP_SPEEDUP_FIELDS = [
     "cutting_master_speedup_incremental_n80",
     "cutting_speedup_incremental_n80",
     "colgen_speedup_vs_dense_n50",
@@ -31,11 +41,82 @@ SPEEDUP_FIELDS = [
     "colgen_hypersparse_speedup_n120",
     "colgen_hypersparse_speedup_n150",
 ]
-REACH_FIELDS = [
+LP_REACH_FIELDS = [
     "cutting_ftran_reach_fraction_n80",
     "cutting_btran_reach_fraction_n80",
     "colgen_btran_reach_fraction_n80",
 ]
+
+SERVICE_FLOOR_FIELDS = [
+    "service_warm_over_cold_speedup",
+    "service_queries_per_sec",
+]
+SERVICE_CEILING_FIELDS = [
+    "service_replan_p99_ms",
+]
+
+
+class Checker:
+    def __init__(self, current, baseline):
+        self.current = current
+        self.baseline = baseline
+        self.failures = []
+        self.checked = 0
+
+    def floor(self, field, factor):
+        if field not in self.baseline:
+            return
+        base = float(self.baseline[field])
+        if field not in self.current:
+            self.failures.append(f"{field}: missing from current archive")
+            return
+        cur = float(self.current[field])
+        floor = base * factor
+        self.checked += 1
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(f"{field}: current {cur:.2f} vs baseline {base:.2f} (floor {floor:.2f}) {status}")
+        if cur < floor:
+            self.failures.append(f"{field}: {cur:.2f} < floor {floor:.2f} (baseline {base:.2f})")
+
+    def ceiling(self, field, factor, abs_slack=0.0):
+        if field not in self.baseline:
+            return
+        base = float(self.baseline[field])
+        if field not in self.current:
+            self.failures.append(f"{field}: missing from current archive")
+            return
+        cur = float(self.current[field])
+        ceiling = base * factor + abs_slack
+        self.checked += 1
+        status = "ok" if cur <= ceiling else "REGRESSION"
+        print(f"{field}: current {cur:.3f} vs baseline {base:.3f} (ceiling {ceiling:.3f}) {status}")
+        if cur > ceiling:
+            self.failures.append(f"{field}: {cur:.3f} > ceiling {ceiling:.3f} (baseline {base:.3f})")
+
+    def must_be_true(self, field):
+        if field not in self.baseline:
+            return
+        self.checked += 1
+        if not self.current.get(field, False):
+            self.failures.append(f"{field}: expected true")
+        else:
+            print(f"{field}: true ok")
+
+
+def check_lp(checker):
+    for field in LP_SPEEDUP_FIELDS:
+        checker.floor(field, SPEEDUP_FLOOR_FACTOR)
+    for field in LP_REACH_FIELDS:
+        checker.ceiling(field, REACH_CEILING_FACTOR, REACH_ABS_SLACK)
+    checker.must_be_true("cutting_bitwise_agree")
+
+
+def check_service(checker):
+    for field in SERVICE_FLOOR_FIELDS:
+        checker.floor(field, SPEEDUP_FLOOR_FACTOR)
+    for field in SERVICE_CEILING_FIELDS:
+        checker.ceiling(field, LATENCY_CEILING_FACTOR)
+    checker.must_be_true("service_warm_cold_agree")
 
 
 def main() -> int:
@@ -47,55 +128,22 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
 
-    failures = []
-    checked = 0
+    checker = Checker(current, baseline)
+    bench = current.get("bench", baseline.get("bench", "lp_solvers"))
+    if bench == "service":
+        check_service(checker)
+    else:
+        check_lp(checker)
 
-    for field in SPEEDUP_FIELDS:
-        if field not in baseline:
-            continue
-        base = float(baseline[field])
-        if field not in current:
-            failures.append(f"{field}: missing from current BENCH_lp.json")
-            continue
-        cur = float(current[field])
-        floor = base * SPEEDUP_FLOOR_FACTOR
-        checked += 1
-        status = "ok" if cur >= floor else "REGRESSION"
-        print(f"{field}: current {cur:.2f} vs baseline {base:.2f} (floor {floor:.2f}) {status}")
-        if cur < floor:
-            failures.append(f"{field}: {cur:.2f} < floor {floor:.2f} (baseline {base:.2f})")
-
-    for field in REACH_FIELDS:
-        if field not in baseline:
-            continue
-        base = float(baseline[field])
-        if field not in current:
-            failures.append(f"{field}: missing from current BENCH_lp.json")
-            continue
-        cur = float(current[field])
-        ceiling = base * REACH_CEILING_FACTOR + REACH_ABS_SLACK
-        checked += 1
-        status = "ok" if cur <= ceiling else "REGRESSION"
-        print(f"{field}: current {cur:.3f} vs baseline {base:.3f} (ceiling {ceiling:.3f}) {status}")
-        if cur > ceiling:
-            failures.append(f"{field}: {cur:.3f} > ceiling {ceiling:.3f} (baseline {base:.3f})")
-
-    if "cutting_bitwise_agree" in baseline:
-        checked += 1
-        if not current.get("cutting_bitwise_agree", False):
-            failures.append("cutting_bitwise_agree: expected true")
-        else:
-            print("cutting_bitwise_agree: true ok")
-
-    if checked == 0:
+    if checker.checked == 0:
         print("error: no comparable fields found between current and baseline")
         return 2
-    if failures:
+    if checker.failures:
         print("\nFAIL: large perf regressions detected:")
-        for f in failures:
+        for f in checker.failures:
             print(f"  - {f}")
         return 1
-    print(f"\nPASS: {checked} field(s) within tolerance")
+    print(f"\nPASS: {checker.checked} field(s) within tolerance")
     return 0
 
 

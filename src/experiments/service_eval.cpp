@@ -1,0 +1,119 @@
+#include "experiments/service_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace bt {
+
+std::vector<ServiceRequest> make_request_stream(const Platform& platform,
+                                                const ServiceStreamConfig& config) {
+  BT_REQUIRE(!config.sources.empty(), "make_request_stream: need at least one source");
+  for (NodeId s : config.sources) {
+    BT_REQUIRE(s < platform.num_nodes(), "make_request_stream: source out of range");
+  }
+  BT_REQUIRE(platform.num_edges() > 0, "make_request_stream: platform has no arcs");
+  BT_REQUIRE(config.mutation_fraction >= 0.0 && config.mutation_fraction <= 1.0,
+             "make_request_stream: mutation_fraction must be in [0,1]");
+
+  Rng rng(config.seed);
+  std::vector<ServiceRequest> stream;
+  stream.reserve(config.num_requests);
+  // Arcs currently degraded, most recent last (restores pop the back).
+  std::vector<EdgeId> outstanding;
+
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    ServiceRequest req;
+    req.source = config.sources[rng.index(config.sources.size())];
+    const bool mutate = rng.bernoulli(config.mutation_fraction);
+    if (mutate && !outstanding.empty() && rng.bernoulli(0.5)) {
+      req.kind = ServiceRequestKind::kRestore;
+      req.edge = outstanding.back();
+      outstanding.pop_back();
+      req.cost = platform.link_cost(req.edge);
+    } else if (mutate) {
+      req.kind = ServiceRequestKind::kDegrade;
+      req.edge = static_cast<EdgeId>(rng.index(platform.num_edges()));
+      req.factor = rng.uniform_real(config.min_degrade_factor, config.max_degrade_factor);
+      outstanding.push_back(req.edge);
+    } else if (rng.bernoulli(config.schedule_fraction)) {
+      req.kind = ServiceRequestKind::kSchedule;
+    } else {
+      req.kind = ServiceRequestKind::kThroughput;
+    }
+    stream.push_back(req);
+  }
+  return stream;
+}
+
+LatencySummary summarize_latencies(std::vector<double> samples_ms) {
+  LatencySummary s;
+  s.count = samples_ms.size();
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  s.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+              static_cast<double>(samples_ms.size());
+  // Nearest-rank quantiles: ceil(q * n) - 1, clamped.
+  auto rank = [&](double q) {
+    const std::size_t n = samples_ms.size();
+    std::size_t r = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+    return samples_ms[std::min(n - 1, r > 0 ? r - 1 : 0)];
+  };
+  s.p50_ms = rank(0.50);
+  s.p99_ms = rank(0.99);
+  s.max_ms = samples_ms.back();
+  return s;
+}
+
+std::string describe(const LatencySummary& s) {
+  std::ostringstream out;
+  out << s.count << " samples, mean " << s.mean_ms << " ms, p50 " << s.p50_ms << " ms, p99 "
+      << s.p99_ms << " ms, max " << s.max_ms << " ms";
+  return out.str();
+}
+
+ServiceStreamResult run_request_stream(PlannerService& service,
+                                       const std::vector<ServiceRequest>& stream) {
+  ServiceStreamResult result;
+  std::vector<double> read_ms, replan_ms;
+  read_ms.reserve(stream.size());
+
+  for (const ServiceRequest& req : stream) {
+    Timer t;
+    switch (req.kind) {
+      case ServiceRequestKind::kThroughput:
+        result.throughput_checksum += service.throughput(req.source);
+        read_ms.push_back(t.millis());
+        break;
+      case ServiceRequestKind::kSchedule: {
+        auto schedule = service.schedule(req.source);
+        result.throughput_checksum += schedule->throughput();
+        ++result.schedules_fetched;
+        read_ms.push_back(t.millis());
+        break;
+      }
+      case ServiceRequestKind::kDegrade:
+        service.scale_link_time(req.edge, req.factor);
+        result.throughput_checksum += service.throughput(req.source);
+        replan_ms.push_back(t.millis());
+        ++result.mutations_applied;
+        break;
+      case ServiceRequestKind::kRestore:
+        service.set_link_cost(req.edge, req.cost);
+        result.throughput_checksum += service.throughput(req.source);
+        replan_ms.push_back(t.millis());
+        ++result.mutations_applied;
+        break;
+    }
+  }
+
+  result.reads = summarize_latencies(std::move(read_ms));
+  result.replans = summarize_latencies(std::move(replan_ms));
+  return result;
+}
+
+}  // namespace bt

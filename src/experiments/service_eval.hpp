@@ -1,0 +1,102 @@
+#pragma once
+
+// Workload driver for the broadcast-planning service.
+//
+// The service bench (bench/bench_service.cpp) and the service tests need
+// the same thing: a reproducible mixed stream of planner requests --
+// throughput queries, schedule fetches, link degradations and restores --
+// played against a PlannerService with per-kind latencies recorded.  This
+// header provides the stream generator (seeded bt::Rng, so a (platform,
+// config, seed) triple pins the exact request sequence) and the
+// single-threaded replay driver; the bench adds its own ThreadPool layer
+// for the concurrent-reader throughput measurement on top.
+//
+// Degrade/restore come in matched pairs per arc: a degrade scales the
+// arc's cost by a factor > 1 (slower link), a restore puts back the
+// pristine cost captured from the platform at stream-generation time.
+// Restores therefore also reactivate removed links, mirroring how a
+// monitoring daemon would push a fresh measurement for a link that came
+// back.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "service/planner_service.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+
+enum class ServiceRequestKind {
+  kThroughput,  ///< "TP* for source s?"
+  kSchedule,    ///< "give me the schedule for source s"
+  kDegrade,     ///< "link e degraded: times scaled by `factor`"
+  kRestore,     ///< "link e re-measured at its pristine cost"
+};
+
+struct ServiceRequest {
+  ServiceRequestKind kind = ServiceRequestKind::kThroughput;
+  NodeId source = 0;     ///< queried source (read kinds; also re-planned after a mutation)
+  EdgeId edge = 0;       ///< mutated arc (kDegrade / kRestore)
+  double factor = 1.0;   ///< time scale (kDegrade)
+  LinkCost cost;         ///< pristine cost (kRestore)
+};
+
+struct ServiceStreamConfig {
+  std::size_t num_requests = 200;
+  /// Fraction of requests that are mutations (split evenly degrade/restore,
+  /// degrades first per arc).
+  double mutation_fraction = 0.1;
+  /// Among read requests, fraction asking for the schedule instead of TP*.
+  double schedule_fraction = 0.25;
+  /// Degradation factor range (times are *multiplied*: 1.43 ~= "bandwidth
+  /// down 30%").
+  double min_degrade_factor = 1.2;
+  double max_degrade_factor = 2.0;
+  /// Sources the read traffic rotates over (must be < platform nodes).
+  std::vector<NodeId> sources = {0};
+  std::uint64_t seed = 104729;
+};
+
+/// A reproducible mixed request stream over `platform`'s arcs and the
+/// configured sources.  Degrades pick random arcs; each restore targets
+/// the most recently degraded arc still outstanding (LIFO), with its
+/// pristine cost from `platform`.
+std::vector<ServiceRequest> make_request_stream(const Platform& platform,
+                                                const ServiceStreamConfig& config);
+
+/// Order statistics of one latency population (milliseconds).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Summarize `samples_ms` (empirical quantiles, nearest-rank).
+LatencySummary summarize_latencies(std::vector<double> samples_ms);
+
+std::string describe(const LatencySummary& s);
+
+/// Replay result: per-kind latency populations plus a checksum so the
+/// solves cannot be optimized away and runs can be compared for identity.
+struct ServiceStreamResult {
+  LatencySummary reads;    ///< kThroughput / kSchedule request latencies
+  LatencySummary replans;  ///< kDegrade / kRestore: mutation + re-plan of one source
+  double throughput_checksum = 0.0;  ///< sum of every TP* observed
+  std::size_t schedules_fetched = 0;
+  std::size_t mutations_applied = 0;
+};
+
+/// Play `stream` against `service` single-threaded, timing each request.
+/// Mutation requests are timed *through* the follow-up re-plan (a
+/// throughput query for the request's source): the figure of merit is
+/// "link degraded -> new plan in hand", not the cheap delta application
+/// alone.
+ServiceStreamResult run_request_stream(PlannerService& service,
+                                       const std::vector<ServiceRequest>& stream);
+
+}  // namespace bt

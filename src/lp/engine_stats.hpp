@@ -39,6 +39,15 @@ struct LpEngineStats {
   std::uint64_t dual_pivots = 0;
   std::uint64_t refactorizations = 0;
   std::uint64_t pricing_weight_resets = 0;  ///< Devex / steepest-edge resets
+
+  // ---- incremental (standing-master) layer ----
+  // Model-delta traffic of an IncrementalSimplex over its lifetime: how a
+  // standing master was grown and re-ranged between re-solves.  Planner
+  // sessions surface these so a service operator can see whether re-plans
+  // ride warm deltas (rows/columns appended, rhs updates) or cold rebuilds.
+  std::uint64_t rows_appended = 0;
+  std::uint64_t columns_appended = 0;
+  std::uint64_t rhs_updates = 0;
   /// Pricing configuration the solves ran under ("dantzig", "devex", ...;
   /// set by the owning engine, last writer wins on accumulate).
   std::string pricing_mode;
@@ -77,6 +86,9 @@ struct LpEngineStats {
     dual_pivots += other.dual_pivots;
     refactorizations += other.refactorizations;
     pricing_weight_resets += other.pricing_weight_resets;
+    rows_appended += other.rows_appended;
+    columns_appended += other.columns_appended;
+    rhs_updates += other.rhs_updates;
     if (!other.pricing_mode.empty()) pricing_mode = other.pricing_mode;
   }
 };

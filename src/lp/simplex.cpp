@@ -179,6 +179,7 @@ class SparseSimplexCore {
     cost_.push_back(sense * objective_coeff);
     phase1_cost_.push_back(0.0);
     col_of_structural_.push_back(cols_.num_cols() - 1);
+    ++stats_.columns_appended;
     return num_structural_++;
   }
 
@@ -205,6 +206,7 @@ class SparseSimplexCore {
     }
     acc.nonzero.clear();
     pending_rows_.push_back(std::move(row));
+    ++stats_.rows_appended;
     return num_rows_ + pending_rows_.size() - 1;
   }
 
@@ -227,6 +229,7 @@ class SparseSimplexCore {
                "negative before the first solve");
     const double delta = internal - b_[row];
     b_[row] = internal;
+    ++stats_.rhs_updates;
     if (delta == 0.0) return;
     // Sparse delta: xb += delta * B^{-1} e_row -- one hypersparse unit FTRAN
     // instead of re-solving B xb = b from scratch.  The standing cutting

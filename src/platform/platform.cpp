@@ -45,6 +45,23 @@ void Platform::set_slice_size(double slice_size) {
   for (EdgeId e = 0; e < link_.size(); ++e) slice_time_[e] = link_[e].at(slice_size_);
 }
 
+void Platform::set_link_cost(EdgeId e, LinkCost cost) {
+  BT_REQUIRE(e < link_.size(), "Platform::set_link_cost: arc out of range");
+  BT_REQUIRE(cost.alpha >= 0.0 && cost.beta >= 0.0, "Platform::set_link_cost: negative link cost");
+  BT_REQUIRE(cost.alpha > 0.0 || cost.beta > 0.0, "Platform::set_link_cost: zero-cost link");
+  link_[e] = cost;
+  slice_time_[e] = cost.at(slice_size_);
+}
+
+Platform Platform::with_source(NodeId source) const {
+  BT_REQUIRE(source < graph_.num_nodes(), "Platform::with_source: source out of range");
+  Platform copy(*this);
+  copy.source_ = source;
+  std::string why;
+  BT_REQUIRE(copy.valid(&why), "Platform::with_source: invalid platform: " + why);
+  return copy;
+}
+
 double Platform::send_overhead(NodeId u) const {
   BT_REQUIRE(u < send_overhead_.size(), "Platform::send_overhead: node out of range");
   return send_overhead_[u];

@@ -54,6 +54,15 @@ class Platform {
   /// Re-derive the cached per-slice times for a new slice size L.
   void set_slice_size(double slice_size);
 
+  /// Replace the affine cost of arc e (platform delta: a link's bandwidth
+  /// degraded or was re-measured) and refresh its cached per-slice time.
+  /// The planner sessions translate this into warm master re-solves.
+  void set_link_cost(EdgeId e, LinkCost cost);
+
+  /// Copy of this platform broadcasting from a different source node (the
+  /// planner service keeps one warm session per requested source).
+  Platform with_source(NodeId source) const;
+
   /// Multi-port: serialized per-slice send overhead of node u (s_u). Zero by
   /// default, which degenerates the multi-port period into max link time.
   double send_overhead(NodeId u) const;

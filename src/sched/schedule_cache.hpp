@@ -1,0 +1,39 @@
+#pragma once
+
+// LRU cache of synthesized periodic schedules for the planner service.
+//
+// Schedule synthesis (decomposition + round coloring) costs milliseconds on
+// paper-size platforms -- cheap next to a cold solve, expensive next to a
+// cache hit.  The service keys cached schedules by (source, port model,
+// service version): any platform mutation bumps the version, so stale
+// schedules age out of the LRU naturally instead of needing explicit
+// invalidation, and a rolled-back mutation (degrade then restore) still
+// re-synthesizes -- versions never repeat, which is the conservative side.
+//
+// Entries are shared_ptr<const PeriodicSchedule>: a reader can keep using a
+// schedule it fetched while the writer mutates the platform and the entry
+// is evicted.
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "sched/periodic_schedule.hpp"
+#include "util/lru_cache.hpp"
+
+namespace bt {
+
+struct ScheduleCacheKey {
+  NodeId source = 0;
+  PortModel port_model = PortModel::kBidirectional;
+  std::uint64_t version = 0;  ///< service version the schedule was built at
+
+  bool operator==(const ScheduleCacheKey& other) const {
+    return source == other.source && port_model == other.port_model &&
+           version == other.version;
+  }
+};
+
+using ScheduleCache = LruCache<ScheduleCacheKey, std::shared_ptr<const PeriodicSchedule>>;
+
+}  // namespace bt

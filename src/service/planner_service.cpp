@@ -1,0 +1,154 @@
+#include "service/planner_service.hpp"
+
+#include <utility>
+
+#include "sched/orchestrate.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+PlannerService::PlannerService(Platform platform, PlannerServiceOptions options)
+    : platform_(std::move(platform)),
+      removed_(platform_.num_edges(), 0),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity),
+      schedule_cache_(options.schedule_cache_capacity) {
+  BT_REQUIRE(options_.max_sessions > 0, "PlannerService: max_sessions must be positive");
+}
+
+PlannerSession& PlannerService::session_locked(NodeId source) {
+  BT_REQUIRE(source < platform_.num_nodes(), "PlannerService: source out of range");
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->first == source) {
+      sessions_.splice(sessions_.begin(), sessions_, it);
+      return *sessions_.front().second;
+    }
+  }
+  // Cold session: rebase the current platform on the requested source and
+  // replay the removals so the session sees the service's live topology.
+  auto session = std::make_unique<PlannerSession>(platform_.with_source(source),
+                                                  options_.session);
+  for (EdgeId e = 0; e < removed_.size(); ++e) {
+    if (removed_[e]) session->remove_link(e);
+  }
+  sessions_.emplace_front(source, std::move(session));
+  ++sessions_created_;
+  if (sessions_.size() > options_.max_sessions) {
+    sessions_.pop_back();
+    ++sessions_evicted_;
+  }
+  return *sessions_.front().second;
+}
+
+std::shared_ptr<const SsbSolution> PlannerService::plan_locked(NodeId source) {
+  // Re-check under the exclusive lock: another writer may have solved this
+  // (source, version) while we waited to escalate.
+  if (auto hit = plan_cache_.get({source, version_})) return *hit;
+  PlannerSession& session = session_locked(source);
+  auto solution = std::make_shared<const SsbSolution>(session.solve());
+  ++solves_;
+  plan_cache_.put({source, version_}, solution);
+  return solution;
+}
+
+std::shared_ptr<const PeriodicSchedule> PlannerService::schedule_locked(NodeId source) {
+  const PortModel port_model = options_.session.cutting.port_model;
+  if (auto hit = schedule_cache_.get({source, port_model, version_})) return *hit;
+  PlannerSession& session = session_locked(source);
+  auto schedule = std::make_shared<const PeriodicSchedule>(session.schedule());
+  ++schedules_built_;
+  schedule_cache_.put({source, port_model, version_}, schedule);
+  return schedule;
+}
+
+double PlannerService::throughput(NodeId source) { return plan(source)->throughput; }
+
+std::shared_ptr<const SsbSolution> PlannerService::plan(NodeId source) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  {
+    ReadGuard lock(guard_);
+    if (auto hit = plan_cache_.get({source, version_})) return *hit;
+  }
+  WriteGuard lock(guard_);
+  return plan_locked(source);
+}
+
+std::shared_ptr<const PeriodicSchedule> PlannerService::schedule(NodeId source) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  {
+    ReadGuard lock(guard_);
+    const PortModel port_model = options_.session.cutting.port_model;
+    if (auto hit = schedule_cache_.get({source, port_model, version_})) return *hit;
+  }
+  WriteGuard lock(guard_);
+  return schedule_locked(source);
+}
+
+void PlannerService::set_link_cost(EdgeId e, LinkCost cost) {
+  WriteGuard lock(guard_);
+  BT_REQUIRE(e < platform_.num_edges(), "PlannerService: edge out of range");
+  platform_.set_link_cost(e, cost);
+  removed_[e] = 0;
+  for (auto& entry : sessions_) entry.second->set_link_cost(e, cost);
+  ++mutations_;
+  ++version_;
+}
+
+void PlannerService::scale_link_time(EdgeId e, double factor) {
+  WriteGuard lock(guard_);
+  BT_REQUIRE(e < platform_.num_edges(), "PlannerService: edge out of range");
+  LinkCost cost = platform_.link_cost(e);
+  cost.alpha *= factor;
+  cost.beta *= factor;
+  platform_.set_link_cost(e, cost);
+  removed_[e] = 0;
+  for (auto& entry : sessions_) entry.second->scale_link_time(e, factor);
+  ++mutations_;
+  ++version_;
+}
+
+void PlannerService::remove_link(EdgeId e) {
+  WriteGuard lock(guard_);
+  BT_REQUIRE(e < platform_.num_edges(), "PlannerService: edge out of range");
+  removed_[e] = 1;
+  for (auto& entry : sessions_) entry.second->remove_link(e);
+  ++mutations_;
+  ++version_;
+}
+
+NodeId PlannerService::add_node(const std::vector<SessionLink>& in_links,
+                                const std::vector<SessionLink>& out_links) {
+  WriteGuard lock(guard_);
+  platform_ = grow_platform(platform_, in_links, out_links);
+  removed_.resize(platform_.num_edges(), 0);
+  for (auto& entry : sessions_) entry.second->add_node(in_links, out_links);
+  ++mutations_;
+  ++version_;
+  return static_cast<NodeId>(platform_.num_nodes() - 1);
+}
+
+Platform PlannerService::platform_snapshot() {
+  ReadGuard lock(guard_);
+  return platform_;
+}
+
+std::uint64_t PlannerService::version() {
+  ReadGuard lock(guard_);
+  return version_;
+}
+
+PlannerServiceStats PlannerService::stats() {
+  WriteGuard lock(guard_);
+  PlannerServiceStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.plan_cache_hits = plan_cache_.hits();
+  out.schedule_cache_hits = schedule_cache_.hits();
+  out.solves = solves_;
+  out.schedules_built = schedules_built_;
+  out.mutations = mutations_;
+  out.sessions_created = sessions_created_;
+  out.sessions_evicted = sessions_evicted_;
+  return out;
+}
+
+}  // namespace bt

@@ -1,0 +1,157 @@
+#pragma once
+
+// The broadcast-planning service: a long-lived daemon over PlannerSession.
+//
+// A PlannerService loads one platform and then serves planning requests for
+// the lifetime of the process:
+//
+//   "TP* for source s?"            -> throughput(s) / plan(s)
+//   "give me the schedule"         -> schedule(s)
+//   "link (u,v) degraded 30%"      -> scale_link_time(arc, 1/0.7), then
+//                                     the next plan(s) is a warm re-plan
+//   "link came back / re-measured" -> set_link_cost
+//   "link died"                    -> remove_link
+//   "node joined"                  -> add_node
+//
+// Layering:
+//
+//  * One warm PlannerSession per requested source, LRU-bounded
+//    (Options::max_sessions): each session keeps its standing cutting-plane
+//    masters and pools, so repeated queries and post-mutation re-plans ride
+//    the incremental machinery instead of cold solves.  Sessions default to
+//    cold_polish = false -- the service trades the batch path's bitwise
+//    pool-determinism for warm-re-plan latency; agreement with a cold solve
+//    stays within 1e-9 relative (see planner_session.hpp).
+//  * LRU caches of plans and synthesized schedules keyed by (source,
+//    service version), so steady-state read traffic doesn't even touch the
+//    sessions.
+//  * A many-readers / one-writer guard (util/parallel_read_serial_write.hpp):
+//    queries share the service; mutations serialize, apply their delta to
+//    the base platform and every warm session, and bump the version (which
+//    retires all cached plans/schedules at once).
+//
+// Read methods are const-free on purpose: a cache miss escalates to the
+// writer side to run the solve, so "read" describes the request, not the
+// implementation.  Errors from a solve (e.g. removals disconnected the
+// requested source's platform) propagate to the requesting caller; the
+// session rolls back its masters and the service stays up.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sched/schedule_cache.hpp"
+#include "ssb/planner_session.hpp"
+#include "util/parallel_read_serial_write.hpp"
+
+namespace bt {
+
+struct PlannerServiceOptions {
+  /// Per-source session configuration.  The constructor default turns cold
+  /// polish off (warm re-plans stay on the standing masters).
+  PlannerSessionOptions session;
+  /// Warm sessions kept alive at once (LRU-evicted beyond this).
+  std::size_t max_sessions = 8;
+  /// Cached (source, version) plans and schedules.
+  std::size_t plan_cache_capacity = 32;
+  std::size_t schedule_cache_capacity = 16;
+
+  PlannerServiceOptions() { session.cold_polish = false; }
+};
+
+/// Service counters (monotonic since construction).
+struct PlannerServiceStats {
+  std::uint64_t queries = 0;           ///< plan/throughput/schedule requests
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t schedule_cache_hits = 0;
+  std::uint64_t solves = 0;            ///< session solves run on a miss
+  std::uint64_t schedules_built = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_evicted = 0;
+};
+
+class PlannerService {
+ public:
+  explicit PlannerService(Platform platform, PlannerServiceOptions options = {});
+
+  // ---- read requests (concurrent) ----
+
+  /// TP* of the current platform broadcasting from `source`.
+  double throughput(NodeId source);
+
+  /// The full plan (TP*, edge loads, diagnostics) for `source`.  The
+  /// returned snapshot stays valid after later mutations.
+  std::shared_ptr<const SsbSolution> plan(NodeId source);
+
+  /// The synthesized periodic schedule for `source`.
+  std::shared_ptr<const PeriodicSchedule> schedule(NodeId source);
+
+  // ---- write requests (serialized) ----
+
+  /// Replace arc e's affine cost (re-measured or restored link).
+  void set_link_cost(EdgeId e, LinkCost cost);
+
+  /// Scale arc e's cost: "bandwidth degraded 30%" is factor 1/0.7.
+  void scale_link_time(EdgeId e, double factor);
+
+  /// Remove arc e from service.  Sources whose broadcasts depended on it
+  /// re-plan around it; if it disconnected them, their next query throws.
+  void remove_link(EdgeId e);
+
+  /// Grow the platform by one node; returns its id.
+  NodeId add_node(const std::vector<SessionLink>& in_links,
+                  const std::vector<SessionLink>& out_links);
+
+  // ---- introspection ----
+
+  /// Snapshot of the current platform (copy: safe under concurrency).
+  Platform platform_snapshot();
+
+  /// Mutation counter; cached plans/schedules are keyed by it.
+  std::uint64_t version();
+
+  PlannerServiceStats stats();
+
+ private:
+  struct PlanKey {
+    NodeId source = 0;
+    std::uint64_t version = 0;
+    bool operator==(const PlanKey& other) const {
+      return source == other.source && version == other.version;
+    }
+  };
+
+  /// Warm session for `source`, creating (and LRU-evicting) as needed.
+  /// Caller must hold the write guard.
+  PlannerSession& session_locked(NodeId source);
+  std::shared_ptr<const SsbSolution> plan_locked(NodeId source);
+  std::shared_ptr<const PeriodicSchedule> schedule_locked(NodeId source);
+
+  ParallelReadSerialWrite guard_;
+  Platform platform_;                 ///< base platform (source = as loaded)
+  std::vector<char> removed_;         ///< arcs removed from service
+  PlannerServiceOptions options_;
+  std::uint64_t version_ = 0;
+
+  /// Warm sessions, most recently used first.
+  std::list<std::pair<NodeId, std::unique_ptr<PlannerSession>>> sessions_;
+
+  LruCache<PlanKey, std::shared_ptr<const SsbSolution>> plan_cache_;
+  ScheduleCache schedule_cache_;
+
+  // Counter discipline: queries_ is bumped on the read path (shared lock)
+  // so it's atomic; hit counters are folded from the caches' own counters;
+  // everything else only changes under the write guard.
+  std::atomic<std::uint64_t> queries_{0};
+  std::uint64_t solves_ = 0;
+  std::uint64_t schedules_built_ = 0;
+  std::uint64_t mutations_ = 0;
+  std::uint64_t sessions_created_ = 0;
+  std::uint64_t sessions_evicted_ = 0;
+};
+
+}  // namespace bt

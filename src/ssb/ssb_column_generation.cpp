@@ -1,224 +1,20 @@
 #include "ssb/ssb_column_generation.hpp"
 
-#include <algorithm>
-#include <set>
-#include <vector>
-
-#include "graph/min_arborescence.hpp"
-#include "lp/simplex.hpp"
-#include "util/error.hpp"
-#include "util/timer.hpp"
+#include "ssb/planner_session.hpp"
 
 namespace bt {
 
-namespace {
-
-/// Column coefficients of a tree: its serialized occupation of every node's
-/// out and in port per unit rate.
-struct TreeColumn {
-  std::vector<EdgeId> edges;
-  std::vector<double> out_time;  ///< per node
-  std::vector<double> in_time;   ///< per node
-};
-
-TreeColumn make_column(const Platform& platform, std::vector<EdgeId> edges) {
-  TreeColumn column;
-  column.out_time.assign(platform.num_nodes(), 0.0);
-  column.in_time.assign(platform.num_nodes(), 0.0);
-  for (EdgeId e : edges) {
-    const double t = platform.edge_time(e);
-    column.out_time[platform.graph().from(e)] += t;
-    column.in_time[platform.graph().to(e)] += t;
-  }
-  column.edges = std::move(edges);
-  return column;
-}
-
-// Master row layout (both solve paths): under the bidirectional one-port
-// model, out-port of node u = row 2u, in-port = row 2u + 1; under the
-// unidirectional model one combined row u per node.  Rows exist even for
-// nodes without arcs so the indexing is stable as columns arrive.
-std::vector<LpTerm> master_terms(const TreeColumn& column, std::size_t p, PortModel model) {
-  std::vector<LpTerm> terms;
-  if (model == PortModel::kBidirectional) {
-    for (NodeId u = 0; u < p; ++u) {
-      if (column.out_time[u] != 0.0) terms.push_back({2 * u, column.out_time[u]});
-      if (column.in_time[u] != 0.0) terms.push_back({2 * u + 1, column.in_time[u]});
-    }
-  } else {
-    for (NodeId u = 0; u < p; ++u) {
-      const double occupation = column.out_time[u] + column.in_time[u];
-      if (occupation != 0.0) terms.push_back({u, occupation});
-    }
-  }
-  return terms;
-}
-
-}  // namespace
-
+// Batch facade: one throwaway PlannerSession per call.  The session's
+// packing path (ssb/planner_session.cpp) is the former body of this file --
+// the arborescence pricing oracle, Wentges dual smoothing, the standing
+// incremental master -- plus the tree-column pool that long-lived sessions
+// re-seed warm re-solves from.
 SsbPackingSolution solve_ssb_column_generation(const Platform& platform,
                                                const SsbColumnGenOptions& options) {
-  const Digraph& g = platform.graph();
-  const std::size_t p = g.num_nodes();
-  BT_REQUIRE(p >= 2, "solve_ssb_column_generation: need at least two nodes");
-  const NodeId source = platform.source();
-
-  // Deduplicate generated trees by sorted arc list: the pricing oracle can
-  // legitimately return an existing tree when the LP is already optimal.
-  std::set<std::vector<EdgeId>> seen;
-  std::vector<TreeColumn> columns;
-  auto add_column = [&](std::vector<EdgeId> edges) {
-    std::vector<EdgeId> key = edges;
-    std::sort(key.begin(), key.end());
-    if (!seen.insert(std::move(key)).second) return false;
-    columns.push_back(make_column(platform, std::move(edges)));
-    return true;
-  };
-
-  // Seed with one arborescence (cheapest total time; any spanning tree works).
-  {
-    const auto seed = min_arborescence(g, source, platform.edge_times());
-    BT_REQUIRE(seed.found, "solve_ssb_column_generation: platform not spanning");
-    add_column(seed.edges);
-  }
-
-  SsbPackingSolution solution;
-  std::vector<double> lambda;
-
-  const PortModel model = options.port_model;
-  const std::size_t num_master_rows = model == PortModel::kBidirectional ? 2 * p : p;
-  // Master rows for the first `ncols` columns, transposed from the
-  // canonical per-column layout of master_terms (rows exist even when
-  // empty, so indexing is stable as columns arrive).
-  auto build_master_rows = [&](std::size_t ncols) {
-    std::vector<std::vector<LpTerm>> rows(num_master_rows);
-    for (std::size_t j = 0; j < ncols; ++j) {
-      for (const LpTerm& t : master_terms(columns[j], p, model)) {
-        rows[t.var].push_back({j, t.coeff});
-      }
-    }
-    return rows;
-  };
-
-  // Pricing step shared by both master paths: min-weight arborescence under
-  // the port duals `y` (2p or p entries, row layout as above).  Returns
-  // true when an improving column was appended.
-  auto price_and_append = [&](const std::vector<double>& y) {
-    std::vector<double> price(g.num_edges());
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const double y_out =
-          std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.from(e)] : y[g.from(e)]);
-      const double y_in =
-          std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.to(e) + 1] : y[g.to(e)]);
-      price[e] = platform.edge_time(e) * (y_out + y_in);
-    }
-    const auto priced = min_arborescence(g, source, price);
-    BT_ASSERT(priced.found, "solve_ssb_column_generation: pricing lost spanning property");
-
-    // Reduced cost of the best tree: 1 - priced.weight.  Non-positive means
-    // no improving column exists and (for exact duals) the master is optimal.
-    if (priced.weight >= 1.0 - options.tolerance) return false;
-    return add_column(priced.edges);  // duplicate: numerically converged
-  };
-
-  // Master engine knobs shared by both paths (the rebuild path adds its
-  // engine selection and warm basis per round).
-  SimplexOptions master_lp_options;
-  master_lp_options.pricing = options.master_pricing;
-  master_lp_options.dual_row_rule = options.master_dual_row_rule;
-  master_lp_options.solve_mode = options.master_solve_mode;
-  master_lp_options.collect_kernel_timing = options.master_kernel_timing;
-
-  if (options.incremental_master) {
-    // ---- Standing master: rows are fixed up front, each pricing round
-    // appends one column and re-optimizes from the current basis. ----
-    LpProblem lp(Objective::kMaximize);
-    lp.add_variable(1.0, "tree0");
-    for (const std::vector<LpTerm>& row : build_master_rows(1)) {
-      lp.add_constraint(row, RowSense::kLessEqual, 1.0);
-    }
-    IncrementalSimplex engine(lp, master_lp_options);
-    std::vector<double> smoothed;  // Wentges stabilization center
-    while (columns.size() < options.max_columns) {
-      ++solution.separation_rounds;
-      Timer master_timer;
-      const LpSolution master = engine.solve();
-      solution.master_wall_ms += master_timer.millis();
-      BT_REQUIRE(master.status == LpStatus::kOptimal,
-                 "solve_ssb_column_generation: master LP " + to_string(master.status));
-      solution.lp_iterations += master.iterations;
-      lambda = master.x;
-
-      // Price under smoothed duals; on mis-pricing fall back to the exact
-      // duals, which alone certify optimality.
-      const double alpha = options.dual_smoothing;
-      bool progressed;
-      if (alpha > 0.0 && !smoothed.empty()) {
-        for (std::size_t i = 0; i < smoothed.size(); ++i) {
-          smoothed[i] = alpha * smoothed[i] + (1.0 - alpha) * master.duals[i];
-        }
-        progressed = price_and_append(smoothed);
-        if (!progressed) {
-          smoothed = master.duals;  // re-center the stabilization
-          progressed = price_and_append(master.duals);
-        }
-      } else {
-        smoothed = master.duals;
-        progressed = price_and_append(master.duals);
-      }
-      if (!progressed) break;
-      engine.add_column(1.0, master_terms(columns.back(), p, model));
-    }
-    solution.lp_stats.accumulate(engine.engine_stats());
-  } else {
-    // ---- Legacy path: rebuild the whole master LP every round and re-solve
-    // it from the previous optimal basis (kept for benchmarking). ----
-    std::vector<std::size_t> warm_basis;  // master basis carried across rounds
-    while (columns.size() < options.max_columns) {
-      ++solution.separation_rounds;
-      LpProblem lp(Objective::kMaximize);
-      for (std::size_t j = 0; j < columns.size(); ++j) {
-        lp.add_variable(1.0, "tree" + std::to_string(j));
-      }
-      for (const std::vector<LpTerm>& row : build_master_rows(columns.size())) {
-        lp.add_constraint(row, RowSense::kLessEqual, 1.0);
-      }
-
-      SimplexOptions lp_options = master_lp_options;
-      lp_options.engine = options.master_engine;
-      lp_options.stats = &solution.lp_stats;
-      if (!warm_basis.empty()) lp_options.warm_basis = &warm_basis;
-      Timer master_timer;
-      const LpSolution master = solve_lp(lp, lp_options);
-      solution.master_wall_ms += master_timer.millis();
-      BT_REQUIRE(master.status == LpStatus::kOptimal,
-                 "solve_ssb_column_generation: master LP " + to_string(master.status));
-      solution.lp_iterations += master.iterations;
-      lambda = master.x;
-      warm_basis = master.basis;
-      if (!price_and_append(master.duals)) break;
-    }
-  }
-  BT_REQUIRE(columns.size() < options.max_columns,
-             "solve_ssb_column_generation: column cap hit without convergence");
-
-  // ---- Assemble the solution. ----
-  solution.solved = true;
-  solution.edge_load.assign(g.num_edges(), 0.0);
-  solution.throughput = 0.0;
-  for (std::size_t j = 0; j < columns.size(); ++j) {
-    const double rate = j < lambda.size() ? lambda[j] : 0.0;
-    solution.throughput += rate;
-    if (rate <= 0.0) continue;
-    for (EdgeId e : columns[j].edges) solution.edge_load[e] += rate;
-    PackedTree tree;
-    tree.edges = columns[j].edges;
-    tree.rate = rate;
-    solution.trees.push_back(std::move(tree));
-  }
-  if (options.export_tree_columns) solution.tree_columns = solution.trees;
-  solution.cuts_generated = columns.size();
-  return solution;
+  PlannerSessionOptions session_options;
+  session_options.colgen = options;
+  PlannerSession session(platform, session_options);
+  return session.solve_packing();
 }
 
 SsbPackingSolution solve_ssb(const Platform& platform) {

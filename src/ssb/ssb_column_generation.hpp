@@ -29,6 +29,7 @@
 
 #include "lp/simplex.hpp"
 #include "platform/platform.hpp"
+#include "ssb/ssb_options.hpp"
 #include "ssb/ssb_solution.hpp"
 
 namespace bt {
@@ -44,15 +45,12 @@ struct SsbPackingSolution : SsbSolution {
   std::vector<PackedTree> trees;
 };
 
-struct SsbColumnGenOptions {
-  double tolerance = 1e-7;
+/// Shared fields (tolerance, incremental_master, port_model, engine knobs)
+/// live in SsbSolveOptions so planner sessions configure both SSB masters
+/// uniformly; the base's pricing defaults (Devex + dual steepest-edge) are
+/// this master's production configuration.
+struct SsbColumnGenOptions : SsbSolveOptions {
   std::size_t max_columns = 5000;
-  /// Keep one master LP alive across pricing rounds (IncrementalSimplex):
-  /// each round appends the newly priced tree as a column and re-optimizes
-  /// from the standing basis, factorization and duals.  When false, the
-  /// master LpProblem is rebuilt and re-solved (warm-started) every round --
-  /// the pre-incremental behavior, kept for benchmarking.
-  bool incremental_master = true;
   /// Simplex engine for the master; only consulted on the rebuild path
   /// (the incremental master always runs the sparse LU engine).
   LpEngine master_engine = LpEngine::kSparse;
@@ -64,26 +62,13 @@ struct SsbColumnGenOptions {
   /// mis-price (no improving column), the round re-prices with the exact
   /// duals, so convergence and optimality are unaffected.  0 disables.
   double dual_smoothing = 0.5;
-  /// Port model of the master's occupation rows: separate out/in rows per
-  /// node (bidirectional one-port) or one combined row (unidirectional).
-  PortModel port_model = PortModel::kBidirectional;
-  /// Also publish the positive-rate columns through the base class's
-  /// SsbSolution::tree_columns, so colgen-sourced schedule synthesis skips
-  /// the edge-load decomposition heuristic entirely (the master's columns
-  /// are an exact decomposition).  Disable to measure the decomposer on
-  /// colgen loads.
+  /// Publish the positive-rate columns through the base class's
+  /// SsbSolution::tree_columns (on by default), so colgen-sourced schedule
+  /// synthesis -- and planner sessions seeding re-solves from the column
+  /// pool -- skip the edge-load decomposition heuristic entirely (the
+  /// master's columns are an exact decomposition).  Disable to measure the
+  /// decomposer on colgen loads.
   bool export_tree_columns = true;
-  /// Master LP engine knobs, forwarded into SimplexOptions on both master
-  /// paths.  Defaults are the production configuration: Devex primal
-  /// pricing, dual steepest-edge row selection, reach-set (hypersparse)
-  /// FTRAN/BTRAN; Dantzig / most-infeasible / full-sweep remain selectable
-  /// for A/B benchmarking.
-  PricingRule master_pricing = PricingRule::kDevex;
-  DualRowRule master_dual_row_rule = DualRowRule::kSteepestEdge;
-  BasisLu::SolveMode master_solve_mode = BasisLu::SolveMode::kReachSet;
-  /// Also collect per-call FTRAN/BTRAN wall-clock into
-  /// SsbSolution::lp_stats (the reach counters are always collected).
-  bool master_kernel_timing = false;
 };
 
 /// Solve the SSB program by arborescence column generation.  Throws

@@ -1,293 +1,21 @@
 #include "ssb/ssb_cutting_plane.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <set>
-#include <vector>
-
-#include "flow/maxflow.hpp"
-#include "lp/simplex.hpp"
-#include "ssb/ssb_port_rows.hpp"
-#include "util/error.hpp"
-#include "util/timer.hpp"
+#include "ssb/planner_session.hpp"
 
 namespace bt {
 
-namespace {
-
-/// Relative spread of the per-arc stabilization weights.  Minimizing the
-/// plain serialized load still leaves ties between load patterns; distinct
-/// per-arc weights make the load-minimal vertex of each round generically
-/// unique, so the separation trajectory (and with it the whole solver) is
-/// independent of how the master happens to be re-optimized.
-constexpr double kWeightTieBreak = 0.25;
-
-double stabilization_weight(const Platform& platform, EdgeId e) {
-  // Uniformly spaced fractions maximize the minimum pairwise gap, keeping
-  // every alternative-optimum gap far above the master tolerance.
-  const double frac = static_cast<double>(e) / static_cast<double>(platform.num_edges());
-  return platform.edge_time(e) * (1.0 + kWeightTieBreak * frac);
-}
-
-/// Master tolerance: tighter than the solver default so the tie-broken
-/// stabilization weights resolve alternative optima (vertex gaps are
-/// ~T_e * kWeightTieBreak / m, orders of magnitude above this).  Engine
-/// knobs (pricing rules, solve mode, kernel timing) come from the caller;
-/// `stats` receives the LpEngineStats of cold solve_lp calls.
-SimplexOptions master_options(const SsbCuttingPlaneOptions& options, LpEngineStats* stats) {
-  SimplexOptions lp;
-  lp.tolerance = 1e-10;
-  lp.pricing = options.master_pricing;
-  lp.dual_row_rule = options.master_dual_row_rule;
-  lp.solve_mode = options.master_solve_mode;
-  lp.collect_kernel_timing = options.master_kernel_timing;
-  lp.stats = stats;
-  return lp;
-}
-
-}  // namespace
-
+// Batch facade: one throwaway PlannerSession per call.  The session's
+// cutting-plane path (ssb/planner_session.cpp) is the former body of this
+// file -- the standing incremental masters, the lexicographic two-master
+// rounds, the cut pool, the cold polish -- so batch callers and long-lived
+// planner sessions exercise the exact same solver.
 SsbSolution solve_ssb_cutting_plane(const Platform& platform,
                                     const SsbCuttingPlaneOptions& options) {
-  const Digraph& g = platform.graph();
-  const NodeId source = platform.source();
-  const std::size_t p = g.num_nodes();
-  const std::size_t m = g.num_edges();
-  BT_REQUIRE(p >= 2, "solve_ssb_cutting_plane: need at least two nodes");
-
-  // Cut pool, deduplicated by sorted arc-id list.  std::set iteration is
-  // content-sorted, so any master built from the pool depends only on the
-  // pool's *content*, not on the order cuts were discovered in.  add_cut
-  // returns the pooled cut when it was new, nullptr for duplicates.
-  std::set<std::vector<EdgeId>> cut_pool;
-  auto add_cut = [&](std::vector<EdgeId> cut) -> const std::vector<EdgeId>* {
-    std::sort(cut.begin(), cut.end());
-    const auto inserted = cut_pool.insert(std::move(cut));
-    return inserted.second ? &*inserted.first : nullptr;
-  };
-
-  // Seed cuts: the singleton source cut and the singleton destination cuts.
-  {
-    std::vector<EdgeId> source_cut(g.out_edges(source));
-    add_cut(std::move(source_cut));
-    for (NodeId w = 0; w < p; ++w) {
-      if (w == source) continue;
-      std::vector<EdgeId> dest_cut(g.in_edges(w));
-      add_cut(std::move(dest_cut));
-    }
-  }
-
-  // Both masters share the variable layout n_e = e, TP = m (the incremental
-  // engines rely on it when appending cut rows), the port rows and the pool
-  // cut rows.  They differ in objective and in one extra row:
-  //
-  //  * value master:  maximize TP -- the unpenalized master.  Its optimal
-  //    *value* TP_b is what the solver reports; its vertex may wander the
-  //    degenerate optimal face and is never used.
-  //  * stable master: minimize sum_e w_e n_e subject to TP >= TP_b - eps
-  //    (lexicographic second stage, row 0).  Its vertex is generically
-  //    unique thanks to the tie-broken weights, so the loads fed to the
-  //    separation oracle -- and hence the cut trajectory -- are stable.
-  //
-  // This replaces the old single -1e-6 load-penalty objective, which both
-  // biased the reported throughput down by O(penalty * load) and left the
-  // returned vertex ambiguous between solve strategies.
-  const std::size_t tp_var = m;
-  auto cut_row = [&](const std::vector<EdgeId>& cut) {
-    // TP - sum_{e in C} n_e <= 0: cut rows keep non-negative rhs, so a cold
-    // value-master solve starts from the feasible all-slack basis.
-    std::vector<LpTerm> row;
-    row.reserve(cut.size() + 1);
-    row.push_back({tp_var, 1.0});
-    for (EdgeId e : cut) row.push_back({e, -1.0});
-    return row;
-  };
-  const bool stabilized = options.load_penalty > 0.0;
-  auto build_master = [&](bool stable, double tp_floor) {
-    LpProblem lp(Objective::kMaximize);
-    for (EdgeId e = 0; e < m; ++e) {
-      const double weight = stable ? -stabilization_weight(platform, e) : 0.0;
-      lp.add_variable(weight, "n" + std::to_string(e));
-    }
-    lp.add_variable(stable ? 0.0 : 1.0, "TP");
-    if (stable) lp.add_constraint({{tp_var, 1.0}}, RowSense::kGreaterEqual, tp_floor);
-    add_port_rows(lp, platform, options.port_model, [](EdgeId e) { return e; });
-    for (const auto& cut : cut_pool) lp.add_constraint(cut_row(cut), RowSense::kLessEqual, 0.0);
-    return lp;
-  };
-
-  SsbSolution solution;
-  MaxFlowSolver flow_solver(g);
-
-  // Separation: per-destination max-flow under capacities `load`; cuts of
-  // destinations below `tp - tol` enter the pool (and `new_cuts`, for the
-  // incremental masters).  Returns whether any *new* cut was added.
-  std::vector<std::vector<EdgeId>> new_cuts;
-  auto separate = [&](const std::vector<double>& load, double tp, double tol,
-                      double& min_flow) {
-    min_flow = std::numeric_limits<double>::infinity();
-    new_cuts.clear();
-    bool added = false;
-    for (NodeId w = 0; w < p; ++w) {
-      if (w == source) continue;
-      MaxFlowResult flow = flow_solver.solve(source, w, load);
-      min_flow = std::min(min_flow, flow.value);
-      if (flow.value < tp - tol) {
-        if (const std::vector<EdgeId>* cut = add_cut(std::move(flow.min_cut_edges))) {
-          new_cuts.push_back(*cut);
-          added = true;
-        }
-      }
-    }
-    return added;
-  };
-
-  // Standing incremental masters (value + stable); null on the rebuild path
-  // and during the cold polish rounds.
-  std::unique_ptr<IncrementalSimplex> value_master, stable_master;
-  bool value_cold = true;   // next value solve is the engine's first
-  bool stable_cold = true;
-
-  std::vector<double> load(m);
-  double master_tp = 0.0;
-  double min_flow = 0.0;
-
-  // One separation round: value solve -> TP_b, stable solve -> loads,
-  // max-flow separation at tolerance `tol`.  `warm` selects the standing
-  // incremental masters; the cold path rebuilds both LPs from the pool, so
-  // its result is a pure function of the pool content.  `count_master`
-  // accumulates the LP time into master_wall_ms -- the polish rounds are
-  // excluded there, since they are identical cold work on both ablation
-  // paths and would dilute the incremental-vs-rebuild master metric.
-  // Returns true when converged (no new cut and the certificate holds).
-  auto round = [&](bool warm, double tol, bool count_master) {
-    ++solution.separation_rounds;
-    Timer master_timer;
-
-    LpSolution value_sol;
-    if (warm) {
-      if (value_master == nullptr) {
-        value_master = std::make_unique<IncrementalSimplex>(build_master(false, 0.0),
-                                                            master_options(options, &solution.lp_stats));
-      }
-      value_sol = value_cold ? value_master->solve() : value_master->reoptimize_dual();
-      value_cold = false;
-      if (value_sol.status != LpStatus::kOptimal) {
-        // Numerical breakdown of the standing master (drifted basis the
-        // engine could not repair): the pool fully determines the model,
-        // so rebuild it cold and continue incrementally from there.  Fold
-        // the replaced instance's lifetime stats in first.
-        solution.lp_stats.accumulate(value_master->engine_stats());
-        value_master = std::make_unique<IncrementalSimplex>(
-            build_master(false, 0.0), master_options(options, &solution.lp_stats));
-        value_sol = value_master->solve();
-      }
-    } else {
-      value_sol = solve_lp(build_master(false, 0.0), master_options(options, &solution.lp_stats));
-    }
-    BT_REQUIRE(value_sol.status == LpStatus::kOptimal,
-               "solve_ssb_cutting_plane: value master " + to_string(value_sol.status));
-    solution.lp_iterations += value_sol.iterations;
-    master_tp = value_sol.x[tp_var];
-
-    const double eps_lex = 1e-10 * std::max(1.0, master_tp);
-    const double tp_floor = master_tp - eps_lex;
-    const LpSolution* load_sol = &value_sol;
-    LpSolution stable_sol;
-    if (stabilized) {
-      if (warm) {
-        if (stable_master == nullptr) {
-          stable_master = std::make_unique<IncrementalSimplex>(build_master(true, tp_floor),
-                                                               master_options(options, &solution.lp_stats));
-        } else {
-          stable_master->set_row_rhs(0, tp_floor);
-        }
-        stable_sol = stable_cold ? stable_master->solve() : stable_master->reoptimize_dual();
-        stable_cold = false;
-        if (stable_sol.status != LpStatus::kOptimal) {
-          // Numerical breakdown: rebuild the standing stable master from
-          // the pool (see the value master above; stats folded in first).
-          solution.lp_stats.accumulate(stable_master->engine_stats());
-          stable_master = std::make_unique<IncrementalSimplex>(
-              build_master(true, tp_floor), master_options(options, &solution.lp_stats));
-          stable_sol = stable_master->solve();
-        }
-      } else {
-        stable_sol = solve_lp(build_master(true, tp_floor), master_options(options, &solution.lp_stats));
-      }
-      BT_REQUIRE(stable_sol.status == LpStatus::kOptimal,
-                 "solve_ssb_cutting_plane: stable master " + to_string(stable_sol.status));
-      solution.lp_iterations += stable_sol.iterations;
-      load_sol = &stable_sol;
-    }
-    for (EdgeId e = 0; e < m; ++e) load[e] = std::max(0.0, load_sol->x[e]);
-    if (count_master) solution.master_wall_ms += master_timer.millis();
-
-    const bool added = separate(load, master_tp, tol, min_flow);
-    if (warm && !new_cuts.empty()) {
-      for (const auto& cut : new_cuts) {
-        value_master->append_row(cut_row(cut), RowSense::kLessEqual, 0.0);
-        if (stable_master != nullptr) {
-          stable_master->append_row(cut_row(cut), RowSense::kLessEqual, 0.0);
-        }
-      }
-    }
-    // Converged exactly when no *new* cut exists: every destination whose
-    // min-cut value sits below master_tp - tol already has that cut in the
-    // pool, so repeating the (deterministic) round cannot make progress
-    // and the bracket [min_flow, master_tp] is as tight as this arithmetic
-    // gets.  The exit is purely combinatorial -- comparing min_flow
-    // against the tolerance here would make the stopping round flip on
-    // last-ulp load differences between the warm and cold paths.
-    return !added;
-  };
-
-  // ---- Separation loop at the caller's tolerance. ----
-  bool converged = false;
-  for (std::size_t r = 0; r < options.max_rounds && !converged; ++r) {
-    converged = round(options.incremental_master, options.tolerance, /*count_master=*/true);
-  }
-  BT_REQUIRE(converged,
-             "solve_ssb_cutting_plane: separation did not converge within round cap");
-
-  // ---- Polish rounds: tighten the certificate to ~1e-9 relative and
-  // re-derive the reported value/loads with *cold* solves, so the answer is
-  // a pure function of the converged pool (the incremental and rebuild
-  // paths report bitwise-identical throughput once their pools agree).
-  // Without the stabilization stage (load_penalty = 0) the pure master's
-  // vertex ping-pong cannot be expected to close a 3e-10 gap, so the
-  // polish keeps the caller's tolerance there, as the old code did. ----
-  converged = false;
-  for (std::size_t r = 0; r < options.max_rounds && !converged; ++r) {
-    const double polish_tol =
-        stabilized ? 3e-10 * std::max(1.0, master_tp) : options.tolerance;
-    converged = round(false, polish_tol, /*count_master=*/false);
-  }
-  BT_REQUIRE(converged, "solve_ssb_cutting_plane: polish separation did not converge");
-
-  solution.solved = true;
-  // The certificate brackets the optimum: min_flow <= TP* <= master_tp,
-  // normally with master_tp - min_flow below the polish tolerance (the lex
-  // floor keeps min_flow an eps_lex below the value optimum).  Report the
-  // attainable end of the bracket, rounded to 2^-34 relative (~6e-11):
-  // the certificate does not support finer digits, and discarding them
-  // makes the reported value identical across solve strategies -- the
-  // warm (incremental) and cold (rebuild) paths may legitimately pool
-  // different-but-equivalent min cuts when the optimal face is degenerate,
-  // which perturbs the last ulps of the solved value.
-  const double raw = std::min(master_tp, min_flow);
-  BT_ASSERT(raw > 0.0 && std::isfinite(raw), "solve_ssb_cutting_plane: bad throughput");
-  const double grain = std::ldexp(1.0, std::ilogb(raw) - 34);
-  solution.throughput = std::round(raw / grain) * grain;
-  solution.edge_load = std::move(load);
-  solution.cuts_generated = cut_pool.size();
-  // Cold solve_lp calls accumulated into lp_stats as they ran; fold in the
-  // standing incremental masters' lifetime stats.
-  if (value_master != nullptr) solution.lp_stats.accumulate(value_master->engine_stats());
-  if (stable_master != nullptr) solution.lp_stats.accumulate(stable_master->engine_stats());
-  return solution;
+  PlannerSessionOptions session_options;
+  session_options.cutting = options;
+  session_options.cold_polish = true;
+  PlannerSession session(platform, session_options);
+  return session.solve();
 }
 
 }  // namespace bt

@@ -44,12 +44,23 @@
 
 #include "lp/simplex.hpp"
 #include "platform/platform.hpp"
+#include "ssb/ssb_options.hpp"
 #include "ssb/ssb_solution.hpp"
 
 namespace bt {
 
-struct SsbCuttingPlaneOptions {
-  double tolerance = 1e-7;
+/// Shared fields (tolerance, incremental_master, port_model, engine knobs)
+/// live in SsbSolveOptions so planner sessions configure both SSB masters
+/// uniformly.  This struct overrides the pricing defaults: the
+/// lexicographic two-master rounds re-optimize in a handful of pivots
+/// each, where the candidate-list Dantzig scan wins and reference weights
+/// never amortize their per-pivot pivot-row cost (see the hypersparse-core
+/// ablation in BENCH_lp.json).  All combinations remain selectable.
+struct SsbCuttingPlaneOptions : SsbSolveOptions {
+  SsbCuttingPlaneOptions() {
+    master_pricing = PricingRule::kDantzig;
+    master_dual_row_rule = DualRowRule::kDevex;
+  }
   /// Safety cap, applied to each of the two separation loops independently
   /// (main loop: every non-final round adds >= 1 new cut; polish loop:
   /// usually 1-2 rounds re-deriving the reported value with cold solves).
@@ -68,28 +79,6 @@ struct SsbCuttingPlaneOptions {
   /// vertex; the field stays a double for compatibility with the pre-PR-3
   /// objective-penalty options.
   double load_penalty = 1e-6;
-  /// Keep one master LP alive across separation rounds (IncrementalSimplex
-  /// with append_row + reoptimize_dual).  When false, the master is rebuilt
-  /// and cold-solved from the slack basis every round -- the
-  /// pre-dual-simplex behavior, kept for benchmarking.
-  bool incremental_master = true;
-  /// Port model of the emission/reception rows.
-  PortModel port_model = PortModel::kBidirectional;
-  /// Master LP engine knobs, forwarded into SimplexOptions for every master
-  /// solve (warm and cold).  The engine-wide defaults are Devex primal
-  /// pricing + dual steepest-edge rows (SimplexOptions); *this* master
-  /// overrides the primal rule to Dantzig and the dual rule to the cheap
-  /// Devex recurrence -- its lexicographic two-master rounds re-optimize in
-  /// a handful of pivots each, where the candidate-list Dantzig scan wins
-  /// and reference weights never amortize their per-pivot pivot-row cost
-  /// (see the hypersparse-core ablation in BENCH_lp.json).  All
-  /// combinations remain selectable for A/B runs.
-  PricingRule master_pricing = PricingRule::kDantzig;
-  DualRowRule master_dual_row_rule = DualRowRule::kDevex;
-  BasisLu::SolveMode master_solve_mode = BasisLu::SolveMode::kReachSet;
-  /// Also collect per-call FTRAN/BTRAN wall-clock into
-  /// SsbSolution::lp_stats (the reach counters are always collected).
-  bool master_kernel_timing = false;
 };
 
 /// Solve the SSB program by lazy cut generation.  Throws bt::Error if the

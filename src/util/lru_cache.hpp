@@ -1,0 +1,103 @@
+#pragma once
+
+// Small internally-synchronized LRU cache.
+//
+// The planner service caches per-source plans and synthesized schedules
+// keyed by (source, service version): a handful of hot entries, hit from
+// many reader threads concurrently.  A get() promotes its entry to
+// most-recently-used -- a *mutation*, even on the read path -- so the cache
+// carries its own mutex instead of relying on the service's many-readers
+// guard (under which concurrent readers would race on the recency list).
+//
+// Capacities are small by design (tens of entries), so the store is a
+// plain recency-ordered list with linear lookup: no hash requirement on
+// Key (operator== suffices), no allocation churn beyond the list nodes,
+// and the critical section is a few pointer hops -- far cheaper than the
+// solves it shields.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bt {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    BT_REQUIRE(capacity_ > 0, "LruCache: capacity must be positive");
+  }
+
+  /// The cached value for `key`, promoting it to most-recently-used;
+  /// nullopt on miss.  Returns a copy (Value is a shared_ptr at every
+  /// call site), so the entry may be evicted concurrently without
+  /// invalidating the result.
+  std::optional<Value> get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        ++hits_;
+        return entries_.front().second;
+      }
+    }
+    ++misses_;
+    return std::nullopt;
+  }
+
+  /// Insert (or refresh) `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void put(const Key& key, Value value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        it->second = std::move(value);
+        entries_.splice(entries_.begin(), entries_, it);
+        return;
+      }
+    }
+    entries_.emplace_front(key, std::move(value));
+    if (entries_.size() > capacity_) {
+      entries_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::pair<Key, Value>> entries_;  ///< front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bt

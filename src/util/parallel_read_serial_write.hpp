@@ -1,0 +1,58 @@
+#pragma once
+
+// Many-readers / one-writer guard for the planner service.
+//
+// The broadcast-planning service answers most requests from warm state
+// (cached TP* values, synthesized schedules): those are *read* operations
+// and may proceed concurrently.  Platform mutations ("link (u,v) degraded
+// 30%", "node joined") must observe a quiescent service: they take the
+// exclusive side, apply the delta to the base platform and every warm
+// session, and bump the service version.
+//
+// This is the classic parallel-read / serial-write idiom over C++17
+// std::shared_mutex, packaged as scope guards so call sites read as intent
+// (`ReadGuard lock(guard_)`) rather than mechanism
+// (`std::shared_lock<std::shared_mutex>`).  std::shared_mutex makes no
+// fairness promise; on the platforms this repo targets (pthreads
+// rwlocks) writers are not starved by a steady reader stream, and the
+// service's writes are rare relative to reads by design -- the bench's
+// mixed request stream exercises exactly that ratio.
+
+#include <shared_mutex>
+
+namespace bt {
+
+/// The shared state guard.  Hold a ReadGuard to query, a WriteGuard to
+/// mutate.  Not recursive: never acquire while already holding either
+/// guard on the same ParallelReadSerialWrite from the same thread.
+class ParallelReadSerialWrite {
+ public:
+  ParallelReadSerialWrite() = default;
+  ParallelReadSerialWrite(const ParallelReadSerialWrite&) = delete;
+  ParallelReadSerialWrite& operator=(const ParallelReadSerialWrite&) = delete;
+
+  std::shared_mutex& mutex() { return mutex_; }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// Shared (reader) scope lock: any number may be held concurrently.
+class ReadGuard {
+ public:
+  explicit ReadGuard(ParallelReadSerialWrite& guard) : lock_(guard.mutex()) {}
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Exclusive (writer) scope lock: excludes all readers and other writers.
+class WriteGuard {
+ public:
+  explicit WriteGuard(ParallelReadSerialWrite& guard) : lock_(guard.mutex()) {}
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace bt

@@ -35,6 +35,7 @@
 #include "lp/simplex.hpp"
 #include "platform/random_generator.hpp"
 #include "ssb/ssb_cutting_plane.hpp"
+#include "ssb/ssb_port_rows.hpp"
 #include "util/rng.hpp"
 
 namespace bt {
@@ -493,6 +494,107 @@ TEST(LpFuzz, SetRowRhsMatchesColdSolves) {
       }
     }
   }
+}
+
+// rhs ranging on the rows the SSB masters actually emit, under the
+// unidirectional port model: one combined send+receive row per node (see
+// ssb_port_rows.hpp), so every arc's time coefficient appears on BOTH
+// endpoint rows of the same row family -- a coupling the bidirectional
+// fuzz above never produces.  Ranging a port row models per-node duty
+// cycling (a node allowed only a fraction of the period on its port).
+TEST(LpFuzz, SetRowRhsUnidirectionalPortRowsMatchesColdSolves) {
+  Rng rng(0xC0FFEE);
+  const std::size_t cases = fuzz_cases() / 2;
+  std::size_t ranged_total = 0;
+  for (std::size_t trial = 0; trial < cases; ++trial) {
+    RandomPlatformConfig config;
+    config.num_nodes = 6 + rng.index(8);
+    config.density = 0.3;
+    Rng platform_rng(rng.uniform_int(1, 1 << 20));
+    const Platform platform = generate_random_platform(config, platform_rng);
+    const Digraph& g = platform.graph();
+    const std::size_t arcs = platform.num_edges();
+
+    // The cutting-plane master shape: vars n_e then TP, unidirectional
+    // port rows first, then a few random cut rows  TP - sum_S n_e <= 0
+    // (any nonempty cut bounds TP, since the port rows bound every n_e).
+    std::vector<std::vector<EdgeId>> cuts;
+    const std::size_t num_cuts = 1 + rng.index(4);
+    for (std::size_t k = 0; k < num_cuts; ++k) {
+      std::vector<EdgeId> cut;
+      for (EdgeId e = 0; e < arcs; ++e) {
+        if (rng.bernoulli(0.4)) cut.push_back(e);
+      }
+      if (cut.empty()) cut.push_back(static_cast<EdgeId>(rng.index(arcs)));
+      cuts.push_back(std::move(cut));
+    }
+    // Combined-row rhs per node, mutated by the ranging steps below.
+    std::vector<double> port_rhs;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!g.out_edges(u).empty() || !g.in_edges(u).empty()) port_rhs.push_back(1.0);
+    }
+
+    const auto add_cut_rows = [&](LpProblem& lp, std::size_t tp_var) {
+      for (const auto& cut : cuts) {
+        std::vector<LpTerm> row{{tp_var, 1.0}};
+        for (EdgeId e : cut) row.push_back({e, -1.0});
+        lp.add_constraint(row, RowSense::kLessEqual, 0.0);
+      }
+    };
+    // The incremental base is built through the masters' own emission
+    // (add_port_rows, rhs pinned at 1); the cold reference replicates the
+    // combined rows by hand so it can carry the ranged rhs values.
+    LpProblem base(Objective::kMaximize);
+    for (EdgeId e = 0; e < arcs; ++e) base.add_variable(0.0);
+    const std::size_t tp_var = base.add_variable(1.0);
+    add_port_rows(base, platform, PortModel::kUnidirectional, [](EdgeId e) { return e; });
+    ASSERT_EQ(base.num_constraints(), port_rhs.size()) << "trial " << trial;
+    add_cut_rows(base, tp_var);
+
+    const auto build_cold = [&](const std::vector<double>& rhs_now) {
+      LpProblem lp(Objective::kMaximize);
+      for (EdgeId e = 0; e < arcs; ++e) lp.add_variable(0.0);
+      const std::size_t tp = lp.add_variable(1.0);
+      std::size_t next = 0;
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        std::vector<LpTerm> row;
+        for (EdgeId e : g.out_edges(u)) row.push_back({e, platform.edge_time(e)});
+        for (EdgeId e : g.in_edges(u)) row.push_back({e, platform.edge_time(e)});
+        if (!row.empty()) lp.add_constraint(row, RowSense::kLessEqual, rhs_now[next++]);
+      }
+      add_cut_rows(lp, tp);
+      return lp;
+    };
+
+    IncrementalSimplex incremental(base);
+    LpSolution inc = incremental.solve();
+    ASSERT_EQ(inc.status, LpStatus::kOptimal) << "trial " << trial;
+    for (int change = 0; change < 5; ++change) {
+      const std::size_t row = rng.index(port_rhs.size());
+      port_rhs[row] = rng.uniform_real(0.25, 1.4);
+      incremental.set_row_rhs(row, port_rhs[row]);
+      inc = incremental.reoptimize_dual();
+      ++ranged_total;
+
+      const LpSolution cold = solve_lp(build_cold(port_rhs));
+      // n = 0, TP = 0 is always feasible and every cut row bounds TP.
+      ASSERT_EQ(inc.status, LpStatus::kOptimal) << "trial " << trial << " change " << change;
+      ASSERT_EQ(cold.status, LpStatus::kOptimal) << "trial " << trial << " change " << change;
+      EXPECT_NEAR(inc.objective, cold.objective,
+                  1e-6 * std::max(1.0, std::abs(cold.objective)))
+          << "trial " << trial << " change " << change;
+      // Port duals price the ranging direction: strong duality over the
+      // combined rows plus the (rhs = 0) cut rows.
+      double dual_objective = 0.0;
+      for (std::size_t i = 0; i < port_rhs.size(); ++i) {
+        dual_objective += inc.duals[i] * port_rhs[i];
+      }
+      EXPECT_NEAR(dual_objective, inc.objective,
+                  1e-5 * std::max(1.0, std::abs(inc.objective)))
+          << "trial " << trial << " change " << change;
+    }
+  }
+  EXPECT_GE(ranged_total, 5 * cases);
 }
 
 // ------------------------------------------------- BasisLu differential --

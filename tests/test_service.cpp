@@ -1,0 +1,274 @@
+// Tests for the broadcast-planning service (service/planner_service.hpp)
+// and its building blocks: the LRU cache, the read/write guard discipline,
+// session eviction, mutation invalidation, and concurrent readers against
+// a mutating writer.  The concurrency tests run under the ThreadSanitizer
+// CI lane (BT_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "experiments/service_eval.hpp"
+#include "platform/random_generator.hpp"
+#include "service/planner_service.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+#include "util/error.hpp"
+#include "util/lru_cache.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bt {
+namespace {
+
+Platform random_platform(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomPlatformConfig config;
+  config.num_nodes = n;
+  config.density = n <= 12 ? 0.3 : 0.18;
+  return generate_random_platform(config, rng);
+}
+
+double rel_diff(double a, double b) {
+  return std::abs(a - b) / std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::shared_ptr<int>> cache(2);
+  cache.put(1, std::make_shared<int>(10));
+  cache.put(2, std::make_shared<int>(20));
+  ASSERT_TRUE(cache.get(1).has_value());  // 1 becomes most recent
+  cache.put(3, std::make_shared<int>(30));
+  EXPECT_FALSE(cache.get(2).has_value());  // 2 was LRU -> evicted
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, PutRefreshesExistingKey) {
+  LruCache<int, std::shared_ptr<int>> cache(2);
+  cache.put(1, std::make_shared<int>(10));
+  cache.put(2, std::make_shared<int>(20));
+  cache.put(1, std::make_shared<int>(11));  // refresh, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(**cache.get(1), 11);
+  cache.put(3, std::make_shared<int>(30));
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), Error);
+}
+
+TEST(PlannerService, PlanIsCachedByPointerIdentityUntilMutation) {
+  PlannerService service(random_platform(12, 7));
+  const auto plan0 = service.plan(0);
+  const auto plan1 = service.plan(0);
+  EXPECT_EQ(plan0.get(), plan1.get());  // cache hit: same snapshot
+  EXPECT_EQ(service.stats().solves, 1u);
+  EXPECT_GE(service.stats().plan_cache_hits, 1u);
+
+  service.scale_link_time(0, 1.5);
+  const auto plan2 = service.plan(0);
+  EXPECT_NE(plan0.get(), plan2.get());  // version bumped -> re-solved
+  EXPECT_EQ(service.stats().solves, 2u);
+  // The old snapshot stays valid for its holder.
+  EXPECT_GT(plan0->throughput, 0.0);
+}
+
+TEST(PlannerService, PlansMatchBatchSolverPerSource) {
+  const Platform p = random_platform(12, 21);
+  PlannerService service(p);
+  for (NodeId s : {NodeId{0}, NodeId{3}, NodeId{5}}) {
+    const double service_tp = service.throughput(s);
+    const SsbSolution batch = solve_ssb_cutting_plane(p.with_source(s));
+    EXPECT_LE(rel_diff(service_tp, batch.throughput), 1e-9) << "source " << s;
+  }
+  EXPECT_EQ(service.stats().sessions_created, 3u);
+}
+
+TEST(PlannerService, EvictsSessionsPastMaxAndRecreatesOnDemand) {
+  PlannerServiceOptions options;
+  options.max_sessions = 2;
+  PlannerService service(random_platform(10, 33), options);
+  service.throughput(0);
+  service.throughput(1);
+  service.throughput(2);  // evicts source 0's session
+  EXPECT_EQ(service.stats().sessions_created, 3u);
+  EXPECT_EQ(service.stats().sessions_evicted, 1u);
+  // Source 0 is still served (plan cache may answer; after a mutation a
+  // fresh session is built transparently).
+  service.scale_link_time(0, 1.2);
+  EXPECT_GT(service.throughput(0), 0.0);
+  EXPECT_EQ(service.stats().sessions_evicted, 2u);
+}
+
+TEST(PlannerService, MutationsReachColdAndWarmSessionsAlike) {
+  // A session evicted before a mutation must see the mutation when it is
+  // recreated (the service replays platform state, not mutation history).
+  const Platform p = random_platform(10, 55);
+  PlannerServiceOptions options;
+  options.max_sessions = 1;
+  PlannerService service(p, options);
+  service.throughput(0);
+  service.throughput(1);  // evicts session 0
+
+  const EdgeId e = 2;
+  service.scale_link_time(e, 2.0);   // only session 1 is warm
+  service.remove_link(3);
+
+  // Recreated session 0 must solve the mutated platform.
+  Platform mutated = p;
+  LinkCost cost = p.link_cost(e);
+  cost.alpha *= 2.0;
+  cost.beta *= 2.0;
+  mutated.set_link_cost(e, cost);
+  PlannerSession reference(mutated);
+  reference.remove_link(3);
+  EXPECT_LE(rel_diff(service.throughput(0), reference.solve().throughput), 1e-9);
+}
+
+TEST(PlannerService, ScheduleIsCachedAndInvalidated) {
+  PlannerService service(random_platform(10, 91));
+  const auto sched0 = service.schedule(0);
+  const auto sched1 = service.schedule(0);
+  EXPECT_EQ(sched0.get(), sched1.get());
+  const double tp = service.throughput(0);
+  EXPECT_LE(sched0->throughput(), tp * (1.0 + 1e-9));
+  EXPECT_GE(sched0->throughput(), tp * 0.45);
+
+  service.scale_link_time(1, 1.7);
+  const auto sched2 = service.schedule(0);
+  EXPECT_NE(sched0.get(), sched2.get());
+  EXPECT_GE(service.stats().schedules_built, 2u);
+}
+
+TEST(PlannerService, AddNodeGrowsEverySession) {
+  const Platform p = random_platform(8, 123);
+  PlannerService service(p);
+  service.throughput(0);
+  service.throughput(1);
+
+  std::vector<SessionLink> in_links = {{0, LinkCost{0.0, 2e-8}}, {3, LinkCost{0.0, 5e-8}}};
+  std::vector<SessionLink> out_links = {{2, LinkCost{0.0, 4e-8}}};
+  const NodeId added = service.add_node(in_links, out_links);
+  EXPECT_EQ(added, p.num_nodes());
+  EXPECT_EQ(service.platform_snapshot().num_nodes(), p.num_nodes() + 1);
+
+  const Platform grown = grow_platform(p, in_links, out_links);
+  for (NodeId s : {NodeId{0}, NodeId{1}, added}) {
+    const SsbSolution batch = solve_ssb_cutting_plane(grown.with_source(s));
+    EXPECT_LE(rel_diff(service.throughput(s), batch.throughput), 1e-9) << "source " << s;
+  }
+}
+
+TEST(PlannerService, DisconnectedSourceThrowsButServiceStaysUp) {
+  const Platform p = random_platform(10, 77);
+  PlannerService service(p);
+  const NodeId w = 4;
+  ASSERT_NE(p.source(), w);
+  service.throughput(0);
+  for (EdgeId e : p.graph().in_edges(w)) service.remove_link(e);
+  EXPECT_THROW(service.throughput(0), Error);
+  // Restore and the same service recovers.
+  for (EdgeId e : p.graph().in_edges(w)) service.set_link_cost(e, p.link_cost(e));
+  EXPECT_LE(rel_diff(service.throughput(0), solve_ssb_cutting_plane(p).throughput), 1e-9);
+}
+
+TEST(PlannerService, RequestStreamIsReproducibleAndConsistent) {
+  const Platform p = random_platform(12, 1001);
+  ServiceStreamConfig config;
+  config.num_requests = 60;
+  config.mutation_fraction = 0.2;
+  config.sources = {0, 2};
+  config.seed = 42;
+  const auto stream = make_request_stream(p, config);
+  ASSERT_EQ(stream.size(), 60u);
+  const auto stream2 = make_request_stream(p, config);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(stream[i].kind), static_cast<int>(stream2[i].kind));
+    EXPECT_EQ(stream[i].source, stream2[i].source);
+    EXPECT_EQ(stream[i].edge, stream2[i].edge);
+  }
+
+  PlannerService service(p);
+  const ServiceStreamResult result = run_request_stream(service, stream);
+  EXPECT_EQ(result.reads.count + result.replans.count, stream.size());
+  EXPECT_GT(result.throughput_checksum, 0.0);
+
+  // Replaying the same stream on a fresh service gives the same checksum:
+  // the service is deterministic for a deterministic request sequence.
+  PlannerService replay_service(p);
+  const ServiceStreamResult replay = run_request_stream(replay_service, stream);
+  EXPECT_LE(rel_diff(result.throughput_checksum, replay.throughput_checksum), 1e-9);
+}
+
+TEST(PlannerService, ConcurrentReadersAndWriterStayConsistent) {
+  const Platform p = random_platform(10, 2718);
+  PlannerService service(p);
+  const std::vector<NodeId> sources = {0, 1, 2};
+  for (NodeId s : sources) service.throughput(s);  // warm the sessions
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads_done{0};
+  ThreadPool readers(4);
+  for (std::size_t w = 0; w < 4; ++w) {
+    readers.submit([&, w] {
+      std::size_t i = w;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const NodeId s = sources[i % sources.size()];
+        if (i % 5 == 0) {
+          auto sched = service.schedule(s);
+          ASSERT_GT(sched->throughput(), 0.0);
+        } else {
+          ASSERT_GT(service.throughput(s), 0.0);
+        }
+        ++i;
+        reads_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: degrade/restore cycles racing the readers.
+  std::thread writer([&] {
+    for (int c = 0; c < 6; ++c) {
+      const EdgeId e = static_cast<EdgeId>(c % p.num_edges());
+      service.scale_link_time(e, 1.5);
+      service.set_link_cost(e, p.link_cost(e));
+    }
+    stop.store(true);
+  });
+  writer.join();
+  readers.wait();
+  EXPECT_GT(reads_done.load(), 0u);
+
+  // Final consistency: the writer's last restore left the pristine
+  // platform, so every source must agree with the batch solver again.
+  for (NodeId s : sources) {
+    const SsbSolution batch = solve_ssb_cutting_plane(p.with_source(s));
+    EXPECT_LE(rel_diff(service.throughput(s), batch.throughput), 1e-9) << "source " << s;
+  }
+}
+
+TEST(PlannerService, StatsSnapshotIsCoherent) {
+  PlannerService service(random_platform(10, 11));
+  service.throughput(0);
+  service.throughput(0);
+  service.schedule(0);
+  service.scale_link_time(0, 1.1);
+  service.throughput(0);
+  const PlannerServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.mutations, 1u);
+  EXPECT_EQ(stats.solves, 2u);
+  EXPECT_GE(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.sessions_created, 1u);
+  EXPECT_EQ(service.version(), 1u);
+}
+
+}  // namespace
+}  // namespace bt
