@@ -20,8 +20,10 @@
 // Scaling sizes are env-tunable via BT_LP_SIZES (default 20..120; column
 // generation is skipped -- with an explicit "skipped" record -- beyond 150
 // nodes, where its degenerate master tailing dominates; the cutting plane
-// carries the curve to 200+).  The `direct` solver likewise gets explicit
-// "skipped" records above 12 nodes instead of silently missing rows.
+// carries the curve to 500, where the batch default completes via its
+// cold-polish stall escape -- see SsbSolution::cold_polish_stalls).  The
+// `direct` solver likewise gets explicit "skipped" records above 12 nodes
+// instead of silently missing rows.
 //
 // Machine-readable results are written to BENCH_lp.json in the working
 // directory: one record per nodes x solver (wall-clock ms, simplex
@@ -45,6 +47,7 @@
 #include "ssb/ssb_direct.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -491,6 +494,99 @@ int main() {
   summary.push_back({"cutting_speedup_incremental_n80", num(cutting_speedup_n80)});
   summary.push_back({"cutting_master_speedup_incremental_n80", num(cutting_master_speedup_n80)});
   summary.push_back({"cutting_bitwise_agree", cutting_bitwise ? "true" : "false"});
+
+  // In-solver oracle scaling: the same instance with the parallel phases
+  // (per-destination max-flow separation, pricing/column rebuild) on a
+  // 1-thread pool vs the machine's width (floored at 2 so the fan-out path
+  // is always exercised).  Record-only -- 2-vCPU CI runners cannot show a
+  // stable speedup, so the guard script never gates on these -- but the
+  // bitwise agreement between the two widths is asserted into the summary.
+  std::cout << "\nin-solver parallel oracles: pool width 1 vs machine width:\n";
+  TablePrinter ts({"solver", "nodes", "w1_ms", "wN_ms", "speedup", "oracle_ms", "TP bitwise=="});
+  bool insolver_bitwise = true;
+  {
+    const std::size_t width = std::max<std::size_t>(2, ThreadPool::default_thread_count());
+    ThreadPool narrow(1);
+    ThreadPool wide(width);
+    summary.push_back({"insolver_threads", num(static_cast<double>(width))});
+
+    const std::size_t n_cut = scaling_sizes.back();
+    const Platform p_cut = instance(n_cut, 104729);
+    SsbCuttingPlaneOptions cut_narrow = cutting_default;
+    cut_narrow.pool = &narrow;
+    SsbCuttingPlaneOptions cut_wide = cutting_default;
+    cut_wide.pool = &wide;
+    const std::size_t cut_reps = n_cut <= 120 ? 3 : 1;
+    SsbSolution cut_1, cut_n;
+    double cut_1_ms = std::numeric_limits<double>::infinity();
+    double cut_n_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < cut_reps; ++r) {
+      {
+        Timer t;
+        cut_1 = solve_ssb_cutting_plane(p_cut, cut_narrow);
+        cut_1_ms = std::min(cut_1_ms, t.millis());
+      }
+      {
+        Timer t;
+        cut_n = solve_ssb_cutting_plane(p_cut, cut_wide);
+        cut_n_ms = std::min(cut_n_ms, t.millis());
+      }
+    }
+    records.push_back(record(n_cut, "cutting_oracle_width1", cut_1_ms, cut_1.lp_iterations));
+    records.push_back(record(n_cut, "cutting_oracle_widthN", cut_n_ms, cut_n.lp_iterations));
+    const bool cut_bitwise =
+        cut_1.throughput == cut_n.throughput && cut_1.edge_load == cut_n.edge_load;
+    insolver_bitwise = insolver_bitwise && cut_bitwise;
+    ts.add_row({"cutting", std::to_string(n_cut), TablePrinter::fmt(cut_1_ms, 2),
+                TablePrinter::fmt(cut_n_ms, 2), TablePrinter::fmt(cut_1_ms / cut_n_ms, 2),
+                TablePrinter::fmt(cut_n.phase_stats.separation_wall_ms, 2),
+                cut_bitwise ? "yes" : "NO"});
+    summary.push_back({"insolver_cutting_nodes", num(static_cast<double>(n_cut))});
+    summary.push_back({"insolver_cutting_wall_ms_width1", num(cut_1_ms)});
+    summary.push_back({"insolver_cutting_wall_ms_widthN", num(cut_n_ms)});
+    summary.push_back({"insolver_cutting_speedup", num(cut_1_ms / cut_n_ms)});
+    summary.push_back(
+        {"insolver_cutting_separation_wall_ms", num(cut_n.phase_stats.separation_wall_ms)});
+
+    const std::size_t n_cg = std::min<std::size_t>(kColgenSizeCap, scaling_sizes.back());
+    const Platform p_cg = instance(n_cg, 104729);
+    SsbColumnGenOptions cg_narrow = colgen_default;
+    cg_narrow.pool = &narrow;
+    SsbColumnGenOptions cg_wide = colgen_default;
+    cg_wide.pool = &wide;
+    SsbPackingSolution cg_1, cg_n;
+    double cg_1_ms = std::numeric_limits<double>::infinity();
+    double cg_n_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < 3; ++r) {
+      {
+        Timer t;
+        cg_1 = solve_ssb_column_generation(p_cg, cg_narrow);
+        cg_1_ms = std::min(cg_1_ms, t.millis());
+      }
+      {
+        Timer t;
+        cg_n = solve_ssb_column_generation(p_cg, cg_wide);
+        cg_n_ms = std::min(cg_n_ms, t.millis());
+      }
+    }
+    records.push_back(record(n_cg, "colgen_oracle_width1", cg_1_ms, cg_1.lp_iterations));
+    records.push_back(record(n_cg, "colgen_oracle_widthN", cg_n_ms, cg_n.lp_iterations));
+    const bool cg_bitwise =
+        cg_1.throughput == cg_n.throughput && cg_1.edge_load == cg_n.edge_load;
+    insolver_bitwise = insolver_bitwise && cg_bitwise;
+    ts.add_row({"colgen", std::to_string(n_cg), TablePrinter::fmt(cg_1_ms, 2),
+                TablePrinter::fmt(cg_n_ms, 2), TablePrinter::fmt(cg_1_ms / cg_n_ms, 2),
+                TablePrinter::fmt(cg_n.phase_stats.pricing_wall_ms, 2),
+                cg_bitwise ? "yes" : "NO"});
+    summary.push_back({"insolver_colgen_nodes", num(static_cast<double>(n_cg))});
+    summary.push_back({"insolver_colgen_wall_ms_width1", num(cg_1_ms)});
+    summary.push_back({"insolver_colgen_wall_ms_widthN", num(cg_n_ms)});
+    summary.push_back({"insolver_colgen_speedup", num(cg_1_ms / cg_n_ms)});
+    summary.push_back(
+        {"insolver_colgen_pricing_wall_ms", num(cg_n.phase_stats.pricing_wall_ms)});
+  }
+  ts.render(std::cout);
+  summary.push_back({"insolver_bitwise_agree", insolver_bitwise ? "true" : "false"});
 
   write_json(records, summary);
   std::cout << "\nwrote BENCH_lp.json (" << records.size() << " records, "

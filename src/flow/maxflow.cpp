@@ -74,6 +74,13 @@ void MaxFlowSolver::load_capacities(const std::vector<double>& capacity) {
 
 MaxFlowResult MaxFlowSolver::solve(NodeId source, NodeId sink,
                                    const std::vector<double>& capacity) {
+  MaxFlowResult result;
+  solve(source, sink, capacity, result);
+  return result;
+}
+
+void MaxFlowSolver::solve(NodeId source, NodeId sink, const std::vector<double>& capacity,
+                          MaxFlowResult& result) {
   BT_REQUIRE(source < graph_.num_nodes(), "max_flow: source out of range");
   BT_REQUIRE(sink < graph_.num_nodes(), "max_flow: sink out of range");
   BT_REQUIRE(source != sink, "max_flow: source == sink");
@@ -81,7 +88,8 @@ MaxFlowResult MaxFlowSolver::solve(NodeId source, NodeId sink,
 
   load_capacities(capacity);
 
-  MaxFlowResult result;
+  result.value = 0.0;
+  result.min_cut_edges.clear();
   while (bfs_levels(source, sink)) {
     std::copy(start_.begin(), start_.end() - 1, next_arc_.begin());
     result.value += blocking_flow(source, sink);
@@ -103,7 +111,6 @@ MaxFlowResult MaxFlowSolver::solve(NodeId source, NodeId sink,
       result.min_cut_edges.push_back(e);
     }
   }
-  return result;
 }
 
 bool MaxFlowSolver::bfs_levels(NodeId source, NodeId sink) {

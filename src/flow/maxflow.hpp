@@ -38,6 +38,13 @@ struct MaxFlowResult {
 /// Dinic max-flow from `source` to `sink` with arc capacities `capacity`
 /// (indexed by arc id; capacities must be >= 0).  Antiparallel arcs are
 /// handled (each input arc gets its own residual pair).
+///
+/// A MaxFlowSolver is inherently single-consumer: the touched-arc restore
+/// fast path mutates the residual arc array in place across solve() calls.
+/// Parallel per-destination oracles therefore use one solver instance per
+/// chunk/thread (see the separation oracle in ssb/planner_session.cpp);
+/// solve() results depend only on (source, sink, capacity), so which
+/// instance computes a destination never changes the answer.
 class MaxFlowSolver {
  public:
   /// Prepares the residual network once; `solve` can then be called for many
@@ -45,6 +52,14 @@ class MaxFlowSolver {
   explicit MaxFlowSolver(const Digraph& graph);
 
   MaxFlowResult solve(NodeId source, NodeId sink, const std::vector<double>& capacity);
+
+  /// Result-reuse overload: identical computation, but `out`'s vectors are
+  /// recycled (assign/clear keep their capacity) instead of freshly
+  /// allocated.  The per-destination separation loop calls solve() once per
+  /// destination with |flow| = m and |min_cut_side| = n; without reuse the
+  /// parallel oracle spends its time in the allocator.
+  void solve(NodeId source, NodeId sink, const std::vector<double>& capacity,
+             MaxFlowResult& out);
 
  private:
   struct ResidualArc {

@@ -93,4 +93,26 @@ struct LpEngineStats {
   }
 };
 
+/// Wall-clock of the solver phases that fan out over the worker pool, next
+/// to the serial master time they complement (SsbSolution::master_wall_ms).
+/// The SSB solvers fill the phases they own -- the cutting plane its
+/// per-destination max-flow separation, the packing solver its arborescence
+/// pricing -- and record the pool width they ran at, so BENCH_lp.json's
+/// in-solver scaling block can report where the threads actually went.
+/// Additive like LpEngineStats: accumulate() merges several solves.
+struct ParallelPhaseStats {
+  /// Wall-clock inside the parallel separation oracle (all rounds).
+  double separation_wall_ms = 0.0;
+  /// Wall-clock inside the pricing oracle / column rebuild (all rounds).
+  double pricing_wall_ms = 0.0;
+  /// Worker threads the oracle pool exposed (1 = serial; max over merges).
+  std::size_t oracle_threads = 0;
+
+  void accumulate(const ParallelPhaseStats& other) {
+    separation_wall_ms += other.separation_wall_ms;
+    pricing_wall_ms += other.pricing_wall_ms;
+    if (other.oracle_threads > oracle_threads) oracle_threads = other.oracle_threads;
+  }
+};
+
 }  // namespace bt

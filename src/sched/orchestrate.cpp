@@ -6,6 +6,7 @@
 
 #include "graph/arborescence.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bt {
 
@@ -66,7 +67,7 @@ bool augment(NodeId u, const std::vector<std::vector<std::size_t>>& send_edges,
 /// Bidirectional rounds: BvN padding + perfect-matching peeling.  Realizes
 /// period = max port load exactly (up to fp tail), which is optimal.
 void peel_bidirectional(const Platform& platform, std::vector<CommEdge> edges,
-                        std::vector<ArcQueue>& queues, double eps,
+                        std::vector<ArcQueue>& queues, double eps, ThreadPool& pool,
                         PeriodicSchedule& schedule) {
   const std::size_t n = platform.num_nodes();
   std::vector<double> out_load(n, 0.0), in_load(n, 0.0);
@@ -135,20 +136,32 @@ void peel_bidirectional(const Platform& platform, std::vector<CommEdge> edges,
     if (!any_active) break;
 
     double delta = max_load;
+    std::vector<NodeId> matched;
+    matched.reserve(n);
     for (NodeId u = 0; u < n; ++u) {
-      if (match_send[u] != Digraph::npos) delta = std::min(delta, edges[match_send[u]].w);
+      if (match_send[u] == Digraph::npos) continue;
+      delta = std::min(delta, edges[match_send[u]].w);
+      matched.push_back(u);
     }
     ScheduleRound out_round;
     out_round.duration = delta;
-    for (NodeId u = 0; u < n; ++u) {
-      if (match_send[u] == Digraph::npos) continue;
-      CommEdge& e = edges[match_send[u]];
-      if (e.arc != Digraph::npos) {
-        consume(queues[e.arc], e.arc, platform.edge_time(e.arc), delta, eps,
-                out_round.transfers);
+    // Consume the matched edges' queues in parallel: every matched edge
+    // carries a distinct arc (real arcs are aggregated one CommEdge each;
+    // padding edges skip the queues), so the drains touch disjoint state.
+    // Each match fills its own transfer bucket; concatenating the buckets
+    // in sender order reproduces the serial append order exactly.
+    const ChunkSplit msplit(matched.size(), pool.num_threads());
+    std::vector<std::vector<ScheduleTransfer>> buckets(matched.size());
+    parallel_for(pool, msplit.chunks, [&](std::size_t c) {
+      for (std::size_t i = msplit.chunk_begin(c); i < msplit.chunk_begin(c + 1); ++i) {
+        CommEdge& e = edges[match_send[matched[i]]];
+        if (e.arc != Digraph::npos) {
+          consume(queues[e.arc], e.arc, platform.edge_time(e.arc), delta, eps, buckets[i]);
+        }
+        e.w -= delta;
       }
-      e.w -= delta;
-    }
+    });
+    out_round.transfers = concatenate_in_order(std::move(buckets));
     schedule.period += delta;
     schedule.rounds.push_back(std::move(out_round));
   }
@@ -217,13 +230,26 @@ PeriodicSchedule orchestrate_one_port(const Platform& platform,
   const Digraph& g = platform.graph();
   BT_REQUIRE(g.num_nodes() >= 2,
              "orchestrate_one_port: single-node platform has no transfers to schedule");
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_thread_pool();
+  // Validate the trees over the pool (each spanning check is an independent
+  // graph traversal), reporting failures serially so the error always names
+  // the first bad tree regardless of the pool width.
+  std::vector<char> tree_ok(trees.size(), 1);
+  std::vector<std::string> tree_why(trees.size());
+  const ChunkSplit vsplit(trees.size(), pool.num_threads());
+  parallel_for(pool, vsplit.chunks, [&](std::size_t c) {
+    for (std::size_t i = vsplit.chunk_begin(c); i < vsplit.chunk_begin(c + 1); ++i) {
+      if (trees[i].rate <= 0.0) continue;
+      tree_ok[i] =
+          is_spanning_arborescence(g, platform.source(), trees[i].edges, &tree_why[i]) ? 1 : 0;
+    }
+  });
   double total_rate = 0.0;
-  for (const PackedTree& tree : trees) {
-    if (tree.rate <= 0.0) continue;
-    std::string why;
-    BT_REQUIRE(is_spanning_arborescence(g, platform.source(), tree.edges, &why),
-               "orchestrate_one_port: tree is not a spanning arborescence: " + why);
-    total_rate += tree.rate;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    if (trees[i].rate <= 0.0) continue;
+    BT_REQUIRE(tree_ok[i],
+               "orchestrate_one_port: tree is not a spanning arborescence: " + tree_why[i]);
+    total_rate += trees[i].rate;
   }
   BT_REQUIRE(total_rate > 0.0, "orchestrate_one_port: no tree with positive rate");
 
@@ -260,7 +286,7 @@ PeriodicSchedule orchestrate_one_port(const Platform& platform,
   const double eps = options.tolerance * std::max(max_time, 1e-300);
 
   if (options.port_model == PortModel::kBidirectional) {
-    peel_bidirectional(platform, std::move(edges), queues, eps, schedule);
+    peel_bidirectional(platform, std::move(edges), queues, eps, pool, schedule);
   } else {
     peel_unidirectional(platform, std::move(edges), queues, eps, schedule);
   }

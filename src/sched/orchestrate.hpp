@@ -43,6 +43,13 @@ struct OrchestrationOptions {
   PortModel port_model = PortModel::kBidirectional;
   /// Relative tolerance below which residual transfer time is dropped.
   double tolerance = 1e-12;
+  /// Worker pool for the parallel pieces of the peel (nullptr: the
+  /// process-wide global_thread_pool()): per-tree spanning validation, and
+  /// each BvN round's consume step -- matched edges carry distinct arcs, so
+  /// their queue drains are independent and the per-match transfer buckets
+  /// concatenate in sender order.  Schedules are bitwise-identical at any
+  /// pool width.
+  ThreadPool* pool = nullptr;
 };
 
 /// Orchestrate weighted spanning trees (rates in slices per second) into a

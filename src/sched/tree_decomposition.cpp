@@ -11,6 +11,7 @@
 #include "graph/reachability.hpp"
 #include "lp/simplex.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bt {
 
@@ -144,16 +145,33 @@ TreeDecomposition decompose_edge_load(const Platform& platform, const SsbSolutio
 
   // Precondition (Edmonds): the loads carry TP* units of flow to every
   // destination.  One max-flow per destination, exactly the cutting-plane
-  // separation certificate.
+  // separation certificate -- and parallelized the same way: contiguous
+  // destination chunks, one single-consumer MaxFlowSolver per chunk, values
+  // into destination-indexed slots.  The check runs serially afterwards so
+  // a failure always reports the *first* under-served destination,
+  // whatever the pool width.
   {
-    MaxFlowSolver maxflow(support.graph);
+    ThreadPool& pool = options.pool != nullptr ? *options.pool : global_thread_pool();
+    std::vector<NodeId> dests;
+    dests.reserve(p - 1);
     for (NodeId w = 0; w < p; ++w) {
-      if (w == source) continue;
-      const double value = maxflow.solve(source, w, support.load).value;
-      BT_REQUIRE(value >= tp - 1e-6 * scale,
+      if (w != source) dests.push_back(w);
+    }
+    const ChunkSplit split(dests.size(), pool.num_threads());
+    std::vector<double> cert_value(dests.size(), 0.0);
+    parallel_for(pool, split.chunks, [&](std::size_t c) {
+      MaxFlowSolver maxflow(support.graph);
+      MaxFlowResult flow;
+      for (std::size_t i = split.chunk_begin(c); i < split.chunk_begin(c + 1); ++i) {
+        maxflow.solve(source, dests[i], support.load, flow);
+        cert_value[i] = flow.value;
+      }
+    });
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      BT_REQUIRE(cert_value[i] >= tp - 1e-6 * scale,
                  "decompose_edge_load: loads do not support the throughput (destination " +
-                     std::to_string(w) + " receives " + std::to_string(value) + " < " +
-                     std::to_string(tp) + ")");
+                     std::to_string(dests[i]) + " receives " + std::to_string(cert_value[i]) +
+                     " < " + std::to_string(tp) + ")");
     }
   }
 

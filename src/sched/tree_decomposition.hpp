@@ -36,6 +36,8 @@
 
 namespace bt {
 
+class ThreadPool;
+
 struct TreeDecompositionOptions {
   /// Relative target of the reconstruction.  Small platforms converge to
   /// it; at scale the massively degenerate packing master is stopped at
@@ -51,6 +53,11 @@ struct TreeDecompositionOptions {
   /// Consume SsbSolution::tree_columns when present (exact path).  Disable
   /// to force the edge-load reconstruction, e.g. to test it on colgen loads.
   bool use_solution_columns = true;
+  /// Worker pool for the per-destination max-flow certificate (nullptr:
+  /// the process-wide global_thread_pool()).  The certificate values are
+  /// collected into destination-indexed slots and checked serially, so the
+  /// pool width changes wall-clock only.
+  ThreadPool* pool = nullptr;
 };
 
 struct TreeDecomposition {

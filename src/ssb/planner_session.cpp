@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "lp/simplex.hpp"
 #include "sched/orchestrate.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace bt {
@@ -115,6 +117,18 @@ SimplexOptions PlannerSession::cutting_master_options(LpEngineStats* stats) cons
   lp.solve_mode = options_.cutting.master_solve_mode;
   lp.collect_kernel_timing = options_.cutting.master_kernel_timing;
   lp.stats = stats;
+  return lp;
+}
+
+/// The stable (lexicographic) master gets a flat pivot budget instead of
+/// the engine's auto cap (60 * (rows + cols)).  Converging stable solves
+/// use a few thousand pivots at most -- warm rounds re-optimize in a
+/// handful -- so 100k is >10x headroom; but on the degenerate optimal face
+/// at n >= ~500 the auto cap grows to millions and a stall would grind for
+/// minutes before run_cutting_solve's downgrade path can fire.
+SimplexOptions PlannerSession::stable_master_options(LpEngineStats* stats) const {
+  SimplexOptions lp = cutting_master_options(stats);
+  lp.max_iterations = 100000;
   return lp;
 }
 
@@ -266,32 +280,95 @@ void PlannerSession::run_cutting_solve() {
   const std::size_t m = g.num_edges();
   const SsbCuttingPlaneOptions& options = options_.cutting;
   const bool stabilized = options.load_penalty > 0.0;
+  // Degeneracy at scale (the 1000-node-ceiling item in ROADMAP.md): from a
+  // few hundred nodes up the *cold* re-derivation solves can stall through
+  // their whole pivot budget on the tie-broken optimal face.  Two sticky
+  // downgrades keep the solve finite, each paid at most once per solve:
+  //
+  //  * A cold *polish* solve (value or stable) that exhausts its cap while
+  //    standing masters exist flips the remaining polish rounds to the warm
+  //    path (cold_polish_stalls) -- stabilization is kept, only the
+  //    pool-determined-bitwise property of cold_polish is lost for that
+  //    instance.
+  //  * A cold *stable* solve that stalls with no warm fallback (the
+  //    standing stable master's first factorization, or the rebuild
+  //    ablation) drops stabilization and reports the value master's loads
+  //    (stable_stalls).
+  //
+  // Each stall is a pure function of the pool content, so every pool width
+  // downgrades at the same round and width-determinism is preserved.
+  bool stabilize_active = stabilized;
+  bool polish_cold_stalled = false;
 
   SsbSolution solution;
-  MaxFlowSolver flow_solver(g);
 
   // Separation: per-destination max-flow under capacities `load`; cuts of
   // destinations below `tp - tol` enter the pool (and `new_cuts`, for the
   // standing masters).  Returns whether any *new* cut was added.
+  //
+  // The oracle fans the destinations out over the worker pool in contiguous
+  // chunks, one MaxFlowSolver per chunk (the solver's touched-arc restore
+  // path mutates shared state, so instances are single-consumer -- see
+  // flow/maxflow.hpp).  Each task writes only its destinations' slots of
+  // `sep_results`; the min-flow reduction and the add_cut appends then run
+  // serially in destination order.  solve() results depend only on
+  // (source, sink, load), so the chunk layout -- and with it the pool
+  // width -- changes scheduling only: the cut trajectory, and hence the
+  // solution, is bitwise-identical to the serial oracle.  Solvers persist
+  // across rounds so the same-capacity restore fast path still applies
+  // within each round's chunk.
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_thread_pool();
+  std::vector<NodeId> dests;
+  dests.reserve(p - 1);
+  for (NodeId w = 0; w < p; ++w) {
+    if (w != source) dests.push_back(w);
+  }
+  const ChunkSplit split(dests.size(), pool.num_threads());
+  std::vector<std::unique_ptr<MaxFlowSolver>> chunk_solver(split.chunks);
+  std::vector<MaxFlowResult> chunk_scratch(split.chunks);
+  struct DestResult {
+    double value = 0.0;
+    bool violated = false;
+    std::vector<EdgeId> cut;
+  };
+  std::vector<DestResult> sep_results(dests.size());
+
   std::vector<const std::vector<EdgeId>*> new_cuts;
   auto separate = [&](const std::vector<double>& load, double tp, double tol,
                       double& min_flow) {
+    Timer separation_timer;
+    parallel_for(pool, split.chunks, [&](std::size_t c) {
+      if (chunk_solver[c] == nullptr) chunk_solver[c] = std::make_unique<MaxFlowSolver>(g);
+      MaxFlowSolver& solver = *chunk_solver[c];
+      MaxFlowResult& flow = chunk_scratch[c];
+      for (std::size_t i = split.chunk_begin(c); i < split.chunk_begin(c + 1); ++i) {
+        solver.solve(source, dests[i], load, flow);
+        DestResult& slot = sep_results[i];
+        slot.value = flow.value;
+        slot.violated = flow.value < tp - tol;
+        if (slot.violated) {
+          slot.cut = flow.min_cut_edges;
+        } else {
+          slot.cut.clear();
+        }
+      }
+    });
     min_flow = std::numeric_limits<double>::infinity();
     new_cuts.clear();
     bool added = false;
-    for (NodeId w = 0; w < p; ++w) {
-      if (w == source) continue;
-      MaxFlowResult flow = flow_solver.solve(source, w, load);
-      min_flow = std::min(min_flow, flow.value);
-      if (flow.value < tp - tol) {
-        if (const std::vector<EdgeId>* cut = add_cut(std::move(flow.min_cut_edges))) {
+    for (DestResult& slot : sep_results) {
+      min_flow = std::min(min_flow, slot.value);
+      if (slot.violated) {
+        if (const std::vector<EdgeId>* cut = add_cut(std::move(slot.cut))) {
           new_cuts.push_back(cut);
           added = true;
         }
       }
     }
+    solution.phase_stats.separation_wall_ms += separation_timer.millis();
     return added;
   };
+  solution.phase_stats.oracle_threads = pool.num_threads();
 
   std::vector<double> load(m);
   double master_tp = 0.0;
@@ -338,8 +415,21 @@ void PlannerSession::run_cutting_solve() {
         value_sol = value_master_->solve();
       }
     } else {
-      value_sol = solve_lp(build_cutting_master(false, 0.0, /*record=*/false),
-                           cutting_master_options(&solution.lp_stats));
+      SimplexOptions cold_options = cutting_master_options(&solution.lp_stats);
+      // Polish re-derivations get a flat pivot cap well above any
+      // non-degenerate cold polish solve seen in the sweeps, so a
+      // degenerate stall escapes to the warm fallback in bounded time
+      // instead of grinding through the auto cap (~60*(rows+cols)).
+      if (!count_master) cold_options.max_iterations = 250000;
+      value_sol = solve_lp(build_cutting_master(false, 0.0, /*record=*/false), cold_options);
+      if (!count_master && value_sol.status == LpStatus::kIterationLimit &&
+          value_master_ != nullptr) {
+        solution.lp_iterations += value_sol.iterations;
+        ++solution.cold_polish_stalls;
+        ++stats_.cold_polish_stalls;
+        polish_cold_stalled = true;
+        return false;
+      }
     }
     BT_REQUIRE(value_sol.status == LpStatus::kOptimal,
                "solve_ssb_cutting_plane: value master " + to_string(value_sol.status));
@@ -350,19 +440,21 @@ void PlannerSession::run_cutting_solve() {
     const double tp_floor = master_tp - eps_lex;
     const LpSolution* load_sol = &value_sol;
     LpSolution stable_sol;
-    if (stabilized) {
+    if (stabilize_active) {
+      bool was_cold = !warm;
       if (warm) {
         if (stable_master_ == nullptr) {
           stable_master_ = std::make_unique<IncrementalSimplex>(
               build_cutting_master(true, tp_floor, /*record=*/false),
-              cutting_master_options(nullptr));
+              stable_master_options(nullptr));
           stable_cold_ = true;
         } else {
           stable_master_->set_row_rhs(0, tp_floor);
         }
+        was_cold = stable_cold_;
         stable_sol = stable_cold_ ? stable_master_->solve() : stable_master_->reoptimize_dual();
         stable_cold_ = false;
-        if (stable_sol.status != LpStatus::kOptimal) {
+        if (stable_sol.status != LpStatus::kOptimal && !was_cold) {
           // Numerical breakdown: rebuild BOTH standing masters from the
           // pool.  The stable master's rows must stay one past the value
           // master's for the kill-and-replace deltas, and the value master
@@ -378,18 +470,45 @@ void PlannerSession::run_cutting_solve() {
           value_cold_ = true;
           stable_master_ = std::make_unique<IncrementalSimplex>(
               build_cutting_master(true, tp_floor, /*record=*/false),
-              cutting_master_options(nullptr));
+              stable_master_options(nullptr));
           stable_sol = stable_master_->solve();
           stable_cold_ = false;
+          was_cold = true;
         }
       } else {
         stable_sol = solve_lp(build_cutting_master(true, tp_floor, /*record=*/false),
-                              cutting_master_options(&solution.lp_stats));
+                              stable_master_options(&solution.lp_stats));
       }
-      BT_REQUIRE(stable_sol.status == LpStatus::kOptimal,
-                 "solve_ssb_cutting_plane: stable master " + to_string(stable_sol.status));
       solution.lp_iterations += stable_sol.iterations;
-      load_sol = &stable_sol;
+      if (stable_sol.status == LpStatus::kIterationLimit && was_cold) {
+        if (!warm && !count_master && value_master_ != nullptr) {
+          // Degenerate stall of a cold polish re-derivation, but the
+          // standing masters are available: flip the remaining polish to
+          // the warm path (this round is redone there) and keep the
+          // stabilization stage.
+          ++solution.cold_polish_stalls;
+          ++stats_.cold_polish_stalls;
+          polish_cold_stalled = true;
+          return false;
+        }
+        // Degenerate stall with no warm fallback: a cold solve exhausted
+        // its pivot budget, so a rebuild cannot help.  Downgrade to the
+        // value loads (load_sol already points there) and run the rest of
+        // this solve unstabilized; the polish keeps the caller's tolerance
+        // below.
+        ++solution.stable_stalls;
+        ++stats_.stable_stalls;
+        stabilize_active = false;
+        if (stable_master_ != nullptr) {
+          solution.lp_stats.accumulate(stable_master_->engine_stats());
+          stable_master_.reset();
+          stable_cold_ = true;
+        }
+      } else {
+        BT_REQUIRE(stable_sol.status == LpStatus::kOptimal,
+                   "solve_ssb_cutting_plane: stable master " + to_string(stable_sol.status));
+        load_sol = &stable_sol;
+      }
     }
     for (EdgeId e = 0; e < m; ++e) {
       if (warm) {
@@ -444,16 +563,23 @@ void PlannerSession::run_cutting_solve() {
   // rebuild paths report bitwise-identical throughput once their pools
   // agree).  Without it (service re-plans) the standing masters polish
   // warmly at the same tolerance -- not bitwise pool-determined, but the
-  // certificate still brackets TP* within the rounding grain.  Without the
-  // stabilization stage (load_penalty = 0) the pure master's vertex
+  // certificate still brackets TP* within the rounding grain.  A cold
+  // polish solve that stalls through its pivot cap flips the remaining
+  // rounds to the warm path (see the downgrade ladder above).  Without the
+  // stabilization stage (load_penalty = 0, or a stable-master stall
+  // downgraded the solve) the pure master's vertex
   // ping-pong cannot be expected to close a 3e-10 gap, so the polish keeps
   // the caller's tolerance there, as the old code did. ----
-  const bool polish_warm = !options_.cold_polish && options.incremental_master;
+  bool polish_warm = !options_.cold_polish && options.incremental_master;
   converged = false;
   for (std::size_t r = 0; r < options.max_rounds && !converged; ++r) {
     const double polish_tol =
-        stabilized ? 3e-10 * std::max(1.0, master_tp) : options.tolerance;
+        stabilize_active ? 3e-10 * std::max(1.0, master_tp) : options.tolerance;
     converged = round(polish_warm, polish_tol, /*count_master=*/false);
+    if (polish_cold_stalled) {
+      polish_cold_stalled = false;
+      polish_warm = true;
+    }
   }
   BT_REQUIRE(converged, "solve_ssb_cutting_plane: polish separation did not converge");
 
@@ -704,15 +830,29 @@ void PlannerSession::run_packing_solve() {
     }
   }
 
+  SsbPackingSolution solution;
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_thread_pool();
+  solution.phase_stats.oracle_threads = pool.num_threads();
+
   // Rebuild the columns from the pooled trees under the *current* link
   // times: mutations change occupation coefficients, but yesterday's
   // optimal trees remain the best warm basis for today's packing (the
   // pool-seeded re-solve).  Trees over removed arcs were dropped at
-  // removal time, so the pool only holds valid spanning trees.
-  std::vector<TreeColumn> columns;
-  columns.reserve(tree_pool_.size());
-  for (const std::vector<EdgeId>& tree : tree_pool_) {
-    columns.push_back(make_column(platform_, tree));
+  // removal time, so the pool only holds valid spanning trees.  The
+  // rebuild fans out over the pool in contiguous chunks -- each task
+  // writes only its trees' pre-sized slots, so the chunk layout never
+  // changes the column order the master sees.
+  std::vector<TreeColumn> columns(tree_pool_.size());
+  {
+    Timer rebuild_timer;
+    const ChunkSplit rebuild_split(tree_pool_.size(), pool.num_threads());
+    parallel_for(pool, rebuild_split.chunks, [&](std::size_t c) {
+      for (std::size_t i = rebuild_split.chunk_begin(c); i < rebuild_split.chunk_begin(c + 1);
+           ++i) {
+        columns[i] = make_column(platform_, tree_pool_[i]);
+      }
+    });
+    solution.phase_stats.pricing_wall_ms += rebuild_timer.millis();
   }
 
   // Deduplicate generated trees by sorted arc list: the pricing oracle can
@@ -741,7 +881,6 @@ void PlannerSession::run_packing_solve() {
     add_column(seed.edges);
   }
 
-  SsbPackingSolution solution;
   std::vector<double> lambda;
 
   const PortModel model = options.port_model;
@@ -761,21 +900,31 @@ void PlannerSession::run_packing_solve() {
 
   // Pricing step shared by both master paths: min-weight arborescence under
   // the port duals `y` (2p or p entries, row layout as above).  Returns
-  // true when an improving column was appended.
+  // true when an improving column was appended.  The arc-price fill fans
+  // out over the pool (price[e] is a function of e alone, so tasks write
+  // disjoint slots and the vector is bitwise-independent of the chunking);
+  // the Chu-Liu/Edmonds call itself keeps thread_local workspaces
+  // (graph/min_arborescence.cpp), so concurrent packing solves -- e.g.
+  // sweep cells fanned out over the same pool -- price safely in parallel.
+  const ChunkSplit price_split(g.num_edges(), pool.num_threads());
+  std::vector<double> price(g.num_edges());
   auto price_and_append = [&](const std::vector<double>& y) {
-    std::vector<double> price(g.num_edges());
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (removed_[e]) {
-        price[e] = kRemovedArcPrice;
-        continue;
+    Timer pricing_timer;
+    parallel_for(pool, price_split.chunks, [&](std::size_t c) {
+      for (EdgeId e = price_split.chunk_begin(c); e < price_split.chunk_begin(c + 1); ++e) {
+        if (removed_[e]) {
+          price[e] = kRemovedArcPrice;
+          continue;
+        }
+        const double y_out =
+            std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.from(e)] : y[g.from(e)]);
+        const double y_in =
+            std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.to(e) + 1] : y[g.to(e)]);
+        price[e] = platform_.edge_time(e) * (y_out + y_in);
       }
-      const double y_out =
-          std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.from(e)] : y[g.from(e)]);
-      const double y_in =
-          std::max(0.0, model == PortModel::kBidirectional ? y[2 * g.to(e) + 1] : y[g.to(e)]);
-      price[e] = platform_.edge_time(e) * (y_out + y_in);
-    }
+    });
     const auto priced = min_arborescence(g, source, price);
+    solution.phase_stats.pricing_wall_ms += pricing_timer.millis();
     BT_ASSERT(priced.found, "solve_ssb_column_generation: pricing lost spanning property");
 
     // Reduced cost of the best tree: 1 - priced.weight.  Non-positive means

@@ -83,6 +83,9 @@ struct PlannerSessionOptions {
   /// masters (the polish rounds tighten the certificate warmly to ~3e-10
   /// relative before rounding), trading bitwise reproducibility for
   /// latency while keeping warm-vs-cold agreement well under 1e-9.
+  /// At degenerate scale (n >= ~500) a cold polish solve can stall through
+  /// its pivot budget; the solve then flips its remaining polish to the
+  /// warm path (SsbSolution::cold_polish_stalls) instead of failing.
   bool cold_polish = true;
 };
 
@@ -100,6 +103,8 @@ struct PlannerSessionStats {
   std::uint64_t replacement_columns = 0;  ///< arc columns re-entered
   std::uint64_t master_rebuilds = 0;  ///< breakdown rebuilds from the pool
   std::uint64_t rollbacks = 0;        ///< failed solves that reset masters
+  std::uint64_t stable_stalls = 0;    ///< lex-polish stalls downgraded to value loads
+  std::uint64_t cold_polish_stalls = 0;  ///< cold polish stalls flipped to warm polish
 };
 
 /// One link of a node joining the platform (add_node).
@@ -187,6 +192,7 @@ class PlannerSession {
   // cutting-plane internals
   double stabilization_weight(EdgeId e) const;
   SimplexOptions cutting_master_options(LpEngineStats* stats) const;
+  SimplexOptions stable_master_options(LpEngineStats* stats) const;
   std::vector<LpTerm> cut_row(const std::vector<EdgeId>& cut, bool standing) const;
   const std::vector<EdgeId>* add_cut(std::vector<EdgeId> cut);
   LpProblem build_cutting_master(bool stable, double tp_floor, bool record);

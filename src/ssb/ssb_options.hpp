@@ -15,6 +15,8 @@
 
 namespace bt {
 
+class ThreadPool;
+
 struct SsbSolveOptions {
   /// Convergence tolerance of the outer loop (cut separation / column
   /// pricing); the master LPs themselves solve tighter.
@@ -39,6 +41,13 @@ struct SsbSolveOptions {
   /// Also collect per-call FTRAN/BTRAN wall-clock into
   /// SsbSolution::lp_stats (the reach counters are always collected).
   bool master_kernel_timing = false;
+  /// Worker pool for the parallel oracle phases (per-destination max-flow
+  /// separation, pricing/column rebuild).  nullptr means the process-wide
+  /// global_thread_pool(); point at a 1-thread pool to force the serial
+  /// path.  Either way the solve is bitwise-identical -- the oracles write
+  /// destination-/slot-indexed results and reduce them in serial order, so
+  /// the pool width only changes wall-clock (see util/thread_pool.hpp).
+  ThreadPool* pool = nullptr;
 };
 
 }  // namespace bt

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <cstdlib>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -31,6 +32,10 @@ void ThreadPool::submit(std::function<void()> task) {
     ++in_flight_;
   }
   task_ready_.notify_one();
+  // A help-running batch waiter asleep on idle_ is as good a consumer as a
+  // worker; without this, tasks submitted while every worker is busy and
+  // only helpers sleep would wait for a worker to free up.
+  idle_.notify_one();
 }
 
 void ThreadPool::wait() {
@@ -46,37 +51,88 @@ void ThreadPool::wait() {
 std::size_t ThreadPool::default_thread_count() {
   const char* env = std::getenv("BT_THREADS");
   if (env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    BT_REQUIRE(parsed > 0, "BT_THREADS must be a positive integer");
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    // An endptr check, not just the sign test: strtol("2garbage") parses 2
+    // and strtol("abc") parses 0, and both used to slip through with at
+    // best a misleading "must be positive" message.
+    BT_REQUIRE(end != env && *end == '\0',
+               "BT_THREADS must be a positive integer, got \"" + std::string(env) + "\"");
+    BT_REQUIRE(parsed > 0,
+               "BT_THREADS must be a positive integer, got \"" + std::string(env) + "\"");
     return static_cast<std::size_t>(parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+void ThreadPool::run_one_task(std::unique_lock<std::mutex>& lock) {
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop();
+  lock.unlock();
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  lock.lock();
+  if (error && !first_error_) first_error_ = error;
+  --in_flight_;
+  if (in_flight_ == 0) all_done_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    std::exception_ptr error;
-    try {
-      task();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+    task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    run_one_task(lock);
+  }
+}
+
+void ThreadPool::run_batch(std::size_t count, const std::function<void(std::size_t)>& body) {
+  Batch batch;
+  batch.remaining = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BT_REQUIRE(!stopping_, "parallel_for: pool is shutting down");
+    for (std::size_t i = 0; i < count; ++i) {
+      // The task closure updates the batch under mutex_ as its last touch of
+      // `batch`; once remaining hits zero the owning frame may return and
+      // destroy it.  Pool-level bookkeeping (in_flight_, first_error_) is
+      // done by run_one_task around the closure, exactly as for submit().
+      queue_.push([this, &batch, &body, i] {
+        std::exception_ptr error;
+        try {
+          body(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> task_lock(mutex_);
+        if (error && !batch.first_error) batch.first_error = error;
+        if (--batch.remaining == 0) idle_.notify_all();
+      });
+      ++in_flight_;
     }
   }
+  task_ready_.notify_all();
+  idle_.notify_all();
+
+  // Help-run until the batch completes: drain queued tasks -- of any batch;
+  // every task only writes its own slots, so who runs it never matters --
+  // and sleep only while the queue is empty.  idle_ is notified both on
+  // batch completion and on new submissions, so a nested parallel_for
+  // enqueued by a worker while this thread sleeps wakes it to help.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (batch.remaining != 0) {
+    if (!queue_.empty()) {
+      run_one_task(lock);
+    } else {
+      idle_.wait(lock, [this, &batch] { return batch.remaining == 0 || !queue_.empty(); });
+    }
+  }
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t count,
@@ -87,31 +143,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  // Batch-local completion state: concurrent parallel_for calls on a shared
-  // pool must not wait on (or steal exceptions from) each other's tasks.
-  struct Batch {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining;
-    std::exception_ptr first_error;
-  } batch;
-  batch.remaining = count;
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&body, &batch, i] {
-      std::exception_ptr error;
-      try {
-        body(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      std::lock_guard<std::mutex> lock(batch.mutex);
-      if (error && !batch.first_error) batch.first_error = error;
-      if (--batch.remaining == 0) batch.done.notify_all();
-    });
-  }
-  std::unique_lock<std::mutex> lock(batch.mutex);
-  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
-  if (batch.first_error) std::rethrow_exception(batch.first_error);
+  pool.run_batch(count, body);
 }
 
 ThreadPool& global_thread_pool() {

@@ -1,6 +1,7 @@
 #pragma once
 
-// Fixed-size worker pool for the experiment layer.
+// Fixed-size worker pool shared by the experiment layer and the in-solver
+// parallel oracles.
 //
 // Sweeps evaluate hundreds of independent (platform, heuristic) cells; each
 // cell derives everything it needs from its own RNG seed, so cells can run
@@ -8,7 +9,10 @@
 // The contract parallel_for relies on: the caller pre-computes all per-task
 // seeds (Rng::split in task order, or a per-cell seed formula) *before*
 // dispatch, tasks write only to their own slot of a pre-sized output vector,
-// and results are concatenated in task order afterwards.
+// and results are concatenated in task order afterwards.  The solver-side
+// parallel phases (max-flow separation, arborescence pricing, the BvN
+// consume step) follow the same slot-indexed pattern, which is what keeps
+// them bitwise-deterministic across thread counts.
 //
 // BT_THREADS caps the pool size (default: hardware concurrency), mirroring
 // how BT_REPLICATES scales the experiment workloads.
@@ -43,11 +47,35 @@ class ThreadPool {
   /// exception any task raised since the last wait().
   void wait();
 
-  /// BT_THREADS when set (must be positive), else hardware concurrency,
-  /// else 1.
+  /// BT_THREADS when set (must be a positive integer with no trailing
+  /// garbage), else hardware concurrency, else 1.
   static std::size_t default_thread_count();
 
  private:
+  friend void parallel_for(ThreadPool& pool, std::size_t count,
+                           const std::function<void(std::size_t)>& body);
+
+  /// Completion state of one parallel_for call, scoped to that call so
+  /// concurrent batches on a shared pool stay independent.  Guarded by the
+  /// pool's mutex_ (not a batch-local one): batch completion and queue
+  /// growth share idle_ so help-running waiters never miss either event.
+  struct Batch {
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+
+  /// parallel_for core: enqueue `count` body(i) tasks, then *help-run*
+  /// queued tasks (of any batch) until this batch completes.  Because the
+  /// waiting thread drains the queue instead of parking, a parallel_for
+  /// issued from inside a pool task -- every worker blocked in a nested
+  /// wait -- makes progress instead of deadlocking.
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Pop the front task and run it (unlocked), then do the completion
+  /// bookkeeping.  `lock` must hold mutex_ with a non-empty queue; it is
+  /// re-held on return.
+  void run_one_task(std::unique_lock<std::mutex>& lock);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -55,6 +83,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
+  /// Wakes help-running batch waiters: notified when a batch completes and
+  /// whenever new tasks are enqueued (a nested parallel_for submitting from
+  /// a worker must wake sleeping helpers so *someone* runs its tasks).
+  std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
@@ -65,9 +97,14 @@ class ThreadPool {
 /// comment); the first exception a body raises is rethrown on the calling
 /// thread.  Completion tracking is scoped to this call, so independent
 /// parallel_for batches may share one pool concurrently (e.g. the global
-/// pool) without observing each other's progress or errors.  Do not call it
-/// from inside a pool task of the same pool -- with every worker blocked in
-/// a nested wait the pool deadlocks.
+/// pool) without observing each other's progress or errors.
+///
+/// Nesting-safe: while its batch is outstanding the calling thread
+/// *help-runs* tasks from the pool queue instead of parking, so a
+/// parallel_for issued from inside a pool task of the same pool (a parallel
+/// solver phase under the experiment sweeps' per-cell fan-out) completes
+/// instead of deadlocking.  Helped tasks may belong to any batch; since
+/// every task writes only its own slot, results are unchanged.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
@@ -85,6 +122,24 @@ std::vector<Record> concatenate_in_order(std::vector<std::vector<Record>> per_ta
   }
   return flat;
 }
+
+/// Deterministic contiguous split of [0, count) into at most
+/// pool.num_threads() chunks: chunk c covers [chunk_begin(c), chunk_begin(c+1)).
+/// The parallel solver phases use one task per chunk with per-chunk scratch
+/// state (e.g. a MaxFlowSolver instance), writing per-item results into
+/// item-indexed slots -- the chunk layout affects scheduling only, never
+/// results.
+struct ChunkSplit {
+  std::size_t count = 0;
+  std::size_t chunks = 0;
+  ChunkSplit(std::size_t item_count, std::size_t max_chunks)
+      : count(item_count), chunks(item_count < max_chunks ? item_count : max_chunks) {
+    if (chunks == 0) chunks = 1;  // keep chunk_begin well-defined when empty
+  }
+  std::size_t chunk_begin(std::size_t c) const {
+    return c * (count / chunks) + (c < count % chunks ? c : count % chunks);
+  }
+};
 
 /// Shared process-wide pool sized by default_thread_count(); lazily built.
 ThreadPool& global_thread_pool();

@@ -194,6 +194,38 @@ TEST(MaxFlow, RepeatedCapacityVectorMatchesFreshSolver) {
   }
 }
 
+TEST(MaxFlow, ResultReuseOverloadMatchesReturningSolve) {
+  // The scratch-result overload recycles the output vectors across calls;
+  // every field must still match the allocating overload exactly, even when
+  // the recycled result carries a *larger* previous answer.
+  Rng rng(2026);
+  const std::size_t n = 8;
+  Digraph g(n);
+  std::vector<double> cap;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.bernoulli(0.5)) {
+        g.add_edge(u, v);
+        cap.push_back(rng.uniform_real(0.0, 4.0));
+      }
+    }
+  }
+  MaxFlowSolver fresh(g);
+  MaxFlowSolver recycled(g);
+  MaxFlowResult scratch;
+  scratch.flow.assign(1000, -1.0);  // stale junk the overload must replace
+  scratch.min_cut_edges.assign(1000, 0);
+  scratch.min_cut_side.assign(1000, 7);
+  for (NodeId sink = 1; sink < n; ++sink) {
+    const MaxFlowResult expected = fresh.solve(0, sink, cap);
+    recycled.solve(0, sink, cap, scratch);
+    EXPECT_DOUBLE_EQ(scratch.value, expected.value) << "sink " << sink;
+    EXPECT_EQ(scratch.flow, expected.flow) << "sink " << sink;
+    EXPECT_EQ(scratch.min_cut_edges, expected.min_cut_edges) << "sink " << sink;
+    EXPECT_EQ(scratch.min_cut_side, expected.min_cut_side) << "sink " << sink;
+  }
+}
+
 TEST(MaxFlow, DeepChainDoesNotOverflowTheStack) {
   // A 60k-node chain: the recursive augmenting walk used to risk stack
   // overflow here; the iterative blocking flow must just work.

@@ -233,13 +233,17 @@ TEST(PlannerService, ConcurrentReadersAndWriterStayConsistent) {
     });
   }
 
-  // Writer: degrade/restore cycles racing the readers.
+  // Writer: degrade/restore cycles racing the readers.  Mutations are
+  // cheap (no solve), so on a loaded machine all six cycles can finish
+  // before any reader completes its first solve -- hold the stop flag
+  // until at least one read landed, or reads_done == 0 flakes.
   std::thread writer([&] {
     for (int c = 0; c < 6; ++c) {
       const EdgeId e = static_cast<EdgeId>(c % p.num_edges());
       service.scale_link_time(e, 1.5);
       service.set_link_cost(e, p.link_cost(e));
     }
+    while (reads_done.load(std::memory_order_relaxed) == 0) std::this_thread::yield();
     stop.store(true);
   });
   writer.join();
