@@ -1,0 +1,170 @@
+// Benchmark of the live-churn scenario engine (scenario/scenario_engine.hpp):
+// seeded churn timelines -- link degradations, recoveries, failures, node
+// joins -- replayed against a PlannerService while the replay loop executes
+// the currently installed schedule and hot-swaps to re-planned ones at
+// period boundaries.
+//
+//   1. Churn sweep: run_churn_sweep over churn rates x platform sizes
+//      (BT_CHURN_SIZES, default "50,120"; the full offline grid adds 200).
+//      Per cell: integrated availability (delivered work over the offline
+//      re-solved optimum), slices lost to stale schedules, event/swap
+//      counts, re-plan latency quantiles.
+//   2. Determinism matrix: the gate cell re-run at pool widths 1, 2 and 4
+//      plus a same-seed repeat -- every payload must be field-wise
+//      bitwise-identical (churn_bitwise_agree).
+//
+// Acceptance: availability >= 0.90 of the offline optimum at n=120.
+// Results go to BENCH_churn.json, gated by scripts/check_bench_regression.py
+// against bench/baselines/BENCH_churn_baseline.json in the bench-smoke CI
+// job.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/churn_eval.hpp"
+#include "experiments/service_eval.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct BenchRecord {
+  std::string phase;
+  std::string metric;
+  double value = 0.0;
+};
+
+using Summary = std::vector<std::pair<std::string, std::string>>;
+
+std::string num(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+std::vector<std::size_t> sizes_from_env() {
+  std::vector<std::size_t> sizes;
+  const char* env = std::getenv("BT_CHURN_SIZES");
+  std::istringstream in(env != nullptr ? env : "50,120");
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) sizes.push_back(static_cast<std::size_t>(std::stoul(token)));
+  }
+  return sizes;
+}
+
+void write_json(const std::vector<BenchRecord>& records, const Summary& summary) {
+  std::ofstream out("BENCH_churn.json");
+  out << "{\n  \"bench\": \"churn\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "    {\"phase\": \"" << r.phase << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << r.value << "}" << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "  ]";
+  for (const auto& kv : summary) out << ",\n  \"" << kv.first << "\": " << kv.second;
+  out << "\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace bt;
+  Timer total;
+  std::vector<BenchRecord> records;
+  Summary summary;
+
+  ChurnSweepConfig sweep_config;
+  sweep_config.sizes = sizes_from_env();
+  sweep_config.churn_rates = {0.25, 0.75};
+
+  std::cout << "bench_churn: sizes={";
+  for (std::size_t i = 0; i < sweep_config.sizes.size(); ++i)
+    std::cout << (i ? "," : "") << sweep_config.sizes[i];
+  std::cout << "}, rates={0.25,0.75}, periods=" << sweep_config.num_periods << "\n";
+
+  // ---- phase 1: the churn sweep --------------------------------------------
+  Timer sweep_timer;
+  const std::vector<ChurnSweepRecord> sweep = run_churn_sweep(sweep_config);
+  const double sweep_ms = sweep_timer.millis();
+  for (const ChurnSweepRecord& cell : sweep) {
+    std::cout << "  " << describe(cell) << "\n";
+    std::ostringstream tag;
+    tag << "churn_n" << cell.nodes << "_r" << cell.churn_rate;
+    const ChurnScenarioResult& r = cell.result;
+    const LatencySummary replans = summarize_latencies(r.replan_latency_ms);
+    records.push_back({tag.str(), "availability", r.availability});
+    records.push_back({tag.str(), "delivered_total", r.delivered_total});
+    records.push_back({tag.str(), "lost_total", r.lost_total});
+    records.push_back({tag.str(), "offline_capacity", r.offline_capacity});
+    records.push_back({tag.str(), "events", static_cast<double>(r.num_events)});
+    records.push_back({tag.str(), "swaps", static_cast<double>(r.num_swaps)});
+    records.push_back({tag.str(), "failures", static_cast<double>(r.num_failures)});
+    records.push_back({tag.str(), "joins", static_cast<double>(r.num_joins)});
+    records.push_back({tag.str(), "replan_p50_ms", replans.p50_ms});
+    records.push_back({tag.str(), "replan_p99_ms", replans.p99_ms});
+    records.push_back({tag.str(), "replan_max_ms", replans.max_ms});
+  }
+  records.push_back({"sweep", "wall_ms", sweep_ms});
+
+  // The gate cell: the largest size present, at the low churn rate (the
+  // ISSUE's acceptance bound is calibrated there).
+  std::size_t gate_index = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].nodes >= sweep[gate_index].nodes &&
+        sweep[i].churn_rate <= sweep[gate_index].churn_rate)
+      gate_index = i;
+  }
+  const ChurnSweepRecord& gate = sweep[gate_index];
+  const LatencySummary gate_replans = summarize_latencies(gate.result.replan_latency_ms);
+
+  // ---- phase 2: determinism matrix on the gate cell ------------------------
+  ChurnScenarioOptions gate_options;
+  gate_options.timeline.num_periods = sweep_config.num_periods;
+  gate_options.timeline.events_per_period = gate.churn_rate;
+  gate_options.timeline.seed = sweep_config.seed_scale + static_cast<std::uint64_t>(gate.nodes);
+  const Platform gate_platform = churn_instance(gate.nodes, sweep_config.seed_scale);
+
+  Timer matrix_timer;
+  ThreadPool serial(1);
+  gate_options.pool = &serial;
+  const ChurnScenarioResult reference = run_churn_scenario(gate_platform, gate_options);
+  bool bitwise = payload_bitwise_equal(reference, gate.result);  // vs default pool
+  const ChurnScenarioResult repeat = run_churn_scenario(gate_platform, gate_options);
+  bitwise = bitwise && payload_bitwise_equal(reference, repeat);
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    gate_options.pool = &pool;
+    const ChurnScenarioResult wide = run_churn_scenario(gate_platform, gate_options);
+    bitwise = bitwise && payload_bitwise_equal(reference, wide);
+  }
+  const double matrix_ms = matrix_timer.millis();
+  std::cout << "  determinism matrix (n=" << gate.nodes << ", widths {1,2,4} + repeat + sweep): "
+            << (bitwise ? "bitwise-identical" : "MISMATCH") << " in " << matrix_ms << " ms\n";
+  records.push_back({"determinism", "wall_ms", matrix_ms});
+  records.push_back({"determinism", "agree", bitwise ? 1.0 : 0.0});
+
+  summary.push_back({"churn_gate_nodes", num(static_cast<double>(gate.nodes))});
+  summary.push_back({"churn_gate_rate", num(gate.churn_rate)});
+  summary.push_back({"churn_availability", num(gate.result.availability)});
+  summary.push_back(
+      {"churn_lost_fraction",
+       num(gate.result.offline_capacity > 0.0 ? gate.result.lost_total / gate.result.offline_capacity
+                                              : 0.0)});
+  summary.push_back({"churn_events", num(static_cast<double>(gate.result.num_events))});
+  summary.push_back({"churn_swaps", num(static_cast<double>(gate.result.num_swaps))});
+  summary.push_back({"churn_replan_p50_ms", num(gate_replans.p50_ms)});
+  summary.push_back({"churn_replan_p99_ms", num(gate_replans.p99_ms)});
+  summary.push_back({"churn_replan_max_ms", num(gate_replans.max_ms)});
+  summary.push_back({"churn_bitwise_agree", bitwise ? "true" : "false"});
+
+  write_json(records, summary);
+  std::cout << "\nwrote BENCH_churn.json (" << records.size() << " records, " << summary.size()
+            << " summary fields) in " << total.millis() / 1e3 << " s\n";
+  return bitwise ? 0 : 1;
+}

@@ -22,6 +22,16 @@ BENCH_service.json (bench "service"):
   * `service_warm_cold_agree` must stay true (warm re-plans match cold
     solves; correctness, no tolerance).
 
+BENCH_churn.json (bench "churn"):
+  * `churn_availability` must stay above the absolute acceptance floor
+    `CHURN_AVAILABILITY_FLOOR` (delivered work vs the offline re-solved
+    optimum at the gate size) AND above `AVAILABILITY_FLOOR_FACTOR` times
+    the baseline value;
+  * `churn_bitwise_agree` must stay true (the scenario payload is
+    field-wise bitwise-identical across pool widths {1,2,4}, a same-seed
+    repeat, and the default-pool sweep run; correctness, no tolerance);
+  * re-plan latency quantiles are recorded, never gated (shared runners).
+
 Usage: check_bench_regression.py <BENCH_x.json> <baseline.json>
 """
 
@@ -70,6 +80,19 @@ SERVICE_FLOOR_FIELDS = [
 ]
 SERVICE_CEILING_FIELDS = [
     "service_replan_p99_ms",
+]
+
+CHURN_AVAILABILITY_FLOOR = 0.90     # the ISSUE's absolute acceptance bound
+AVAILABILITY_FLOOR_FACTOR = 0.97    # and availability must stay near baseline
+CHURN_RECORD_ONLY_FIELDS = [
+    "churn_gate_nodes",
+    "churn_gate_rate",
+    "churn_lost_fraction",
+    "churn_events",
+    "churn_swaps",
+    "churn_replan_p50_ms",
+    "churn_replan_p99_ms",
+    "churn_replan_max_ms",
 ]
 
 
@@ -144,6 +167,21 @@ def check_service(checker):
     checker.must_be_true("service_warm_cold_agree")
 
 
+def check_churn(checker):
+    # Baseline-relative floor plus the absolute acceptance bound.
+    checker.floor("churn_availability", AVAILABILITY_FLOOR_FACTOR)
+    cur = float(checker.current.get("churn_availability", 0.0))
+    checker.checked += 1
+    if cur < CHURN_AVAILABILITY_FLOOR:
+        checker.failures.append(
+            f"churn_availability: {cur:.4f} < absolute floor {CHURN_AVAILABILITY_FLOOR}")
+    else:
+        print(f"churn_availability: {cur:.4f} >= absolute floor {CHURN_AVAILABILITY_FLOOR} ok")
+    for field in CHURN_RECORD_ONLY_FIELDS:
+        checker.record_only(field)
+    checker.must_be_true("churn_bitwise_agree")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__)
@@ -157,6 +195,8 @@ def main() -> int:
     bench = current.get("bench", baseline.get("bench", "lp_solvers"))
     if bench == "service":
         check_service(checker)
+    elif bench == "churn":
+        check_churn(checker)
     else:
         check_lp(checker)
 

@@ -1,0 +1,53 @@
+#include "experiments/churn_eval.hpp"
+
+#include <sstream>
+
+#include "experiments/service_eval.hpp"
+#include "platform/random_generator.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+
+Platform churn_instance(std::size_t n, std::uint64_t seed_scale) {
+  Rng rng(n * seed_scale);
+  RandomPlatformConfig config;
+  config.num_nodes = n;
+  config.density = n <= 12 ? 0.25 : 0.12;
+  return generate_random_platform(config, rng);
+}
+
+std::vector<ChurnSweepRecord> run_churn_sweep(const ChurnSweepConfig& config) {
+  std::vector<ChurnSweepRecord> records;
+  records.reserve(config.sizes.size() * config.churn_rates.size());
+  for (const std::size_t n : config.sizes) {
+    const Platform platform = churn_instance(n, config.seed_scale);
+    for (const double rate : config.churn_rates) {
+      ChurnScenarioOptions options;
+      options.timeline.num_periods = config.num_periods;
+      options.timeline.events_per_period = rate;
+      options.timeline.seed = config.seed_scale + static_cast<std::uint64_t>(n);
+      options.pool = config.pool;
+      ChurnSweepRecord record;
+      record.nodes = n;
+      record.churn_rate = rate;
+      record.result = run_churn_scenario(platform, options);
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+std::string describe(const ChurnSweepRecord& record) {
+  const ChurnScenarioResult& r = record.result;
+  const LatencySummary replans = summarize_latencies(r.replan_latency_ms);
+  std::ostringstream out;
+  out << "n=" << record.nodes << " rate=" << record.churn_rate << ": availability "
+      << r.availability << " (" << r.delivered_total << " delivered / " << r.offline_capacity
+      << " offline capacity), " << r.lost_total << " slices lost, " << r.num_events << " events ("
+      << r.num_degrades << " degrade, " << r.num_recoveries << " recover, " << r.num_failures
+      << " fail, " << r.num_joins << " join), " << r.num_swaps << " swaps, replan p50 "
+      << replans.p50_ms << " ms p99 " << replans.p99_ms << " ms";
+  return out.str();
+}
+
+}  // namespace bt

@@ -1,0 +1,50 @@
+#pragma once
+
+// The churn sweep: live-churn scenarios (scenario/scenario_engine.hpp) over
+// a grid of churn rates and platform sizes, the dynamic-platform companion
+// to the one-shot E9 robustness sweep.  Each cell generates the standard
+// random platform for its size, runs the seeded timeline against a
+// PlannerService, and reports the integrated availability (delivered work
+// over the offline re-solved optimum) plus loss and re-plan latency
+// figures.  bench/bench_churn.cpp archives the records as BENCH_churn.json;
+// tests/test_scenario.cpp runs trimmed cells.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "scenario/scenario_engine.hpp"
+
+namespace bt {
+
+struct ChurnSweepConfig {
+  std::vector<std::size_t> sizes = {50, 120, 200};
+  /// Expected events per period (ChurnTimelineConfig::events_per_period).
+  std::vector<double> churn_rates = {0.25, 0.75};
+  std::size_t num_periods = 48;
+  /// Platform seed is seed_scale * n (the bench-family convention).
+  std::uint64_t seed_scale = 424243;
+  /// Worker pool for every solve in the sweep (nullptr: solver default).
+  ThreadPool* pool = nullptr;
+};
+
+struct ChurnSweepRecord {
+  std::size_t nodes = 0;
+  double churn_rate = 0.0;
+  ChurnScenarioResult result;
+};
+
+/// The standard churn-bench platform at size `n` (same density schedule as
+/// the service bench; seeded by seed_scale * n).
+Platform churn_instance(std::size_t n, std::uint64_t seed_scale);
+
+/// Run every (size, rate) cell.  Record order is sizes-major, rates-minor,
+/// independent of the pool width.
+std::vector<ChurnSweepRecord> run_churn_sweep(const ChurnSweepConfig& config);
+
+/// One-line human-readable cell summary.
+std::string describe(const ChurnSweepRecord& record);
+
+}  // namespace bt

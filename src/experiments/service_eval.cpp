@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "scenario/event_stream.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -21,25 +22,31 @@ std::vector<ServiceRequest> make_request_stream(const Platform& platform,
              "make_request_stream: mutation_fraction must be in [0,1]");
 
   Rng rng(config.seed);
+  // Degrade/restore pairing (LIFO, pristine costs) is shared with the churn
+  // timeline generator; the sampler's no-removals path draws exactly the
+  // arcs this function drew inline before, so historical streams are
+  // unchanged.
+  LinkChurnSampler::Config sampler_config;
+  sampler_config.min_degrade_factor = config.min_degrade_factor;
+  sampler_config.max_degrade_factor = config.max_degrade_factor;
+  LinkChurnSampler sampler(platform, sampler_config);
   std::vector<ServiceRequest> stream;
   stream.reserve(config.num_requests);
-  // Arcs currently degraded, most recent last (restores pop the back).
-  std::vector<EdgeId> outstanding;
 
   for (std::size_t i = 0; i < config.num_requests; ++i) {
     ServiceRequest req;
     req.source = config.sources[rng.index(config.sources.size())];
     const bool mutate = rng.bernoulli(config.mutation_fraction);
-    if (mutate && !outstanding.empty() && rng.bernoulli(0.5)) {
+    if (mutate && sampler.has_outstanding() && rng.bernoulli(0.5)) {
+      const auto restore = sampler.pop_restore();
       req.kind = ServiceRequestKind::kRestore;
-      req.edge = outstanding.back();
-      outstanding.pop_back();
-      req.cost = platform.link_cost(req.edge);
+      req.edge = restore.edge;
+      req.cost = restore.cost;
     } else if (mutate) {
+      const auto degrade = sampler.sample_degrade(rng);
       req.kind = ServiceRequestKind::kDegrade;
-      req.edge = static_cast<EdgeId>(rng.index(platform.num_edges()));
-      req.factor = rng.uniform_real(config.min_degrade_factor, config.max_degrade_factor);
-      outstanding.push_back(req.edge);
+      req.edge = degrade.edge;
+      req.factor = degrade.factor;
     } else if (rng.bernoulli(config.schedule_fraction)) {
       req.kind = ServiceRequestKind::kSchedule;
     } else {

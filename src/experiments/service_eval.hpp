@@ -16,7 +16,10 @@
 // pristine cost captured from the platform at stream-generation time.
 // Restores therefore also reactivate removed links, mirroring how a
 // monitoring daemon would push a fresh measurement for a link that came
-// back.
+// back.  The pairing machinery (outstanding set, pristine costs, LIFO
+// restore order) lives in scenario/event_stream.hpp's LinkChurnSampler,
+// shared with the churn-timeline generator so the two workload generators
+// cannot drift apart.
 
 #include <cstddef>
 #include <cstdint>

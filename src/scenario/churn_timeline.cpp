@@ -1,0 +1,145 @@
+#include "scenario/churn_timeline.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "graph/reachability.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+bool removal_keeps_broadcast(const Platform& platform, NodeId source,
+                             const std::vector<char>& removed, EdgeId e) {
+  BT_REQUIRE(e < platform.num_edges(), "removal_keeps_broadcast: arc out of range");
+  EdgeMask active(platform.num_edges(), 1);
+  for (EdgeId a = 0; a < removed.size() && a < active.size(); ++a) {
+    if (removed[a]) active[a] = 0;
+  }
+  return all_reachable_without(platform.graph(), source, active, e);
+}
+
+namespace {
+
+/// Pick an arc whose failure keeps the broadcast feasible: uniformly random
+/// proposals, bounded attempts.  Returns false when none was found (dense
+/// churn on a sparse platform) -- the caller downgrades to a degrade event.
+bool pick_failure_arc(const Platform& live, NodeId source, const std::vector<char>& removed,
+                      Rng& rng, EdgeId* out) {
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    const EdgeId e = static_cast<EdgeId>(rng.index(live.num_edges()));
+    if (removed[e]) continue;
+    if (removal_keeps_broadcast(live, source, removed, e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Wire a joining node: `join_links` distinct peers, each giving one
+/// in-link (peer -> new) and one out-link (new -> peer), costs copied from
+/// uniformly random pristine arcs so the new links blend into the
+/// platform's cost distribution.
+void sample_join(const Platform& live, Rng& rng, std::size_t join_links,
+                 std::vector<SessionLink>* in_links, std::vector<SessionLink>* out_links) {
+  const std::size_t peers = std::min(join_links, live.num_nodes());
+  std::vector<char> used(live.num_nodes(), 0);
+  for (std::size_t k = 0; k < peers; ++k) {
+    NodeId peer;
+    do {
+      peer = static_cast<NodeId>(rng.index(live.num_nodes()));
+    } while (used[peer]);
+    used[peer] = 1;
+    const EdgeId in_template = static_cast<EdgeId>(rng.index(live.num_edges()));
+    const EdgeId out_template = static_cast<EdgeId>(rng.index(live.num_edges()));
+    in_links->push_back({peer, live.link_cost(in_template)});
+    out_links->push_back({peer, live.link_cost(out_template)});
+  }
+}
+
+}  // namespace
+
+ChurnTimeline make_churn_timeline(const Platform& platform, const ChurnTimelineConfig& config) {
+  BT_REQUIRE(platform.num_edges() > 0, "make_churn_timeline: platform has no arcs");
+  BT_REQUIRE(config.events_per_period >= 0.0, "make_churn_timeline: negative churn rate");
+  BT_REQUIRE(config.failure_fraction >= 0.0 && config.join_fraction >= 0.0 &&
+                 config.recover_fraction >= 0.0 &&
+                 config.failure_fraction + config.join_fraction + config.recover_fraction <= 1.0,
+             "make_churn_timeline: event-kind fractions must be >= 0 and sum to <= 1");
+
+  Rng rng(config.seed);
+  LinkChurnSampler::Config sampler_config;
+  sampler_config.min_degrade_factor = config.min_degrade_factor;
+  sampler_config.max_degrade_factor = config.max_degrade_factor;
+  LinkChurnSampler sampler(platform, sampler_config);
+
+  ChurnTimeline timeline{{}, platform, std::vector<char>(platform.num_edges(), 0)};
+  Platform& live = timeline.final_platform;
+  std::vector<char>& removed = timeline.final_removed;
+  const NodeId source = platform.source();
+
+  const std::size_t base_events = static_cast<std::size_t>(std::floor(config.events_per_period));
+  const double extra_prob = config.events_per_period - static_cast<double>(base_events);
+
+  for (std::size_t p = 0; p < config.num_periods; ++p) {
+    std::size_t count = base_events;
+    if (extra_prob > 0.0 && rng.bernoulli(extra_prob)) ++count;
+    for (std::size_t k = 0; k < count; ++k) {
+      ChurnEvent event;
+      event.period = p;
+      const double r = rng.uniform_real(0.0, 1.0);
+      if (r < config.failure_fraction) {
+        EdgeId e;
+        if (pick_failure_arc(live, source, removed, rng, &e)) {
+          event.kind = ChurnEventKind::kLinkFailure;
+          event.edge = e;
+          removed[e] = 1;
+          sampler.mark_removed(e);
+        } else {
+          const auto d = sampler.sample_degrade(rng);
+          event.kind = ChurnEventKind::kDegrade;
+          event.edge = d.edge;
+          event.factor = d.factor;
+        }
+      } else if (r < config.failure_fraction + config.join_fraction) {
+        event.kind = ChurnEventKind::kNodeJoin;
+        sample_join(live, rng, config.join_links, &event.in_links, &event.out_links);
+        live = grow_platform(live, event.in_links, event.out_links);
+        removed.resize(live.num_edges(), 0);
+        sampler.extend(live);
+      } else if (r < config.failure_fraction + config.join_fraction + config.recover_fraction &&
+                 sampler.has_outstanding()) {
+        const auto restore = sampler.pop_restore();
+        event.kind = ChurnEventKind::kRecover;
+        event.edge = restore.edge;
+        event.cost = restore.cost;
+      } else {
+        const auto d = sampler.sample_degrade(rng);
+        event.kind = ChurnEventKind::kDegrade;
+        event.edge = d.edge;
+        event.factor = d.factor;
+      }
+
+      // Mirror the event on the live copy (joins were applied above).
+      switch (event.kind) {
+        case ChurnEventKind::kDegrade: {
+          LinkCost cost = live.link_cost(event.edge);
+          cost.alpha *= event.factor;
+          cost.beta *= event.factor;
+          live.set_link_cost(event.edge, cost);
+          break;
+        }
+        case ChurnEventKind::kRecover:
+          live.set_link_cost(event.edge, event.cost);
+          break;
+        case ChurnEventKind::kLinkFailure:
+        case ChurnEventKind::kNodeJoin:
+          break;
+      }
+      timeline.events.push_back(std::move(event));
+    }
+  }
+  return timeline;
+}
+
+}  // namespace bt

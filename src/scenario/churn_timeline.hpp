@@ -1,0 +1,99 @@
+#pragma once
+
+// Event grammar and seeded timeline generation for the live-churn scenario
+// engine.
+//
+// The paper's robustness study (E9) perturbs link *estimates* once, before
+// solving.  A churn timeline is the production-scale version of the same
+// question: a sequence of platform mutations stamped with the period at
+// whose start boundary they strike, replayed against a live PlannerService
+// while the scenario engine (scenario_engine.hpp) keeps executing the
+// currently installed schedule.  Four event kinds:
+//
+//   kDegrade     -- arc e's times scale by `factor` > 1 (link slowed down);
+//   kRecover     -- arc e re-measured at its pristine `cost` (LIFO over the
+//                   outstanding degradations, via LinkChurnSampler);
+//   kLinkFailure -- arc e removed for good (failures do not resurrect; the
+//                   generator only fails arcs whose loss keeps every node
+//                   reachable from the source, so the service stays
+//                   solvable);
+//   kNodeJoin    -- a new node wired to `join_links` random peers by
+//                   symmetric in/out links whose costs are copied from a
+//                   random pristine arc (grow_platform semantics: old arc
+//                   ids stay stable, new arcs follow, in-links first).
+//
+// Generation applies each event to a private copy of the platform as it
+// goes, so connectivity checks, join wiring and compounding degradations
+// always see the live topology.  Everything is drawn from one bt::Rng
+// seeded by the config, so a (platform, config) pair pins the timeline
+// bitwise -- the determinism contract of BENCH_churn.json starts here.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "scenario/event_stream.hpp"
+#include "ssb/planner_session.hpp"
+
+namespace bt {
+
+enum class ChurnEventKind {
+  kDegrade,
+  kRecover,
+  kLinkFailure,
+  kNodeJoin,
+};
+
+/// One platform mutation, applied at the start boundary of `period`.
+struct ChurnEvent {
+  std::size_t period = 0;
+  ChurnEventKind kind = ChurnEventKind::kDegrade;
+  EdgeId edge = 0;      ///< kDegrade / kRecover / kLinkFailure
+  double factor = 1.0;  ///< kDegrade
+  LinkCost cost;        ///< kRecover (pristine)
+  std::vector<SessionLink> in_links;   ///< kNodeJoin (peer -> new)
+  std::vector<SessionLink> out_links;  ///< kNodeJoin (new -> peer)
+};
+
+struct ChurnTimelineConfig {
+  /// Timeline length, in schedule periods.
+  std::size_t num_periods = 48;
+  /// Expected events per period (the churn rate): each period fires
+  /// floor(rate) events plus one more with probability frac(rate).
+  double events_per_period = 0.25;
+  /// Event-kind mix.  Failure and join are drawn first; a recover draw
+  /// falls back to degrade while no degradation is outstanding.  The
+  /// remainder is degrades.
+  double failure_fraction = 0.12;
+  double join_fraction = 0.08;
+  double recover_fraction = 0.35;
+  /// Degradation factor range (see LinkChurnSampler).
+  double min_degrade_factor = 1.3;
+  double max_degrade_factor = 2.5;
+  /// Peers a joining node is wired to (each contributes one in- and one
+  /// out-link); clamped to the current node count.
+  std::size_t join_links = 3;
+  std::uint64_t seed = 424243;
+};
+
+/// The generated timeline plus the platform state it ends in (the offline
+/// reference a post-mortem would re-solve).
+struct ChurnTimeline {
+  std::vector<ChurnEvent> events;
+  Platform final_platform;
+  std::vector<char> final_removed;  ///< by final arc id
+};
+
+/// Generate a seeded timeline over `platform` (broadcast source =
+/// platform.source()).  Throws bt::Error on a platform without arcs or a
+/// config whose fractions leave nothing to draw.
+ChurnTimeline make_churn_timeline(const Platform& platform, const ChurnTimelineConfig& config);
+
+/// True iff dropping arc `e` on top of the already-removed set keeps every
+/// node reachable from `source`.  Exposed for tests and for callers picking
+/// a safe failure arc by hand.
+bool removal_keeps_broadcast(const Platform& platform, NodeId source,
+                             const std::vector<char>& removed, EdgeId e);
+
+}  // namespace bt

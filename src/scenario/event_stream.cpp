@@ -1,0 +1,66 @@
+#include "scenario/event_stream.hpp"
+
+#include "util/error.hpp"
+
+namespace bt {
+
+LinkChurnSampler::LinkChurnSampler(const Platform& platform, Config config)
+    : config_(config), removed_(platform.num_edges(), 0) {
+  BT_REQUIRE(platform.num_edges() > 0, "LinkChurnSampler: platform has no arcs");
+  BT_REQUIRE(config_.min_degrade_factor <= config_.max_degrade_factor,
+             "LinkChurnSampler: inverted degrade factor range");
+  pristine_.reserve(platform.num_edges());
+  for (EdgeId e = 0; e < platform.num_edges(); ++e) pristine_.push_back(platform.link_cost(e));
+}
+
+void LinkChurnSampler::extend(const Platform& platform) {
+  BT_REQUIRE(platform.num_edges() >= pristine_.size(),
+             "LinkChurnSampler::extend: platform shrank");
+  for (EdgeId e = static_cast<EdgeId>(pristine_.size()); e < platform.num_edges(); ++e) {
+    pristine_.push_back(platform.link_cost(e));
+  }
+  removed_.resize(pristine_.size(), 0);
+}
+
+void LinkChurnSampler::mark_removed(EdgeId e) {
+  BT_REQUIRE(e < removed_.size(), "LinkChurnSampler::mark_removed: arc out of range");
+  if (!removed_[e]) ++num_removed_;
+  removed_[e] = 1;
+}
+
+bool LinkChurnSampler::has_outstanding() const { return num_outstanding() > 0; }
+
+std::size_t LinkChurnSampler::num_outstanding() const {
+  std::size_t live = 0;
+  for (EdgeId e : outstanding_) {
+    if (!removed_[e]) ++live;
+  }
+  return live;
+}
+
+LinkChurnSampler::Degrade LinkChurnSampler::sample_degrade(Rng& rng) {
+  BT_REQUIRE(num_removed_ < pristine_.size(),
+             "LinkChurnSampler: every arc has been removed");
+  Degrade d;
+  // One draw when nothing is removed (the historical service_eval stream);
+  // otherwise resample past removed arcs -- at least one arc is live, so
+  // this terminates.
+  do {
+    d.edge = static_cast<EdgeId>(rng.index(pristine_.size()));
+  } while (removed_[d.edge]);
+  d.factor = rng.uniform_real(config_.min_degrade_factor, config_.max_degrade_factor);
+  outstanding_.push_back(d.edge);
+  return d;
+}
+
+LinkChurnSampler::Restore LinkChurnSampler::pop_restore() {
+  while (!outstanding_.empty() && removed_[outstanding_.back()]) outstanding_.pop_back();
+  BT_REQUIRE(!outstanding_.empty(), "LinkChurnSampler: no outstanding degradation");
+  Restore r;
+  r.edge = outstanding_.back();
+  outstanding_.pop_back();
+  r.cost = pristine_[r.edge];
+  return r;
+}
+
+}  // namespace bt

@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared seeded link-churn sampling.
+//
+// Two workload generators need the same primitive: a reproducible stream of
+// link degradations and restores over a platform's arcs --
+//
+//  * experiments/service_eval.hpp samples a mixed read/mutate *request*
+//    stream for the planner-service bench;
+//  * scenario/churn_timeline.hpp samples an *event timeline* of platform
+//    mutations for the live-churn scenario engine.
+//
+// Both used to duplicate the pairing logic (which arcs are currently
+// degraded, what their pristine costs were, LIFO restore order); this
+// sampler owns it once.  Degrades pick a uniformly random live arc and a
+// uniformly random slowdown factor from the configured range; each restore
+// pops the most recently degraded arc still outstanding and carries the
+// pristine cost captured when the sampler (or a later extend()) first saw
+// the arc.  Removed arcs can be marked so the sampler stops proposing them;
+// the no-removals fast path draws exactly one arc index per degrade, which
+// keeps the historical service_eval streams unchanged.
+//
+// All draws come from the caller's bt::Rng, so a (platform, config, seed)
+// triple pins the exact sequence.
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+
+class LinkChurnSampler {
+ public:
+  struct Config {
+    /// Degradation factor range (times are *multiplied*: 1.43 ~= "bandwidth
+    /// down 30%").
+    double min_degrade_factor = 1.2;
+    double max_degrade_factor = 2.0;
+  };
+
+  /// Captures the pristine cost of every arc of `platform`.  Throws
+  /// bt::Error on a platform without arcs or an inverted factor range.
+  LinkChurnSampler(const Platform& platform, Config config);
+
+  /// Register arcs a grown platform added since construction (node joins);
+  /// their current costs become the pristine reference.  No-op when the
+  /// platform has not grown.
+  void extend(const Platform& platform);
+
+  /// Exclude arc `e` from future degrade proposals (link failed).  Any
+  /// outstanding degradation of `e` is skipped by later restores.
+  void mark_removed(EdgeId e);
+
+  /// Arcs currently degraded and not removed (restores available).
+  bool has_outstanding() const;
+  std::size_t num_outstanding() const;
+
+  struct Degrade {
+    EdgeId edge = 0;
+    double factor = 1.0;
+  };
+  /// Sample a degradation: a uniformly random live arc (resampled past
+  /// removed arcs) and a factor from the configured range; the arc joins
+  /// the outstanding list.  Requires at least one live arc.
+  Degrade sample_degrade(Rng& rng);
+
+  struct Restore {
+    EdgeId edge = 0;
+    LinkCost cost;  ///< pristine cost to put back
+  };
+  /// Pop the most recent outstanding degradation (LIFO), skipping arcs
+  /// removed since they were degraded.  Requires has_outstanding().
+  Restore pop_restore();
+
+ private:
+  Config config_;
+  std::vector<LinkCost> pristine_;  ///< by arc id
+  std::vector<char> removed_;
+  std::vector<EdgeId> outstanding_;  ///< degraded arcs, most recent last
+  std::size_t num_removed_ = 0;
+};
+
+}  // namespace bt

@@ -1,0 +1,183 @@
+#include "scenario/scenario_engine.hpp"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "sim/replay_session.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace bt {
+
+namespace {
+
+bool bits_equal(double a, double b) {
+  std::uint64_t x = 0, y = 0;
+  std::memcpy(&x, &a, sizeof(x));
+  std::memcpy(&y, &b, sizeof(y));
+  return x == y;
+}
+
+/// TP* of the live platform from a throwaway cold session (the offline
+/// reference an omniscient re-planner would hit).
+double offline_reference(const Platform& live, const std::vector<char>& removed,
+                         NodeId source, const PlannerSessionOptions& options) {
+  PlannerSession session(live.with_source(source), options);
+  for (EdgeId e = 0; e < removed.size(); ++e) {
+    if (removed[e]) session.remove_link(e);
+  }
+  return session.throughput();
+}
+
+}  // namespace
+
+ChurnScenarioResult run_churn_scenario(const Platform& platform,
+                                       const ChurnScenarioOptions& options) {
+  const NodeId source = platform.source();
+  const ChurnTimeline timeline = make_churn_timeline(platform, options.timeline);
+
+  ChurnScenarioOptions opts = options;
+  opts.service.session.cutting.pool = options.pool;
+  opts.service.session.colgen.pool = options.pool;
+  PlannerService service(platform, opts.service);
+  ScheduleSubscription sub;
+  sub.source = source;
+
+  // Offline reference sessions run the batch path (cold_polish on): their
+  // TP* is the bitwise-reproducible cold number at every pool width.
+  PlannerSessionOptions offline_options = opts.service.session;
+  offline_options.cold_polish = true;
+
+  // The engine's mirror of the service's live topology: the replayer
+  // executes against this, not against the planning view.
+  Platform live = platform;
+  std::vector<char> removed(platform.num_edges(), 0);
+
+  ChurnScenarioResult result;
+  result.periods.reserve(options.timeline.num_periods);
+
+  // Initial plan: plan() first so schedule() synthesizes from the cutting
+  // loads (the warm re-plan path) instead of running packing column
+  // generation per boundary.
+  service.plan(source);
+  auto installed = service.schedule(source);
+  service.poll_schedule(sub);  // adopt the initial build's version
+  std::uint64_t installed_version = sub.seen_version;
+  ReplaySession replay(live, installed);
+  if (options.warm_handoff) {
+    // Start in steady state: the scenario window opens on a broadcast that
+    // is already running, so a quiet timeline loses nothing and every loss
+    // recorded below is churn, not the startup fill transient.
+    replay.install(live, installed, /*warm_handoff=*/true);
+  }
+
+  double offline_tp = offline_reference(live, removed, source, offline_options);
+
+  std::size_t next_event = 0;
+  for (std::size_t p = 0; p < options.timeline.num_periods; ++p) {
+    // 1. Pick up a re-plan finished at an earlier boundary (hot-swap).
+    if (auto fresh = service.poll_schedule(sub)) {
+      replay.install(live, fresh, options.warm_handoff);
+      installed_version = sub.seen_version;
+      ++result.num_swaps;
+    }
+
+    // 2. Apply this boundary's events to the service; re-plan after each.
+    std::uint64_t events_applied = 0;
+    while (next_event < timeline.events.size() &&
+           timeline.events[next_event].period == p) {
+      const ChurnEvent& event = timeline.events[next_event];
+      switch (event.kind) {
+        case ChurnEventKind::kDegrade: {
+          service.scale_link_time(event.edge, event.factor);
+          LinkCost cost = live.link_cost(event.edge);
+          cost.alpha *= event.factor;
+          cost.beta *= event.factor;
+          live.set_link_cost(event.edge, cost);
+          ++result.num_degrades;
+          break;
+        }
+        case ChurnEventKind::kRecover:
+          service.set_link_cost(event.edge, event.cost);
+          live.set_link_cost(event.edge, event.cost);
+          ++result.num_recoveries;
+          break;
+        case ChurnEventKind::kLinkFailure:
+          service.remove_link(event.edge);
+          removed[event.edge] = 1;
+          ++result.num_failures;
+          break;
+        case ChurnEventKind::kNodeJoin:
+          service.add_node(event.in_links, event.out_links);
+          live = grow_platform(live, event.in_links, event.out_links);
+          removed.resize(live.num_edges(), 0);
+          ++result.num_joins;
+          break;
+      }
+      Timer replan;
+      service.plan(source);
+      service.schedule(source);
+      result.replan_latency_ms.push_back(replan.millis());
+      ++events_applied;
+      ++next_event;
+      ++result.num_events;
+    }
+    if (events_applied > 0) {
+      offline_tp = offline_reference(live, removed, source, offline_options);
+    }
+
+    // 3. Execute one period of the installed schedule on the live platform.
+    replay.set_platform(live, removed);
+    const PeriodDelivery delivery = replay.run_period();
+
+    ChurnPeriodRecord record;
+    record.period = p;
+    record.schedule_version = installed_version;
+    record.events_applied = events_applied;
+    record.live_nodes = live.num_nodes();
+    record.period_seconds = delivery.seconds;
+    record.designed_slices = delivery.designed_slices;
+    record.delivered_total = delivery.delivered_total;
+    record.min_delivered = delivery.min_delivered;
+    record.lost_slices = delivery.lost_slices;
+    record.offline_throughput = offline_tp;
+    result.periods.push_back(record);
+
+    result.delivered_total += delivery.delivered_total;
+    result.lost_total += delivery.lost_slices;
+    result.offline_capacity +=
+        offline_tp * delivery.seconds * static_cast<double>(live.num_nodes() - 1);
+  }
+
+  result.availability =
+      result.offline_capacity > 0.0 ? result.delivered_total / result.offline_capacity : 0.0;
+  return result;
+}
+
+bool payload_bitwise_equal(const ChurnScenarioResult& a, const ChurnScenarioResult& b) {
+  if (a.periods.size() != b.periods.size()) return false;
+  for (std::size_t i = 0; i < a.periods.size(); ++i) {
+    const ChurnPeriodRecord& x = a.periods[i];
+    const ChurnPeriodRecord& y = b.periods[i];
+    if (x.period != y.period || x.schedule_version != y.schedule_version ||
+        x.events_applied != y.events_applied || x.live_nodes != y.live_nodes)
+      return false;
+    if (!bits_equal(x.period_seconds, y.period_seconds) ||
+        !bits_equal(x.designed_slices, y.designed_slices) ||
+        !bits_equal(x.delivered_total, y.delivered_total) ||
+        !bits_equal(x.min_delivered, y.min_delivered) ||
+        !bits_equal(x.lost_slices, y.lost_slices) ||
+        !bits_equal(x.offline_throughput, y.offline_throughput))
+      return false;
+  }
+  return bits_equal(a.delivered_total, b.delivered_total) &&
+         bits_equal(a.lost_total, b.lost_total) &&
+         bits_equal(a.offline_capacity, b.offline_capacity) &&
+         bits_equal(a.availability, b.availability) && a.num_events == b.num_events &&
+         a.num_swaps == b.num_swaps && a.num_degrades == b.num_degrades &&
+         a.num_recoveries == b.num_recoveries && a.num_failures == b.num_failures &&
+         a.num_joins == b.num_joins;
+}
+
+}  // namespace bt

@@ -58,6 +58,7 @@ std::shared_ptr<const PeriodicSchedule> PlannerService::schedule_locked(NodeId s
   auto schedule = std::make_shared<const PeriodicSchedule>(session.schedule());
   ++schedules_built_;
   schedule_cache_.put({source, port_model, version_}, schedule);
+  schedule_built_[source] = version_;
   return schedule;
 }
 
@@ -82,6 +83,20 @@ std::shared_ptr<const PeriodicSchedule> PlannerService::schedule(NodeId source) 
   }
   WriteGuard lock(guard_);
   return schedule_locked(source);
+}
+
+std::shared_ptr<const PeriodicSchedule> PlannerService::poll_schedule(ScheduleSubscription& sub) {
+  ReadGuard lock(guard_);
+  const auto it = schedule_built_.find(sub.source);
+  if (it == schedule_built_.end()) return nullptr;
+  const std::uint64_t built = it->second;
+  if (sub.seen_version != ScheduleSubscription::kNone && built <= sub.seen_version)
+    return nullptr;
+  const PortModel port_model = options_.session.cutting.port_model;
+  auto hit = schedule_cache_.get({sub.source, port_model, built});
+  if (!hit) return nullptr;  // LRU-evicted since it was built
+  sub.seen_version = built;
+  return *hit;
 }
 
 void PlannerService::set_link_cost(EdgeId e, LinkCost cost) {

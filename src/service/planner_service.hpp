@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -74,6 +75,18 @@ struct PlannerServiceStats {
   std::uint64_t sessions_evicted = 0;
 };
 
+/// Cursor of a schedule consumer (e.g. the churn scenario engine's replay
+/// loop): remembers the service version of the last schedule it took, so
+/// PlannerService::poll_schedule can hand over *newer* builds without ever
+/// blocking on a solve.
+struct ScheduleSubscription {
+  static constexpr std::uint64_t kNone = static_cast<std::uint64_t>(-1);
+  NodeId source = 0;
+  /// Version of the last schedule taken through poll_schedule (kNone:
+  /// nothing taken yet -- the first poll returns the newest build, if any).
+  std::uint64_t seen_version = kNone;
+};
+
 class PlannerService {
  public:
   explicit PlannerService(Platform platform, PlannerServiceOptions options = {});
@@ -89,6 +102,14 @@ class PlannerService {
 
   /// The synthesized periodic schedule for `source`.
   std::shared_ptr<const PeriodicSchedule> schedule(NodeId source);
+
+  /// Non-blocking epoch hook: the newest *built* schedule for `sub.source`
+  /// whose service version is newer than sub.seen_version, advancing the
+  /// cursor -- or nullptr when nothing newer has been built (or the build
+  /// was already LRU-evicted; call schedule() to force one).  Never solves
+  /// or synthesizes, so an executor can poll at every period boundary and
+  /// keep running its installed schedule while a re-plan is in flight.
+  std::shared_ptr<const PeriodicSchedule> poll_schedule(ScheduleSubscription& sub);
 
   // ---- write requests (serialized) ----
 
@@ -142,6 +163,9 @@ class PlannerService {
 
   LruCache<PlanKey, std::shared_ptr<const SsbSolution>> plan_cache_;
   ScheduleCache schedule_cache_;
+  /// Per-source service version of the newest schedule ever built, feeding
+  /// poll_schedule (only grows; written under the write guard).
+  std::map<NodeId, std::uint64_t> schedule_built_;
 
   // Counter discipline: queries_ is bumped on the read path (shared lock)
   // so it's atomic; hit counters are folded from the caches' own counters;

@@ -1,0 +1,133 @@
+#include "sim/replay_session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "graph/arborescence.hpp"
+#include "util/error.hpp"
+
+namespace bt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ReplaySession::ReplaySession(Platform platform, std::shared_ptr<const PeriodicSchedule> schedule)
+    : platform_(std::move(platform)) {
+  delivered_.assign(platform_.num_nodes(), 0.0);
+  install(platform_, std::move(schedule), /*warm_handoff=*/false);
+}
+
+void ReplaySession::index_schedule() {
+  const Digraph& g = platform_.graph();
+  max_depth_ = 1;
+  sorted_edges_.assign(schedule_->trees.size(), {});
+  for (std::size_t t = 0; t < schedule_->trees.size(); ++t) {
+    // Tree depths bound the pipeline-fill transient: data advances at least
+    // one tree level per period (a node forwards what it held at round
+    // start).
+    const auto parent = parent_edge_array(g, schedule_->root, schedule_->trees[t].edges);
+    const auto depth = node_depths(g, schedule_->root, parent);
+    max_depth_ = std::max(max_depth_, *std::max_element(depth.begin(), depth.end()));
+    sorted_edges_[t] = schedule_->trees[t].edges;
+    std::sort(sorted_edges_[t].begin(), sorted_edges_[t].end());
+  }
+}
+
+void ReplaySession::install(Platform platform, std::shared_ptr<const PeriodicSchedule> schedule,
+                            bool warm_handoff) {
+  BT_REQUIRE(schedule != nullptr, "ReplaySession: null schedule");
+  BT_REQUIRE(schedule->period > 0.0, "ReplaySession: schedule has no period");
+  BT_REQUIRE(!schedule->trees.empty(), "ReplaySession: schedule has no trees");
+  BT_REQUIRE(schedule->slices_per_period > 0.0, "ReplaySession: schedule ships no slices");
+  platform_ = std::move(platform);
+  removed_.assign(platform_.num_edges(), 0);
+  schedule_ = std::move(schedule);
+  BT_REQUIRE(schedule_->root < platform_.num_nodes(),
+             "ReplaySession: schedule root outside the platform");
+  index_schedule();
+
+  const std::size_t n = platform_.num_nodes();
+  delivered_.resize(n, 0.0);
+  have_.assign(schedule_->trees.size(), std::vector<double>(n, 0.0));
+  shipped_.assign(schedule_->trees.size(), {});
+  for (std::size_t t = 0; t < schedule_->trees.size(); ++t) {
+    if (warm_handoff) {
+      // Steady-state headroom: one period's worth of the tree's slices
+      // buffered at every non-root node, so each arc can ship its full
+      // amount in the first period while fresh slices flow in behind it.
+      std::fill(have_[t].begin(), have_[t].end(), schedule_->trees[t].slices_per_period);
+    }
+    have_[t][schedule_->root] = kInf;
+    shipped_[t].assign(sorted_edges_[t].size(), 0.0);
+  }
+}
+
+void ReplaySession::set_platform(Platform platform, std::vector<char> removed) {
+  BT_REQUIRE(platform.num_nodes() >= platform_.num_nodes(),
+             "ReplaySession::set_platform: platform shrank");
+  platform_ = std::move(platform);
+  removed_ = std::move(removed);
+  delivered_.resize(platform_.num_nodes(), 0.0);
+  for (auto& have : have_) have.resize(platform_.num_nodes(), 0.0);
+}
+
+PeriodDelivery ReplaySession::run_period() {
+  const Digraph& g = platform_.graph();
+  const std::size_t n = platform_.num_nodes();
+  std::vector<double> before = delivered_;
+
+  for (const ScheduleRound& round : schedule_->rounds) {
+    // Round-start snapshot semantics: compute every transfer's movable
+    // amount first, apply afterwards -- nothing received during a round is
+    // forwarded within it.
+    moves_.clear();
+    for (const ScheduleTransfer& transfer : round.transfers) {
+      const NodeId u = g.from(transfer.arc);
+      const auto& sorted = sorted_edges_[transfer.tree];
+      const auto it = std::lower_bound(sorted.begin(), sorted.end(), transfer.arc);
+      BT_REQUIRE(it != sorted.end() && *it == transfer.arc,
+                 "ReplaySession: transfer over an arc not in its tree");
+      const std::size_t slot = static_cast<std::size_t>(it - sorted.begin());
+      const double available = have_[transfer.tree][u] - shipped_[transfer.tree][slot];
+      double amount = std::min(transfer.amount, std::max(0.0, available));
+      if (amount <= 0.0) continue;
+      // Stale-schedule cap: only what the *live* arc time lets through in
+      // this round's duration.  The 1e-9 relative guard keeps planned
+      // amounts exact when the schedule is consistent with the platform.
+      if (transfer.arc < removed_.size() && removed_[transfer.arc]) continue;
+      const double live_time = platform_.edge_time(transfer.arc);
+      if (live_time > 0.0) {
+        const double allowed = round.duration / live_time;
+        if (allowed < amount * (1.0 - 1e-9)) amount = std::max(0.0, allowed);
+      }
+      if (amount <= 0.0) continue;
+      moves_.push_back({transfer.tree, slot, g.to(transfer.arc), amount});
+    }
+    for (const Move& move : moves_) {
+      shipped_[move.tree][move.slot] += move.amount;
+      have_[move.tree][move.to] += move.amount;
+      delivered_[move.to] += move.amount;
+    }
+  }
+  ++periods_run_;
+
+  PeriodDelivery out;
+  out.seconds = schedule_->period;
+  out.designed_slices = schedule_->slices_per_period;
+  out.delivered.assign(n, 0.0);
+  out.min_delivered = kInf;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == schedule_->root) continue;
+    out.delivered[v] = delivered_[v] - before[v];
+    out.delivered_total += out.delivered[v];
+    out.min_delivered = std::min(out.min_delivered, out.delivered[v]);
+  }
+  if (out.min_delivered == kInf) out.min_delivered = 0.0;
+  const double promised = out.designed_slices * static_cast<double>(n > 0 ? n - 1 : 0);
+  out.lost_slices = std::max(0.0, promised - out.delivered_total);
+  return out;
+}
+
+}  // namespace bt

@@ -1,0 +1,119 @@
+#pragma once
+
+// Interruptible periodic-schedule replay with schedule hot-swap.
+//
+// replay_schedule (schedule_replay.hpp) executes one schedule start to
+// finish on the platform it was built for.  The live-churn scenario engine
+// (scenario/scenario_engine.hpp) needs the same executor, opened up along
+// two axes:
+//
+//  * one period at a time, with per-period delivery counters -- the engine
+//    interleaves periods with platform mutations and re-plans;
+//  * against a *live* platform that may have drifted from the one the
+//    schedule was planned on: every transfer is additionally capped by
+//    what the current arc time lets through in its round
+//    (duration / T_live), and a removed arc ships nothing.  That shortfall
+//    is exactly the "bytes lost to a stale schedule" the scenario engine
+//    measures.  A schedule consistent with the live platform is never
+//    capped (the cap carries a 1e-9 relative guard so planned amounts are
+//    not shaved by float division), so replay of an un-churned schedule is
+//    arithmetically identical to replay_schedule, which is now a thin
+//    wrapper over this class.
+//
+// Hot-swap: install() replaces the executing schedule at a period boundary.
+// By default the handoff is *warm*: every non-root node starts with one
+// period's worth of each new tree's slices buffered (the steady-state
+// headroom -- in a broadcast, slices a node already holds under the old
+// schedule are exactly what its new children still need), so the new
+// schedule delivers at full rate from its first period and churn losses are
+// attributed to stale periods, not to re-filling pipelines the platform
+// never drained.  A cold install (warm_handoff = false) starts with empty
+// pipelines and pays the fill transient of max tree depth periods --
+// replay_schedule's startup behavior.
+//
+// Cumulative delivered counters persist across installs (grown to the new
+// node count), so end-to-end delivered bytes integrate over the whole
+// scenario.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sched/periodic_schedule.hpp"
+
+namespace bt {
+
+/// Delivery accounting of one executed period.
+struct PeriodDelivery {
+  double seconds = 0.0;         ///< the installed schedule's period length
+  double designed_slices = 0.0; ///< slices_per_period the schedule promises each node
+  /// Slices each node received during this period (root reads 0).
+  std::vector<double> delivered;
+  double delivered_total = 0.0;  ///< sum over non-root nodes
+  double min_delivered = 0.0;    ///< worst non-root node
+  /// Shortfall vs the promise: designed * receivers - delivered_total,
+  /// clamped at 0 (a warm swap can briefly over-deliver buffered slices).
+  double lost_slices = 0.0;
+};
+
+class ReplaySession {
+ public:
+  /// Cold install of `schedule` against `platform` (pipelines empty; the
+  /// root holds everything).  Throws bt::Error on an empty or period-less
+  /// schedule.
+  ReplaySession(Platform platform, std::shared_ptr<const PeriodicSchedule> schedule);
+
+  /// Swap to `schedule` at the current period boundary, against the given
+  /// live platform (which may have grown -- delivered counters are resized,
+  /// never reset).  Warm handoff pre-buffers one period of each tree at
+  /// every non-root node; cold pays the pipeline-fill transient.
+  void install(Platform platform, std::shared_ptr<const PeriodicSchedule> schedule,
+               bool warm_handoff = true);
+
+  /// Refresh the live platform (degraded / restored arc costs, removals,
+  /// growth) without swapping the schedule.  Subsequent periods execute the
+  /// now-stale schedule against it: transfers are capped by the live arc
+  /// times, removed arcs ship nothing.  `removed` is indexed by arc id and
+  /// may be empty (nothing removed).
+  void set_platform(Platform platform, std::vector<char> removed = {});
+
+  /// Execute one full period of the installed schedule.
+  PeriodDelivery run_period();
+
+  const PeriodicSchedule& schedule() const { return *schedule_; }
+  const Platform& platform() const { return platform_; }
+  std::size_t periods_run() const { return periods_run_; }
+  /// Max depth over the installed schedule's trees (the fill transient of a
+  /// cold install, in periods).
+  std::size_t max_tree_depth() const { return max_depth_; }
+  /// Cumulative slices delivered to each node since construction.
+  const std::vector<double>& delivered_total() const { return delivered_; }
+
+ private:
+  void index_schedule();
+
+  Platform platform_;
+  std::vector<char> removed_;
+  std::shared_ptr<const PeriodicSchedule> schedule_;
+  std::size_t max_depth_ = 1;
+  std::size_t periods_run_ = 0;
+
+  /// Per-tree sorted arc lists for arc -> slot lookups.
+  std::vector<std::vector<EdgeId>> sorted_edges_;
+  /// have_[t][v]: slices of tree t fully received at v (root: +inf).
+  std::vector<std::vector<double>> have_;
+  /// shipped_[t][slot]: cumulative slices sent over the tree's slot-th arc.
+  std::vector<std::vector<double>> shipped_;
+  std::vector<double> delivered_;  ///< cumulative per node, across installs
+
+  struct Move {
+    std::size_t tree;
+    std::size_t slot;
+    NodeId to;
+    double amount;
+  };
+  std::vector<Move> moves_;  ///< round scratch
+};
+
+}  // namespace bt

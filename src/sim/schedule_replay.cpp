@@ -2,126 +2,54 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
-#include "graph/arborescence.hpp"
+#include "sim/replay_session.hpp"
 #include "util/error.hpp"
 
 namespace bt {
 
-namespace {
-
-/// Per-tree sorted arc list for O(log) arc -> slot lookups.
-struct TreeIndex {
-  std::vector<EdgeId> sorted_edges;
-  std::size_t slot(EdgeId arc) const {
-    const auto it = std::lower_bound(sorted_edges.begin(), sorted_edges.end(), arc);
-    BT_REQUIRE(it != sorted_edges.end() && *it == arc,
-               "replay_schedule: transfer over an arc not in its tree");
-    return static_cast<std::size_t>(it - sorted_edges.begin());
-  }
-};
-
-}  // namespace
-
 ReplayResult replay_schedule(const Platform& platform, const PeriodicSchedule& schedule,
                              const ReplayOptions& options) {
-  const Digraph& g = platform.graph();
-  const std::size_t n = g.num_nodes();
-  BT_REQUIRE(schedule.period > 0.0, "replay_schedule: schedule has no period");
-  BT_REQUIRE(!schedule.trees.empty(), "replay_schedule: schedule has no trees");
-  BT_REQUIRE(schedule.slices_per_period > 0.0, "replay_schedule: schedule ships no slices");
   BT_REQUIRE(options.measure_periods >= 1, "replay_schedule: need a measurement window");
-
-  // Tree depths bound the pipeline-fill transient: data advances at least
-  // one tree level per period (a node forwards what it held at round start).
-  std::size_t max_depth = 1;
-  std::vector<TreeIndex> index(schedule.trees.size());
-  for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
-    const auto parent = parent_edge_array(g, schedule.root, schedule.trees[t].edges);
-    const auto depth = node_depths(g, schedule.root, parent);
-    max_depth = std::max(max_depth, *std::max_element(depth.begin(), depth.end()));
-    index[t].sorted_edges = schedule.trees[t].edges;
-    std::sort(index[t].sorted_edges.begin(), index[t].sorted_edges.end());
-  }
+  // ReplaySession owns the executor (cold install: empty pipelines, the
+  // fill-transient startup this function has always measured); this wrapper
+  // adds the warmup/window bookkeeping.
+  ReplaySession session(platform,
+                        std::make_shared<const PeriodicSchedule>(schedule));
   const std::size_t warmup =
-      options.warmup_periods > 0 ? options.warmup_periods : max_depth + 2;
+      options.warmup_periods > 0 ? options.warmup_periods : session.max_tree_depth() + 2;
   const std::size_t periods = warmup + options.measure_periods;
-
-  // have[t][v]: slices of tree t fully received at v; the root holds
-  // everything.  shipped[t][slot]: cumulative slices sent over the tree's
-  // slot-th arc (children receive copies, so each arc has its own budget
-  // bounded by what the sender holds).
+  const std::size_t n = platform.num_nodes();
   const double kInf = std::numeric_limits<double>::infinity();
-  std::vector<std::vector<double>> have(schedule.trees.size(),
-                                        std::vector<double>(n, 0.0));
-  std::vector<std::vector<double>> shipped(schedule.trees.size());
-  for (std::size_t t = 0; t < schedule.trees.size(); ++t) {
-    have[t][schedule.root] = kInf;
-    shipped[t].assign(index[t].sorted_edges.size(), 0.0);
-  }
-  std::vector<double> delivered(n, 0.0);
-  // delivered at each period boundary, for transient and window measurement.
-  std::vector<std::vector<double>> boundary;
-  boundary.reserve(periods + 1);
-  boundary.push_back(delivered);
 
-  struct Move {
-    std::size_t tree;
-    std::size_t slot;
-    NodeId to;
-    double amount;
-  };
-  std::vector<Move> moves;
-  for (std::size_t p = 0; p < periods; ++p) {
-    for (const ScheduleRound& round : schedule.rounds) {
-      // Round-start snapshot semantics: compute every transfer's movable
-      // amount first, apply afterwards -- nothing received during a round
-      // is forwarded within it.
-      moves.clear();
-      for (const ScheduleTransfer& transfer : round.transfers) {
-        const NodeId u = g.from(transfer.arc);
-        const std::size_t slot = index[transfer.tree].slot(transfer.arc);
-        const double available = have[transfer.tree][u] - shipped[transfer.tree][slot];
-        const double amount = std::min(transfer.amount, std::max(0.0, available));
-        if (amount <= 0.0) continue;
-        moves.push_back({transfer.tree, slot, g.to(transfer.arc), amount});
-      }
-      for (const Move& move : moves) {
-        shipped[move.tree][move.slot] += move.amount;
-        have[move.tree][move.to] += move.amount;
-        delivered[move.to] += move.amount;
-      }
-    }
-    boundary.push_back(delivered);
-  }
-
+  // Per-period minimum intake (for the transient) and the delivered
+  // snapshot at the start of the measurement window.
   ReplayResult result;
   result.periods = periods;
   result.total_time = static_cast<double>(periods) * schedule.period;
-  result.delivered = delivered;
-  result.delivered[schedule.root] = 0.0;
-
-  const double full = schedule.slices_per_period * (1.0 - 1e-9);
   result.transient_periods = periods;
+  std::vector<double> window_start;
+  const double full = schedule.slices_per_period * (1.0 - 1e-9);
+  bool transient_found = false;
   for (std::size_t p = 0; p < periods; ++p) {
-    double min_intake = kInf;
-    for (NodeId v = 0; v < n; ++v) {
-      if (v == schedule.root) continue;
-      min_intake = std::min(min_intake, boundary[p + 1][v] - boundary[p][v]);
-    }
-    if (min_intake >= full) {
+    if (p == periods - options.measure_periods) window_start = session.delivered_total();
+    const PeriodDelivery delivery = session.run_period();
+    if (!transient_found && delivery.min_delivered >= full) {
       result.transient_periods = p;
-      break;
+      transient_found = true;
     }
   }
 
-  const std::size_t window = options.measure_periods;
+  result.delivered = session.delivered_total();
+  result.delivered[schedule.root] = 0.0;
   double steady = kInf, end_to_end = kInf;
   for (NodeId v = 0; v < n; ++v) {
     if (v == schedule.root) continue;
-    steady = std::min(steady, (boundary[periods][v] - boundary[periods - window][v]) /
-                                  (static_cast<double>(window) * schedule.period));
-    end_to_end = std::min(end_to_end, boundary[periods][v] / result.total_time);
+    steady = std::min(steady, (result.delivered[v] - window_start[v]) /
+                                  (static_cast<double>(options.measure_periods) *
+                                   schedule.period));
+    end_to_end = std::min(end_to_end, result.delivered[v] / result.total_time);
   }
   result.steady_throughput = steady == kInf ? 0.0 : steady;
   result.end_to_end_throughput = end_to_end == kInf ? 0.0 : end_to_end;

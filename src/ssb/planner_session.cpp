@@ -1058,19 +1058,30 @@ const SsbPackingSolution& PlannerSession::solve_packing() {
 
 const PeriodicSchedule& PlannerSession::schedule() {
   if (schedule_ != nullptr && schedule_version_ == version_) return *schedule_;
+  // Synthesis fans out over the same worker pool as the masters (per-tree
+  // validation, the BvN consume step, the decomposition certificate), so a
+  // caller pinning the pool width -- the churn determinism matrix -- covers
+  // the schedule path too.
   OrchestrationOptions orchestration;
+  TreeDecompositionOptions decomposition;
   PeriodicSchedule built;
   if (!packing_dirty_) {
     // Fresh packing solution: orchestrate its exact tree columns.
     orchestration.port_model = options_.colgen.port_model;
-    built = synthesize_schedule(platform_, packing_solution_, orchestration);
+    orchestration.pool = options_.colgen.pool;
+    decomposition.pool = options_.colgen.pool;
+    built = synthesize_schedule(platform_, packing_solution_, orchestration, decomposition);
   } else if (!cutting_dirty_) {
     // Fresh cutting-plane loads: decompose, then orchestrate.
     orchestration.port_model = options_.cutting.port_model;
-    built = synthesize_schedule(platform_, cutting_solution_, orchestration);
+    orchestration.pool = options_.cutting.pool;
+    decomposition.pool = options_.cutting.pool;
+    built = synthesize_schedule(platform_, cutting_solution_, orchestration, decomposition);
   } else {
     orchestration.port_model = options_.colgen.port_model;
-    built = synthesize_schedule(platform_, solve_packing(), orchestration);
+    orchestration.pool = options_.colgen.pool;
+    decomposition.pool = options_.colgen.pool;
+    built = synthesize_schedule(platform_, solve_packing(), orchestration, decomposition);
   }
   schedule_ = std::make_unique<PeriodicSchedule>(std::move(built));
   schedule_version_ = version_;

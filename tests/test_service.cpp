@@ -14,6 +14,7 @@
 
 #include "experiments/service_eval.hpp"
 #include "platform/random_generator.hpp"
+#include "sched/validate.hpp"
 #include "service/planner_service.hpp"
 #include "ssb/ssb_cutting_plane.hpp"
 #include "util/error.hpp"
@@ -164,6 +165,65 @@ TEST(PlannerService, AddNodeGrowsEverySession) {
     const SsbSolution batch = solve_ssb_cutting_plane(grown.with_source(s));
     EXPECT_LE(rel_diff(service.throughput(s), batch.throughput), 1e-9) << "source " << s;
   }
+}
+
+TEST(PlannerService, ScheduleSnapshotSurvivesRemoveLink) {
+  // A consumer holding a schedule taken *before* a failure must keep a
+  // valid, executable schedule for the platform it was built on, while the
+  // service moves on: the post-mutation call returns a new version built
+  // around the dead arc.
+  const Platform p = random_platform(12, 4242);
+  PlannerService service(p);
+  const std::uint64_t version_before = service.version();
+  auto snapshot = service.schedule(0);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(check_schedule(p, *snapshot).ok);
+
+  // Fail an arc the snapshot actually ships over.
+  ASSERT_FALSE(snapshot->trees.empty());
+  const EdgeId victim = snapshot->trees[0].edges.front();
+  service.remove_link(victim);
+  EXPECT_EQ(service.version(), version_before + 1);  // cache invalidation pin
+
+  auto rebuilt = service.schedule(0);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_NE(rebuilt.get(), snapshot.get());
+  for (const ScheduledTree& tree : rebuilt->trees) {
+    for (const EdgeId e : tree.edges) EXPECT_NE(e, victim);
+  }
+  // The old snapshot is untouched by the mutation: still valid against the
+  // platform it was planned for.
+  EXPECT_TRUE(check_schedule(p, *snapshot).ok);
+  EXPECT_TRUE(check_schedule(service.platform_snapshot(), *rebuilt).ok);
+}
+
+TEST(PlannerService, AddNodeColdFallbackMidStreamMatchesColdSolve) {
+  // S2: joins arrive mid-stream, after degradations already re-planned the
+  // warm sessions.  add_node is the structural cold fallback; the recreated
+  // sessions must see the *current* platform (degradations included) and
+  // match a from-scratch solve to 1e-9.
+  const Platform p = random_platform(10, 909);
+  PlannerService service(p);
+  service.throughput(0);
+  service.throughput(2);
+
+  service.scale_link_time(1, 1.7);
+  service.scale_link_time(4, 1.3);
+  service.throughput(0);  // warm re-plan between mutations
+
+  std::vector<SessionLink> in_links = {{0, LinkCost{0.0, 3e-8}}, {5, LinkCost{0.0, 6e-8}}};
+  std::vector<SessionLink> out_links = {{1, LinkCost{0.0, 4e-8}}, {6, LinkCost{0.0, 7e-8}}};
+  const NodeId added = service.add_node(in_links, out_links);
+  EXPECT_EQ(added, p.num_nodes());
+
+  const Platform current = service.platform_snapshot();
+  EXPECT_EQ(current.num_nodes(), p.num_nodes() + 1);
+  for (NodeId s : {NodeId{0}, NodeId{2}, added}) {
+    const SsbSolution cold = solve_ssb_cutting_plane(current.with_source(s));
+    EXPECT_LE(rel_diff(service.throughput(s), cold.throughput), 1e-9) << "source " << s;
+  }
+  // And the schedule synthesized on the grown platform is executable.
+  EXPECT_TRUE(check_schedule(current, *service.schedule(0)).ok);
 }
 
 TEST(PlannerService, DisconnectedSourceThrowsButServiceStaysUp) {
