@@ -1,0 +1,235 @@
+// Benchmark of the planner service's graceful degradation under injected
+// solver faults and deadline budgets (util/fault_injection.hpp,
+// PlannerSession::solve_laddered, PlannerService async re-planning).
+//
+// Each cell runs the live-churn scenario engine in *async* mode -- mutations
+// enqueue background re-plans, the replay loop serves last-good schedules --
+// against a timeline that includes node leaves, with a seeded random fault
+// plan armed around every service-run solve and a deterministic pivot
+// budget on the ladder.  No request may surface an exception: faults and
+// exhausted budgets degrade answers down the ladder (exact -> rebuild ->
+// heuristic), and the per-period tier / staleness accounting records what
+// the degradation cost.
+//
+//   1. Fault sweep: sizes from BT_FAULT_SIZES (default "50,120"), one
+//      faulted async scenario each.  Per cell: availability, tier mix,
+//      stale periods, failed re-plans, fired fault triggers, re-plan
+//      latency quantiles.
+//   2. Determinism matrix: the gate cell (largest size) re-run at pool
+//      widths 1, 2 and 4 plus a same-seed repeat, each with a fresh
+//      injector of the same plan -- every payload must be field-wise
+//      bitwise-identical (faults_bitwise_agree).  The instrumented sites
+//      all sit in serial solver sections, so recovery is a pure function
+//      of the solve sequence, not of the pool width.
+//
+// Acceptance: availability >= 0.95 of the offline optimum at the gate size
+// under faults.  Results go to BENCH_faults.json, gated by
+// scripts/check_bench_regression.py against
+// bench/baselines/BENCH_faults_baseline.json in the bench-smoke CI job.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/churn_eval.hpp"
+#include "experiments/service_eval.hpp"
+#include "util/fault_injection.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct BenchRecord {
+  std::string phase;
+  std::string metric;
+  double value = 0.0;
+};
+
+using Summary = std::vector<std::pair<std::string, std::string>>;
+
+std::string num(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+std::vector<std::size_t> sizes_from_env() {
+  std::vector<std::size_t> sizes;
+  const char* env = std::getenv("BT_FAULT_SIZES");
+  std::istringstream in(env != nullptr ? env : "50,120");
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) sizes.push_back(static_cast<std::size_t>(std::stoul(token)));
+  }
+  return sizes;
+}
+
+void write_json(const std::vector<BenchRecord>& records, const Summary& summary) {
+  std::ofstream out("BENCH_faults.json");
+  out << "{\n  \"bench\": \"faults\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "    {\"phase\": \"" << r.phase << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << r.value << "}" << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "  ]";
+  for (const auto& kv : summary) out << ",\n  \"" << kv.first << "\": " << kv.second;
+  out << "\n}\n";
+}
+
+constexpr std::uint64_t kSeedScale = 424243;
+
+/// The faulted-churn cell configuration at size n.  BT_FAULTS (when set)
+/// overrides the per-size random plan, so a failing cell can be replayed
+/// under a hand-written trigger schedule.
+bt::ChurnScenarioOptions cell_options(std::size_t n, bt::FaultInjector* faults) {
+  bt::ChurnScenarioOptions options;
+  options.timeline.num_periods = 48;
+  options.timeline.events_per_period = 0.5;
+  options.timeline.leave_fraction = 0.10;
+  options.timeline.seed = kSeedScale + static_cast<std::uint64_t>(n);
+  options.service.async_replan = true;
+  // A deterministic deadline: pivot budgets are invocation-counted, so a
+  // budget-exhausted solve degrades identically at every pool width (wall
+  // budgets would not).  Generous enough that ordinary warm re-plans stay
+  // exact; a fault-triggered cold rebuild of a large platform can trip it.
+  options.service.ladder.pivot_budget = 200000;
+  options.service.faults = faults;
+  return options;
+}
+
+bt::FaultPlan cell_plan(std::size_t n) {
+  const char* env = std::getenv("BT_FAULTS");
+  if (env != nullptr) return bt::FaultPlan::parse(env);
+  // ~16 triggers spread over the first 400 invocations per site: early and
+  // mid-run solves get hit, late triggers past the run's invocation counts
+  // are silent no-ops.
+  return bt::FaultPlan::random(kSeedScale + static_cast<std::uint64_t>(n), 16, 400);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bt;
+  Timer total;
+  std::vector<BenchRecord> records;
+  Summary summary;
+
+  const std::vector<std::size_t> sizes = sizes_from_env();
+  std::cout << "bench_faults: sizes={";
+  for (std::size_t i = 0; i < sizes.size(); ++i) std::cout << (i ? "," : "") << sizes[i];
+  std::cout << "}, async re-planning, random fault plans, pivot budget 200000\n";
+
+  // ---- phase 1: the faulted async churn sweep ------------------------------
+  ChurnScenarioResult gate_result;
+  std::size_t gate_nodes = 0;
+  std::uint64_t gate_fired = 0;
+  LatencySummary gate_replans;
+  Timer sweep_timer;
+  for (std::size_t n : sizes) {
+    const Platform platform = churn_instance(n, kSeedScale);
+    FaultInjector faults(cell_plan(n));
+    const ChurnScenarioOptions options = cell_options(n, &faults);
+
+    Timer cell_timer;
+    const ChurnScenarioResult r = run_churn_scenario(platform, options);
+    const double cell_ms = cell_timer.millis();
+    const LatencySummary replans = summarize_latencies(r.replan_latency_ms);
+
+    std::ostringstream tag;
+    tag << "faults_n" << n;
+    records.push_back({tag.str(), "availability", r.availability});
+    records.push_back({tag.str(), "delivered_total", r.delivered_total});
+    records.push_back({tag.str(), "lost_total", r.lost_total});
+    records.push_back({tag.str(), "events", static_cast<double>(r.num_events)});
+    records.push_back({tag.str(), "swaps", static_cast<double>(r.num_swaps)});
+    records.push_back({tag.str(), "failures", static_cast<double>(r.num_failures)});
+    records.push_back({tag.str(), "joins", static_cast<double>(r.num_joins)});
+    records.push_back({tag.str(), "leaves", static_cast<double>(r.num_leaves)});
+    records.push_back({tag.str(), "stale_periods", static_cast<double>(r.stale_periods)});
+    records.push_back({tag.str(), "periods_exact", static_cast<double>(r.periods_exact)});
+    records.push_back({tag.str(), "periods_rebuild", static_cast<double>(r.periods_rebuild)});
+    records.push_back(
+        {tag.str(), "periods_heuristic", static_cast<double>(r.periods_heuristic)});
+    records.push_back({tag.str(), "replans_failed", static_cast<double>(r.replans_failed)});
+    records.push_back({tag.str(), "faults_fired", static_cast<double>(faults.total_fired())});
+    records.push_back({tag.str(), "replan_p50_ms", replans.p50_ms});
+    records.push_back({tag.str(), "replan_p99_ms", replans.p99_ms});
+    records.push_back({tag.str(), "wall_ms", cell_ms});
+
+    std::cout << "  n=" << n << ": availability " << r.availability << ", tiers "
+              << r.periods_exact << "/" << r.periods_rebuild << "/" << r.periods_heuristic
+              << " (exact/rebuild/heuristic), " << r.stale_periods << " stale periods, "
+              << r.num_leaves << " leaves, " << faults.total_fired() << " faults fired, "
+              << r.replans_failed << " re-plans failed, " << cell_ms << " ms\n";
+
+    if (n >= gate_nodes) {
+      gate_nodes = n;
+      gate_result = r;
+      gate_fired = faults.total_fired();
+      gate_replans = replans;
+    }
+  }
+  records.push_back({"sweep", "wall_ms", sweep_timer.millis()});
+
+  // ---- phase 2: determinism matrix on the gate cell ------------------------
+  // Faulted recovery must be byte-identical across pool widths and repeats:
+  // fresh injector per run (same plan), pool width {1, 2, 4} plus a repeat.
+  const Platform gate_platform = churn_instance(gate_nodes, kSeedScale);
+  Timer matrix_timer;
+  ThreadPool serial(1);
+  FaultInjector f1(cell_plan(gate_nodes));
+  ChurnScenarioOptions matrix_options = cell_options(gate_nodes, &f1);
+  matrix_options.pool = &serial;
+  const ChurnScenarioResult reference = run_churn_scenario(gate_platform, matrix_options);
+  bool bitwise = payload_bitwise_equal(reference, gate_result);  // vs default pool
+  FaultInjector f2(cell_plan(gate_nodes));
+  matrix_options.service.faults = &f2;
+  const ChurnScenarioResult repeat = run_churn_scenario(gate_platform, matrix_options);
+  bitwise = bitwise && payload_bitwise_equal(reference, repeat);
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    FaultInjector f(cell_plan(gate_nodes));
+    matrix_options.pool = &pool;
+    matrix_options.service.faults = &f;
+    const ChurnScenarioResult wide = run_churn_scenario(gate_platform, matrix_options);
+    bitwise = bitwise && payload_bitwise_equal(reference, wide);
+  }
+  const double matrix_ms = matrix_timer.millis();
+  std::cout << "  determinism matrix (n=" << gate_nodes
+            << ", widths {1,2,4} + repeat + sweep): "
+            << (bitwise ? "bitwise-identical" : "MISMATCH") << " in " << matrix_ms << " ms\n";
+  records.push_back({"determinism", "wall_ms", matrix_ms});
+  records.push_back({"determinism", "agree", bitwise ? 1.0 : 0.0});
+
+  const double stale_fraction =
+      gate_result.periods.empty()
+          ? 0.0
+          : static_cast<double>(gate_result.stale_periods) /
+                static_cast<double>(gate_result.periods.size());
+  summary.push_back({"faults_gate_nodes", num(static_cast<double>(gate_nodes))});
+  summary.push_back({"faults_availability", num(gate_result.availability)});
+  summary.push_back({"faults_fired", num(static_cast<double>(gate_fired))});
+  summary.push_back({"faults_stale_fraction", num(stale_fraction)});
+  summary.push_back(
+      {"faults_periods_exact", num(static_cast<double>(gate_result.periods_exact))});
+  summary.push_back(
+      {"faults_periods_rebuild", num(static_cast<double>(gate_result.periods_rebuild))});
+  summary.push_back(
+      {"faults_periods_heuristic", num(static_cast<double>(gate_result.periods_heuristic))});
+  summary.push_back(
+      {"faults_replans_failed", num(static_cast<double>(gate_result.replans_failed))});
+  summary.push_back({"faults_leaves", num(static_cast<double>(gate_result.num_leaves))});
+  summary.push_back({"faults_replan_p50_ms", num(gate_replans.p50_ms)});
+  summary.push_back({"faults_replan_p99_ms", num(gate_replans.p99_ms)});
+  summary.push_back({"faults_bitwise_agree", bitwise ? "true" : "false"});
+
+  write_json(records, summary);
+  std::cout << "\nwrote BENCH_faults.json (" << records.size() << " records, "
+            << summary.size() << " summary fields) in " << total.millis() / 1e3 << " s\n";
+  return bitwise ? 0 : 1;
+}

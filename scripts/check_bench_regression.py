@@ -32,6 +32,17 @@ BENCH_churn.json (bench "churn"):
     repeat, and the default-pool sweep run; correctness, no tolerance);
   * re-plan latency quantiles are recorded, never gated (shared runners).
 
+BENCH_faults.json (bench "faults"):
+  * `faults_availability` must stay above the absolute acceptance floor
+    `FAULTS_AVAILABILITY_FLOOR` (async re-planning under injected solver
+    faults and deadline budgets at the gate size) AND above
+    `AVAILABILITY_FLOOR_FACTOR` times the baseline value;
+  * `faults_bitwise_agree` must stay true (faulted recovery is field-wise
+    bitwise-identical across pool widths {1,2,4}, a same-seed repeat, and
+    the default-pool sweep run; correctness, no tolerance);
+  * tier mix, staleness, fired-trigger counts and latency quantiles are
+    recorded, never gated.
+
 Usage: check_bench_regression.py <BENCH_x.json> <baseline.json>
 """
 
@@ -93,6 +104,20 @@ CHURN_RECORD_ONLY_FIELDS = [
     "churn_replan_p50_ms",
     "churn_replan_p99_ms",
     "churn_replan_max_ms",
+]
+
+FAULTS_AVAILABILITY_FLOOR = 0.95    # the ISSUE's absolute acceptance bound under faults
+FAULTS_RECORD_ONLY_FIELDS = [
+    "faults_gate_nodes",
+    "faults_fired",
+    "faults_stale_fraction",
+    "faults_periods_exact",
+    "faults_periods_rebuild",
+    "faults_periods_heuristic",
+    "faults_replans_failed",
+    "faults_leaves",
+    "faults_replan_p50_ms",
+    "faults_replan_p99_ms",
 ]
 
 
@@ -182,6 +207,21 @@ def check_churn(checker):
     checker.must_be_true("churn_bitwise_agree")
 
 
+def check_faults(checker):
+    # Baseline-relative floor plus the absolute acceptance bound.
+    checker.floor("faults_availability", AVAILABILITY_FLOOR_FACTOR)
+    cur = float(checker.current.get("faults_availability", 0.0))
+    checker.checked += 1
+    if cur < FAULTS_AVAILABILITY_FLOOR:
+        checker.failures.append(
+            f"faults_availability: {cur:.4f} < absolute floor {FAULTS_AVAILABILITY_FLOOR}")
+    else:
+        print(f"faults_availability: {cur:.4f} >= absolute floor {FAULTS_AVAILABILITY_FLOOR} ok")
+    for field in FAULTS_RECORD_ONLY_FIELDS:
+        checker.record_only(field)
+    checker.must_be_true("faults_bitwise_agree")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__)
@@ -197,6 +237,8 @@ def main() -> int:
         check_service(checker)
     elif bench == "churn":
         check_churn(checker)
+    elif bench == "faults":
+        check_faults(checker)
     else:
         check_lp(checker)
 

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace bt {
 
@@ -59,6 +60,7 @@ void BasisLu::set_solve_mode(SolveMode mode) {
 }
 
 bool BasisLu::factorize(std::size_t m, const std::vector<SparseColumnView>& columns) {
+  if (fault_fire(FaultSite::kSingularRefactor)) return false;
   m_ = m;
   etas_.clear();
   ft_etas_.clear();

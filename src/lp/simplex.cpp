@@ -7,6 +7,7 @@
 
 #include "lp/basis_lu.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace bt {
 
@@ -771,6 +772,7 @@ class SparseSimplexCore {
 
   // ---------- simplex iterations ----------
   LpStatus iterate(std::size_t* iteration_counter) {
+    if (fault_fire(FaultSite::kSimplexStall)) return LpStatus::kIterationLimit;
     const std::size_t n = cols_.num_cols();
     const double tol = options_.tolerance;
     const std::size_t max_iter = options_.max_iterations > 0
@@ -990,6 +992,7 @@ class SparseSimplexCore {
   /// feasible, kInfeasible when a violated row admits no entering column
   /// (dual unbounded = primal empty).
   LpStatus dual_iterate(std::size_t* iteration_counter) {
+    if (fault_fire(FaultSite::kSimplexStall)) return LpStatus::kIterationLimit;
     const std::size_t n = cols_.num_cols();
     const double tol = options_.tolerance;
     const std::size_t max_iter = options_.max_iterations > 0

@@ -57,14 +57,48 @@ void sample_join(const Platform& live, Rng& rng, std::size_t join_links,
   }
 }
 
+/// Pick a node whose leave keeps the broadcast feasible: uniformly random
+/// proposals, bounded attempts.  A candidate must not be the source, must
+/// leave at least three nodes behind (shrink_platform's floor plus headroom
+/// for later leaves), and every survivor must stay reachable from the
+/// source through the non-removed arcs that do not touch it.  Returns false
+/// when none was found -- the caller downgrades to a degrade event.
+bool pick_leave_node(const Platform& live, NodeId source, const std::vector<char>& removed,
+                     Rng& rng, NodeId* out) {
+  if (live.num_nodes() <= 3) return false;
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    const NodeId v = static_cast<NodeId>(rng.index(live.num_nodes()));
+    if (v == source) continue;
+    EdgeMask active(live.num_edges(), 1);
+    for (EdgeId e = 0; e < live.num_edges(); ++e) {
+      if (removed[e] || live.graph().from(e) == v || live.graph().to(e) == v) active[e] = 0;
+    }
+    const std::vector<char> reach = reachable_from(live.graph(), source, active);
+    bool ok = true;
+    for (NodeId u = 0; u < live.num_nodes(); ++u) {
+      if (u != v && !reach[u]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 ChurnTimeline make_churn_timeline(const Platform& platform, const ChurnTimelineConfig& config) {
   BT_REQUIRE(platform.num_edges() > 0, "make_churn_timeline: platform has no arcs");
   BT_REQUIRE(config.events_per_period >= 0.0, "make_churn_timeline: negative churn rate");
   BT_REQUIRE(config.failure_fraction >= 0.0 && config.join_fraction >= 0.0 &&
-                 config.recover_fraction >= 0.0 &&
-                 config.failure_fraction + config.join_fraction + config.recover_fraction <= 1.0,
+                 config.leave_fraction >= 0.0 && config.recover_fraction >= 0.0 &&
+                 config.failure_fraction + config.join_fraction + config.leave_fraction +
+                         config.recover_fraction <=
+                     1.0,
              "make_churn_timeline: event-kind fractions must be >= 0 and sum to <= 1");
 
   Rng rng(config.seed);
@@ -76,7 +110,8 @@ ChurnTimeline make_churn_timeline(const Platform& platform, const ChurnTimelineC
   ChurnTimeline timeline{{}, platform, std::vector<char>(platform.num_edges(), 0)};
   Platform& live = timeline.final_platform;
   std::vector<char>& removed = timeline.final_removed;
-  const NodeId source = platform.source();
+  // Leaves compact node ids, so the source's id can shift mid-timeline.
+  NodeId source = platform.source();
 
   const std::size_t base_events = static_cast<std::size_t>(std::floor(config.events_per_period));
   const double extra_prob = config.events_per_period - static_cast<double>(base_events);
@@ -107,7 +142,28 @@ ChurnTimeline make_churn_timeline(const Platform& platform, const ChurnTimelineC
         live = grow_platform(live, event.in_links, event.out_links);
         removed.resize(live.num_edges(), 0);
         sampler.extend(live);
-      } else if (r < config.failure_fraction + config.join_fraction + config.recover_fraction &&
+      } else if (r < config.failure_fraction + config.join_fraction + config.leave_fraction) {
+        NodeId v;
+        if (pick_leave_node(live, source, removed, rng, &v)) {
+          event.kind = ChurnEventKind::kNodeLeave;
+          event.node = v;
+          ShrinkRemap remap;
+          live = shrink_platform(live, v, &remap);
+          std::vector<char> compact_removed(live.num_edges(), 0);
+          for (EdgeId e = 0; e < remap.edge_map.size(); ++e) {
+            if (remap.edge_map[e] != Digraph::npos) compact_removed[remap.edge_map[e]] = removed[e];
+          }
+          removed = std::move(compact_removed);
+          sampler.compact(remap.edge_map, live.num_edges());
+          source = remap.node_map[source];
+        } else {
+          const auto d = sampler.sample_degrade(rng);
+          event.kind = ChurnEventKind::kDegrade;
+          event.edge = d.edge;
+          event.factor = d.factor;
+        }
+      } else if (r < config.failure_fraction + config.join_fraction + config.leave_fraction +
+                         config.recover_fraction &&
                  sampler.has_outstanding()) {
         const auto restore = sampler.pop_restore();
         event.kind = ChurnEventKind::kRecover;
@@ -134,6 +190,7 @@ ChurnTimeline make_churn_timeline(const Platform& platform, const ChurnTimelineC
           break;
         case ChurnEventKind::kLinkFailure:
         case ChurnEventKind::kNodeJoin:
+        case ChurnEventKind::kNodeLeave:
           break;
       }
       timeline.events.push_back(std::move(event));

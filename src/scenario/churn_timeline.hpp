@@ -8,7 +8,7 @@
 // question: a sequence of platform mutations stamped with the period at
 // whose start boundary they strike, replayed against a live PlannerService
 // while the scenario engine (scenario_engine.hpp) keeps executing the
-// currently installed schedule.  Four event kinds:
+// currently installed schedule.  Five event kinds:
 //
 //   kDegrade     -- arc e's times scale by `factor` > 1 (link slowed down);
 //   kRecover     -- arc e re-measured at its pristine `cost` (LIFO over the
@@ -20,7 +20,18 @@
 //   kNodeJoin    -- a new node wired to `join_links` random peers by
 //                   symmetric in/out links whose costs are copied from a
 //                   random pristine arc (grow_platform semantics: old arc
-//                   ids stay stable, new arcs follow, in-links first).
+//                   ids stay stable, new arcs follow, in-links first);
+//   kNodeLeave   -- node `node` and every arc touching it disappear
+//                   (shrink_platform semantics: surviving node/arc ids
+//                   compact, keeping their relative order).  The generator
+//                   only drops nodes whose leave keeps every survivor
+//                   reachable from the source; `node` is the id in the
+//                   pre-leave numbering, and every later event's ids are in
+//                   the post-leave numbering.
+//
+// kNodeLeave renumbers ids mid-timeline, so consumers must mirror the
+// compaction (PlannerService::remove_node returns the same ShrinkRemap the
+// generator used -- both call shrink_platform on identical state).
 //
 // Generation applies each event to a private copy of the platform as it
 // goes, so connectivity checks, join wiring and compounding degradations
@@ -43,6 +54,7 @@ enum class ChurnEventKind {
   kRecover,
   kLinkFailure,
   kNodeJoin,
+  kNodeLeave,
 };
 
 /// One platform mutation, applied at the start boundary of `period`.
@@ -54,6 +66,7 @@ struct ChurnEvent {
   LinkCost cost;        ///< kRecover (pristine)
   std::vector<SessionLink> in_links;   ///< kNodeJoin (peer -> new)
   std::vector<SessionLink> out_links;  ///< kNodeJoin (new -> peer)
+  NodeId node = 0;      ///< kNodeLeave (pre-leave id)
 };
 
 struct ChurnTimelineConfig {
@@ -62,11 +75,13 @@ struct ChurnTimelineConfig {
   /// Expected events per period (the churn rate): each period fires
   /// floor(rate) events plus one more with probability frac(rate).
   double events_per_period = 0.25;
-  /// Event-kind mix.  Failure and join are drawn first; a recover draw
-  /// falls back to degrade while no degradation is outstanding.  The
-  /// remainder is degrades.
+  /// Event-kind mix.  Failure, join and leave are drawn first; a recover
+  /// draw falls back to degrade while no degradation is outstanding.  The
+  /// remainder is degrades.  leave_fraction defaults to 0 so pre-existing
+  /// (platform, config, seed) triples replay bitwise-unchanged.
   double failure_fraction = 0.12;
   double join_fraction = 0.08;
+  double leave_fraction = 0.0;
   double recover_fraction = 0.35;
   /// Degradation factor range (see LinkChurnSampler).
   double min_degrade_factor = 1.3;

@@ -28,6 +28,31 @@ void LinkChurnSampler::mark_removed(EdgeId e) {
   removed_[e] = 1;
 }
 
+void LinkChurnSampler::compact(const std::vector<EdgeId>& edge_map, std::size_t new_num_edges) {
+  BT_REQUIRE(edge_map.size() >= pristine_.size(),
+             "LinkChurnSampler::compact: remap does not cover the sampler");
+  std::vector<LinkCost> pristine(new_num_edges);
+  std::vector<char> removed(new_num_edges, 0);
+  std::size_t num_removed = 0;
+  for (EdgeId e = 0; e < pristine_.size(); ++e) {
+    const EdgeId ne = edge_map[e];
+    if (ne == Digraph::npos) continue;
+    BT_REQUIRE(ne < new_num_edges, "LinkChurnSampler::compact: remap target out of range");
+    pristine[ne] = pristine_[e];
+    removed[ne] = removed_[e];
+    if (removed_[e]) ++num_removed;
+  }
+  std::vector<EdgeId> outstanding;
+  outstanding.reserve(outstanding_.size());
+  for (EdgeId e : outstanding_) {
+    if (edge_map[e] != Digraph::npos) outstanding.push_back(edge_map[e]);
+  }
+  pristine_ = std::move(pristine);
+  removed_ = std::move(removed);
+  outstanding_ = std::move(outstanding);
+  num_removed_ = num_removed;
+}
+
 bool LinkChurnSampler::has_outstanding() const { return num_outstanding() > 0; }
 
 std::size_t LinkChurnSampler::num_outstanding() const {

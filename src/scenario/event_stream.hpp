@@ -53,6 +53,14 @@ class LinkChurnSampler {
   /// outstanding degradation of `e` is skipped by later restores.
   void mark_removed(EdgeId e);
 
+  /// Apply a shrink_platform arc remap (node leave): old arc id ->
+  /// `edge_map[old]`, with Digraph::npos for arcs the leave dropped.
+  /// Pristine costs and removal marks follow their surviving arcs;
+  /// outstanding degradations of dropped arcs are forgotten.  `edge_map`
+  /// must cover every arc the sampler knows and map into
+  /// [0, new_num_edges).
+  void compact(const std::vector<EdgeId>& edge_map, std::size_t new_num_edges);
+
   /// Arcs currently degraded and not removed (restores available).
   bool has_outstanding() const;
   std::size_t num_outstanding() const;

@@ -34,12 +34,14 @@ double offline_reference(const Platform& live, const std::vector<char>& removed,
 
 ChurnScenarioResult run_churn_scenario(const Platform& platform,
                                        const ChurnScenarioOptions& options) {
-  const NodeId source = platform.source();
+  // Leaves compact node ids, so the source's id can shift mid-scenario.
+  NodeId source = platform.source();
   const ChurnTimeline timeline = make_churn_timeline(platform, options.timeline);
 
   ChurnScenarioOptions opts = options;
   opts.service.session.cutting.pool = options.pool;
   opts.service.session.colgen.pool = options.pool;
+  const bool async = opts.service.async_replan;
   PlannerService service(platform, opts.service);
   ScheduleSubscription sub;
   sub.source = source;
@@ -60,7 +62,7 @@ ChurnScenarioResult run_churn_scenario(const Platform& platform,
   // Initial plan: plan() first so schedule() synthesizes from the cutting
   // loads (the warm re-plan path) instead of running packing column
   // generation per boundary.
-  service.plan(source);
+  PlanTier installed_tier = service.plan(source)->tier;
   auto installed = service.schedule(source);
   service.poll_schedule(sub);  // adopt the initial build's version
   std::uint64_t installed_version = sub.seen_version;
@@ -76,15 +78,32 @@ ChurnScenarioResult run_churn_scenario(const Platform& platform,
 
   std::size_t next_event = 0;
   for (std::size_t p = 0; p < options.timeline.num_periods; ++p) {
-    // 1. Pick up a re-plan finished at an earlier boundary (hot-swap).
+    // 1. Pick up a re-plan finished at an earlier boundary (hot-swap).  In
+    // async mode, drain first: the worker finishes every job queued by the
+    // previous boundary's batch, so which builds exist at each boundary is
+    // a function of the timeline, never of worker timing.
+    if (async) {
+      service.drain_replans();
+      for (double ms : service.take_replan_latencies()) {
+        result.replan_latency_ms.push_back(ms);
+      }
+    }
     if (auto fresh = service.poll_schedule(sub)) {
       replay.install(live, fresh, options.warm_handoff);
       installed_version = sub.seen_version;
+      // Pre-events, the service's newest plan is the one behind the build
+      // the poll just returned, so this read is its tier (a cache/snapshot
+      // hit, no solve).
+      installed_tier = service.plan(source)->tier;
       ++result.num_swaps;
     }
 
-    // 2. Apply this boundary's events to the service; re-plan after each.
+    // 2. Apply this boundary's events to the service.  Synchronous mode
+    // re-plans inline after each; async mode pauses the worker so the whole
+    // batch coalesces into one re-plan of the final state on resume.
+    if (async) service.pause_replans();
     std::uint64_t events_applied = 0;
+    bool left = false;
     while (next_event < timeline.events.size() &&
            timeline.events[next_event].period == p) {
       const ChurnEvent& event = timeline.events[next_event];
@@ -114,14 +133,56 @@ ChurnScenarioResult run_churn_scenario(const Platform& platform,
           removed.resize(live.num_edges(), 0);
           ++result.num_joins;
           break;
+        case ChurnEventKind::kNodeLeave: {
+          // Mirror the service's id compaction onto the engine's live view.
+          // Both run shrink_platform on identical topology, so the remap
+          // the service hands back applies verbatim to `live`'s arc ids.
+          ShrinkRemap remap;
+          service.remove_node(event.node, &remap);
+          live = shrink_platform(live, event.node);
+          std::vector<char> compact_removed(live.num_edges(), 0);
+          for (EdgeId e = 0; e < remap.edge_map.size(); ++e) {
+            if (remap.edge_map[e] != Digraph::npos) {
+              compact_removed[remap.edge_map[e]] = removed[e];
+            }
+          }
+          removed = std::move(compact_removed);
+          source = remap.node_map[source];
+          left = true;
+          ++result.num_leaves;
+          break;
+        }
       }
-      Timer replan;
-      service.plan(source);
-      service.schedule(source);
-      result.replan_latency_ms.push_back(replan.millis());
+      if (!async) {
+        Timer replan;
+        service.plan(source);
+        service.schedule(source);
+        result.replan_latency_ms.push_back(replan.millis());
+      }
       ++events_applied;
       ++next_event;
       ++result.num_events;
+    }
+    if (async) service.resume_replans();
+
+    if (left) {
+      // A leave dropped every session, snapshot and queued job, and the
+      // installed schedule addresses the old id space -- force a
+      // synchronous re-plan (even in async mode) and rebuild the replayer,
+      // whose install() cannot shrink its platform.
+      Timer replan;
+      service.plan(source);
+      auto fresh = service.schedule(source);
+      if (async) result.replan_latency_ms.push_back(replan.millis());
+      sub = ScheduleSubscription{};
+      sub.source = source;
+      service.poll_schedule(sub);
+      installed_version = sub.seen_version;
+      installed_tier = service.plan(source)->tier;
+      replay = ReplaySession(live, fresh);
+      if (options.warm_handoff) {
+        replay.install(live, fresh, /*warm_handoff=*/true);
+      }
     }
     if (events_applied > 0) {
       offline_tp = offline_reference(live, removed, source, offline_options);
@@ -142,6 +203,14 @@ ChurnScenarioResult run_churn_scenario(const Platform& platform,
     record.min_delivered = delivery.min_delivered;
     record.lost_slices = delivery.lost_slices;
     record.offline_throughput = offline_tp;
+    record.tier = static_cast<std::uint32_t>(installed_tier);
+    record.stale = installed_version < service.version() ? 1 : 0;
+    result.stale_periods += record.stale;
+    switch (installed_tier) {
+      case PlanTier::kExact: ++result.periods_exact; break;
+      case PlanTier::kRebuild: ++result.periods_rebuild; break;
+      case PlanTier::kHeuristic: ++result.periods_heuristic; break;
+    }
     result.periods.push_back(record);
 
     result.delivered_total += delivery.delivered_total;
@@ -149,6 +218,15 @@ ChurnScenarioResult run_churn_scenario(const Platform& platform,
     result.offline_capacity +=
         offline_tp * delivery.seconds * static_cast<double>(live.num_nodes() - 1);
   }
+
+  if (async) {
+    // Jobs queued by the final boundary: finish and account for them.
+    service.drain_replans();
+    for (double ms : service.take_replan_latencies()) {
+      result.replan_latency_ms.push_back(ms);
+    }
+  }
+  result.replans_failed = service.stats().replans_failed;
 
   result.availability =
       result.offline_capacity > 0.0 ? result.delivered_total / result.offline_capacity : 0.0;
@@ -161,7 +239,8 @@ bool payload_bitwise_equal(const ChurnScenarioResult& a, const ChurnScenarioResu
     const ChurnPeriodRecord& x = a.periods[i];
     const ChurnPeriodRecord& y = b.periods[i];
     if (x.period != y.period || x.schedule_version != y.schedule_version ||
-        x.events_applied != y.events_applied || x.live_nodes != y.live_nodes)
+        x.events_applied != y.events_applied || x.live_nodes != y.live_nodes ||
+        x.tier != y.tier || x.stale != y.stale)
       return false;
     if (!bits_equal(x.period_seconds, y.period_seconds) ||
         !bits_equal(x.designed_slices, y.designed_slices) ||
@@ -177,7 +256,10 @@ bool payload_bitwise_equal(const ChurnScenarioResult& a, const ChurnScenarioResu
          bits_equal(a.availability, b.availability) && a.num_events == b.num_events &&
          a.num_swaps == b.num_swaps && a.num_degrades == b.num_degrades &&
          a.num_recoveries == b.num_recoveries && a.num_failures == b.num_failures &&
-         a.num_joins == b.num_joins;
+         a.num_joins == b.num_joins && a.num_leaves == b.num_leaves &&
+         a.stale_periods == b.stale_periods && a.periods_exact == b.periods_exact &&
+         a.periods_rebuild == b.periods_rebuild &&
+         a.periods_heuristic == b.periods_heuristic && a.replans_failed == b.replans_failed;
 }
 
 }  // namespace bt

@@ -12,8 +12,9 @@
 //                with a warm handoff, so refill transients do not masquerade
 //                as churn losses.
 //   2. events -- the boundary's timeline events hit the service
-//                (scale_link_time / set_link_cost / remove_link / add_node)
-//                and a timed plan()+schedule() re-plan runs per event
+//                (scale_link_time / set_link_cost / remove_link / add_node /
+//                remove_node) and, in synchronous mode, a timed
+//                plan()+schedule() re-plan runs per event
 //                (ChurnScenarioResult::replan_latency_ms).  Because the
 //                poll ran *before* the events, the periods between an event
 //                batch and the next boundary execute the now-stale
@@ -21,8 +22,24 @@
 //                times and ships nothing over removed arcs, and that
 //                shortfall is the bytes-lost-to-staleness signal.
 //   3. run    -- one period of the installed schedule executes against the
-//                live platform; delivery, loss and the offline reference
-//                throughput are recorded.
+//                live platform; delivery, loss, the installed plan's ladder
+//                tier and the offline reference throughput are recorded.
+//
+// Async mode (options.service.async_replan): mutations enqueue re-plan jobs
+// on the service's background worker instead of solving inline, so step 2
+// applies the whole batch between pause_replans()/resume_replans() (the
+// worker then solves only the batch's final state) and step 1 starts with
+// drain_replans() so the set of finished builds at every boundary is a
+// deterministic function of the timeline, not of worker timing.  The
+// latency samples then come from PlannerService::take_replan_latencies
+// (mutation to published snapshot, queue wait included).
+//
+// kNodeLeave is structural in both modes: the service drops every warm
+// session and published snapshot (remove_node), the engine mirrors the id
+// compaction onto its live platform and removal mask via the returned
+// ShrinkRemap, and a forced synchronous re-plan rebuilds the replayer
+// (ReplaySession::install cannot shrink its platform) -- so a leave, unlike
+// every other event, never executes stale periods.
 //
 // Availability is delivered work divided by the offline-optimal capacity:
 //   sum_p delivered_total_p  /  sum_p TP*_p * period_seconds_p * receivers_p
@@ -67,6 +84,12 @@ struct ChurnPeriodRecord {
   double lost_slices = 0.0;
   /// TP* of the live platform: cold re-solve, the offline reference.
   double offline_throughput = 0.0;
+  /// Ladder tier of the plan behind the installed schedule
+  /// (static_cast<std::uint32_t>(PlanTier): 0 exact, 1 rebuild, 2 heuristic).
+  std::uint32_t tier = 0;
+  /// 1 when the period executed a schedule older than the service's platform
+  /// version (a re-plan was pending or skipped), else 0.
+  std::uint32_t stale = 0;
 };
 
 struct ChurnScenarioResult {
@@ -83,8 +106,20 @@ struct ChurnScenarioResult {
   std::uint64_t num_recoveries = 0;
   std::uint64_t num_failures = 0;
   std::uint64_t num_joins = 0;
+  std::uint64_t num_leaves = 0;
+  /// Periods that executed a schedule older than the platform (record.stale).
+  std::uint64_t stale_periods = 0;
+  /// Periods executed per installed-plan ladder tier (sum = periods.size()).
+  std::uint64_t periods_exact = 0;
+  std::uint64_t periods_rebuild = 0;
+  std::uint64_t periods_heuristic = 0;
+  /// Async jobs that exhausted their retries (last-good snapshot kept
+  /// serving); always 0 in synchronous mode.
+  std::uint64_t replans_failed = 0;
   // ---- timing (NOT in the bitwise payload) ----
-  /// Per-event wall-clock of the synchronous plan()+schedule() re-plan.
+  /// Wall-clock per re-plan: synchronous mode times the inline
+  /// plan()+schedule() per event; async mode reports the worker's
+  /// mutation-to-published-snapshot latencies.
   std::vector<double> replan_latency_ms;
 };
 

@@ -12,6 +12,7 @@
 //   "link came back / re-measured" -> set_link_cost
 //   "link died"                    -> remove_link
 //   "node joined"                  -> add_node
+//   "node left"                    -> remove_node
 //
 // Layering:
 //
@@ -30,22 +31,49 @@
 //    the base platform and every warm session, and bump the version (which
 //    retires all cached plans/schedules at once).
 //
+// Degradation ladder: every solve the service runs goes through
+// PlannerSession::solve_laddered under Options::ladder, so a recoverable
+// solver fault (or an exhausted deadline budget) degrades the answer --
+// exact -> pool-rebuild -> heuristic tree, tagged in SsbSolution::tier /
+// quality_gap -- instead of surfacing an exception.  Only a platform that
+// genuinely cannot broadcast still throws.  Options::faults arms a
+// deterministic FaultInjector around every service-run solve (and the
+// pre-solve session-eviction hook); solves run elsewhere -- e.g. an offline
+// reference session -- never consume its triggers.
+//
+// Async re-planning (Options::async_replan): mutations enqueue
+// version-stamped re-plan jobs on a background worker instead of leaving
+// the next reader to pay the solve.  Readers serve the last-good published
+// snapshot per source from a dedicated snapshot lock -- never blocking on
+// the worker's write-guarded solves -- and poll_schedule hands the new
+// build out at the consumer's next period boundary, so staleness overlaps
+// solver latency.  The queue is bounded (oldest job dropped beyond
+// capacity), jobs for the same source coalesce to the newest version, and
+// a failed re-plan retries with linear backoff -- exact rungs only until
+// the final attempt, which may degrade.  pause/resume/drain give batch
+// mutators (the churn engine) deterministic barriers: pause around an
+// event batch so the worker solves only the batch's final state, drain
+// before reading to make results reproducible.
+//
 // Read methods are const-free on purpose: a cache miss escalates to the
 // writer side to run the solve, so "read" describes the request, not the
-// implementation.  Errors from a solve (e.g. removals disconnected the
-// requested source's platform) propagate to the requesting caller; the
-// session rolls back its masters and the service stays up.
+// implementation.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "platform/platform.hpp"
 #include "sched/schedule_cache.hpp"
 #include "ssb/planner_session.hpp"
+#include "util/fault_injection.hpp"
 #include "util/parallel_read_serial_write.hpp"
 
 namespace bt {
@@ -59,6 +87,22 @@ struct PlannerServiceOptions {
   /// Cached (source, version) plans and schedules.
   std::size_t plan_cache_capacity = 32;
   std::size_t schedule_cache_capacity = 16;
+  /// Degradation policy of every solve the service runs (deadline budgets,
+  /// permitted rungs); see planner_session.hpp.
+  LadderOptions ladder;
+  /// Run re-plans on a background worker (see header comment).  Off by
+  /// default: mutations then stay cheap and the next reader pays the solve.
+  bool async_replan = false;
+  /// Queued re-plan jobs beyond this drop the oldest (the service degrades
+  /// to reader-paid solves for the dropped source, it never blocks).
+  std::size_t replan_queue_capacity = 64;
+  /// Re-plan attempts after a failed one (transient faults), with linear
+  /// backoff of replan_retry_backoff_ms between attempts.
+  std::size_t replan_max_retries = 2;
+  double replan_retry_backoff_ms = 1.0;
+  /// When set, armed (thread-locally) around every service-run solve; see
+  /// util/fault_injection.hpp.  Not owned.
+  FaultInjector* faults = nullptr;
 
   PlannerServiceOptions() { session.cold_polish = false; }
 };
@@ -73,6 +117,17 @@ struct PlannerServiceStats {
   std::uint64_t mutations = 0;
   std::uint64_t sessions_created = 0;
   std::uint64_t sessions_evicted = 0;
+  // Ladder tiers of the answers produced by service-run solves.
+  std::uint64_t plans_exact = 0;
+  std::uint64_t plans_rebuild = 0;
+  std::uint64_t plans_heuristic = 0;
+  // Async re-plan worker.
+  std::uint64_t replans_enqueued = 0;
+  std::uint64_t replans_coalesced = 0;  ///< superseded jobs folded into newer ones
+  std::uint64_t replans_dropped = 0;    ///< oldest jobs dropped at capacity
+  std::uint64_t replans_run = 0;        ///< jobs that published a snapshot
+  std::uint64_t replan_retries = 0;     ///< failed attempts that were retried
+  std::uint64_t replans_failed = 0;     ///< jobs that exhausted their retries
 };
 
 /// Cursor of a schedule consumer (e.g. the churn scenario engine's replay
@@ -90,17 +145,22 @@ struct ScheduleSubscription {
 class PlannerService {
  public:
   explicit PlannerService(Platform platform, PlannerServiceOptions options = {});
+  ~PlannerService();
 
   // ---- read requests (concurrent) ----
 
   /// TP* of the current platform broadcasting from `source`.
   double throughput(NodeId source);
 
-  /// The full plan (TP*, edge loads, diagnostics) for `source`.  The
-  /// returned snapshot stays valid after later mutations.
+  /// The full plan (TP*, edge loads, tier, diagnostics) for `source`.  The
+  /// returned snapshot stays valid after later mutations.  In async mode
+  /// this is the last-good published snapshot (possibly one or more
+  /// versions stale while a re-plan is in flight); the first request for a
+  /// source still solves synchronously.
   std::shared_ptr<const SsbSolution> plan(NodeId source);
 
-  /// The synthesized periodic schedule for `source`.
+  /// The synthesized periodic schedule for `source` (async: last-good
+  /// snapshot, as for plan()).
   std::shared_ptr<const PeriodicSchedule> schedule(NodeId source);
 
   /// Non-blocking epoch hook: the newest *built* schedule for `sub.source`
@@ -120,20 +180,45 @@ class PlannerService {
   void scale_link_time(EdgeId e, double factor);
 
   /// Remove arc e from service.  Sources whose broadcasts depended on it
-  /// re-plan around it; if it disconnected them, their next query throws.
+  /// re-plan around it; if it disconnected them, their next query degrades
+  /// down the ladder and ultimately throws.
   void remove_link(EdgeId e);
 
   /// Grow the platform by one node; returns its id.
   NodeId add_node(const std::vector<SessionLink>& in_links,
                   const std::vector<SessionLink>& out_links);
 
+  /// Remove `node` and every arc touching it (the mirror of add_node; see
+  /// shrink_platform).  Node and arc ids compact -- `remap` (optional)
+  /// receives old-id -> new-id maps with Digraph::npos for the dropped ones
+  /// -- so this is a structural fallback: all warm sessions, published
+  /// snapshots, schedule cursors and queued re-plans for the old id space
+  /// are dropped, and the next request per source solves cold.  Requires
+  /// node != the base platform's source and >= 3 nodes.
+  void remove_node(NodeId node, ShrinkRemap* remap = nullptr);
+
+  // ---- async re-plan worker (no-ops when async_replan is off) ----
+
+  /// Block until every queued job has run and the worker is idle.
+  void drain_replans();
+
+  /// Suspend job pickup (waiting out an in-flight job first), so a batch of
+  /// mutations coalesces into one re-plan of the final state on resume.
+  void pause_replans();
+  void resume_replans();
+
+  /// Wall-clock ms per published re-plan since the last take, mutation to
+  /// snapshot (includes queue wait and retries).
+  std::vector<double> take_replan_latencies();
+
   // ---- introspection ----
 
   /// Snapshot of the current platform (copy: safe under concurrency).
   Platform platform_snapshot();
 
-  /// Mutation counter; cached plans/schedules are keyed by it.
-  std::uint64_t version();
+  /// Mutation counter; cached plans/schedules are keyed by it.  Lock-free,
+  /// so staleness accounting never blocks on an in-flight re-plan.
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   PlannerServiceStats stats();
 
@@ -146,17 +231,43 @@ class PlannerService {
     }
   };
 
+  /// One queued re-plan: solve `source` at (at least) `version`.
+  struct ReplanJob {
+    NodeId source = 0;
+    std::uint64_t version = 0;
+  };
+
+  /// Last-good published answer per source (async mode).  Lives under
+  /// snapshot_mutex_, NOT the guard, so readers copy shared_ptrs in O(1)
+  /// while the worker holds the write guard through a solve.
+  struct Snapshot {
+    std::uint64_t version = 0;
+    std::shared_ptr<const SsbSolution> plan;
+    std::shared_ptr<const PeriodicSchedule> schedule;
+  };
+
   /// Warm session for `source`, creating (and LRU-evicting) as needed.
   /// Caller must hold the write guard.
   PlannerSession& session_locked(NodeId source);
-  std::shared_ptr<const SsbSolution> plan_locked(NodeId source);
-  std::shared_ptr<const PeriodicSchedule> schedule_locked(NodeId source);
+  void evict_session_locked(NodeId source);
+  std::shared_ptr<const SsbSolution> plan_locked(NodeId source, const LadderOptions& ladder);
+  std::shared_ptr<const PeriodicSchedule> schedule_locked(NodeId source,
+                                                          const LadderOptions& ladder);
+  void note_tier_locked(PlanTier tier);
+  void publish_locked(NodeId source, std::shared_ptr<const SsbSolution> plan,
+                      std::shared_ptr<const PeriodicSchedule> schedule);
+  void enqueue_replans();
+  void worker_loop();
+  void run_replan(ReplanJob job);
 
+  // Lock order: guard_ before snapshot_mutex_ / queue_mutex_ (never the
+  // other way; the two leaf mutexes are never held together).
   ParallelReadSerialWrite guard_;
   Platform platform_;                 ///< base platform (source = as loaded)
   std::vector<char> removed_;         ///< arcs removed from service
   PlannerServiceOptions options_;
-  std::uint64_t version_ = 0;
+  /// Written under the write guard; atomic so version() is lock-free.
+  std::atomic<std::uint64_t> version_{0};
 
   /// Warm sessions, most recently used first.
   std::list<std::pair<NodeId, std::unique_ptr<PlannerSession>>> sessions_;
@@ -167,8 +278,22 @@ class PlannerService {
   /// poll_schedule (only grows; written under the write guard).
   std::map<NodeId, std::uint64_t> schedule_built_;
 
+  // ---- async worker state ----
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  ///< job available / stop / resume
+  std::condition_variable idle_cv_;   ///< job finished (drain / pause)
+  std::deque<ReplanJob> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  bool worker_busy_ = false;
+  std::vector<double> replan_latencies_;
+  std::thread worker_;
+
+  std::mutex snapshot_mutex_;
+  std::map<NodeId, Snapshot> published_;
+
   // Counter discipline: queries_ is bumped on the read path (shared lock)
-  // so it's atomic; hit counters are folded from the caches' own counters;
+  // and the replans_* counters on the worker thread, so they're atomic;
   // everything else only changes under the write guard.
   std::atomic<std::uint64_t> queries_{0};
   std::uint64_t solves_ = 0;
@@ -176,6 +301,15 @@ class PlannerService {
   std::uint64_t mutations_ = 0;
   std::uint64_t sessions_created_ = 0;
   std::uint64_t sessions_evicted_ = 0;
+  std::uint64_t plans_exact_ = 0;
+  std::uint64_t plans_rebuild_ = 0;
+  std::uint64_t plans_heuristic_ = 0;
+  std::atomic<std::uint64_t> replans_enqueued_{0};
+  std::atomic<std::uint64_t> replans_coalesced_{0};
+  std::atomic<std::uint64_t> replans_dropped_{0};
+  std::atomic<std::uint64_t> replans_run_{0};
+  std::atomic<std::uint64_t> replan_retries_{0};
+  std::atomic<std::uint64_t> replans_failed_{0};
 };
 
 }  // namespace bt

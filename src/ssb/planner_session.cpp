@@ -12,6 +12,7 @@
 #include "lp/simplex.hpp"
 #include "sched/orchestrate.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -336,6 +337,11 @@ void PlannerSession::run_cutting_solve() {
   std::vector<const std::vector<EdgeId>*> new_cuts;
   auto separate = [&](const std::vector<double>& load, double tp, double tol,
                       double& min_flow) {
+    // Fault hook, counted once per round in this serial section (never
+    // inside the parallel fan-out), so the trigger index is width-invariant.
+    if (fault_fire(FaultSite::kSeparationOracle)) {
+      throw Error("fault injection: separation oracle failure");
+    }
     Timer separation_timer;
     parallel_for(pool, split.chunks, [&](std::size_t c) {
       if (chunk_solver[c] == nullptr) chunk_solver[c] = std::make_unique<MaxFlowSolver>(g);
@@ -383,6 +389,10 @@ void PlannerSession::run_cutting_solve() {
   // and would dilute the incremental-vs-rebuild master metric.
   // Returns true when converged (no new cut and the certificate holds).
   auto round = [&](bool warm, double tol, bool count_master) {
+    // Deadline ladder: between rounds is the only safe abort point (the
+    // masters are consistent), and pivot counts are width-invariant, so a
+    // pivot-budget abort fires at the same round on every pool width.
+    check_solve_budget(solution);
     ++solution.separation_rounds;
     Timer master_timer;
 
@@ -626,6 +636,120 @@ const SsbSolution& PlannerSession::solve() {
     throw;
   }
   cutting_dirty_ = false;
+  // run_cutting_solve builds a fresh SsbSolution, so the tier is kExact
+  // here; an optimum also re-anchors the heuristic rung's reference.
+  last_good_tp_ = cutting_solution_.throughput;
+  last_good_loads_ = cutting_solution_.edge_load;
+  return cutting_solution_;
+}
+
+void PlannerSession::check_solve_budget(const SsbSolution& solution) {
+  const bool pivots_out = pivot_budget_ > 0 && solution.lp_iterations >= pivot_budget_;
+  const bool wall_out = wall_budget_ms_ > 0.0 && budget_timer_.millis() >= wall_budget_ms_;
+  if (!pivots_out && !wall_out) return;
+  budget_hit_ = true;
+  ++stats_.budget_exhausts;
+  throw Error("PlannerSession: solve budget exhausted (ladder deadline)");
+}
+
+/// The heuristic rung: one arborescence priced by the last LP optimum's
+/// loads -- arcs the optimum leaned on are cheap, so the tree follows the
+/// optimal flow pattern where it can -- rated by its own port occupation
+/// (the tree streamed alone saturates its busiest port; rate = 1 / that
+/// occupation).  Always a feasible broadcast plan; typically within a few
+/// tens of percent of TP* (quality_gap reports the estimate).
+SsbSolution PlannerSession::heuristic_solution() const {
+  const Digraph& g = platform_.graph();
+  const std::size_t m = g.num_edges();
+  std::vector<double> price(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (removed_[e]) {
+      price[e] = kRemovedArcPrice;
+      continue;
+    }
+    const double load = e < last_good_loads_.size() ? last_good_loads_[e] : 0.0;
+    price[e] = platform_.edge_time(e) / (1.0 + load);
+  }
+  const auto tree = min_arborescence(g, platform_.source(), price);
+  BT_REQUIRE(tree.found, "PlannerSession: heuristic rung found no spanning arborescence");
+  for (EdgeId e : tree.edges) {
+    BT_REQUIRE(!removed_[e],
+               "PlannerSession: platform cannot broadcast (removals cut the source off)");
+  }
+
+  std::vector<double> out_time(g.num_nodes(), 0.0), in_time(g.num_nodes(), 0.0);
+  for (EdgeId e : tree.edges) {
+    const double t = platform_.edge_time(e);
+    out_time[g.from(e)] += t;
+    in_time[g.to(e)] += t;
+  }
+  double max_load = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (options_.cutting.port_model == PortModel::kBidirectional) {
+      max_load = std::max({max_load, out_time[u], in_time[u]});
+    } else {
+      max_load = std::max(max_load, out_time[u] + in_time[u]);
+    }
+  }
+  BT_ASSERT(max_load > 0.0, "PlannerSession: heuristic tree occupies no port");
+  const double rate = 1.0 / max_load;
+
+  SsbSolution solution;
+  solution.solved = true;
+  solution.throughput = rate;
+  solution.edge_load.assign(m, 0.0);
+  for (EdgeId e : tree.edges) solution.edge_load[e] = rate;
+  PackedTree column;
+  column.edges = tree.edges;
+  column.rate = rate;
+  solution.tree_columns.push_back(std::move(column));
+  solution.tier = PlanTier::kHeuristic;
+  solution.quality_gap =
+      last_good_tp_ > 0.0 ? std::max(0.0, (last_good_tp_ - rate) / last_good_tp_) : 0.0;
+  return solution;
+}
+
+const SsbSolution& PlannerSession::solve_laddered(const LadderOptions& ladder) {
+  if (!cutting_dirty_) return cutting_solution_;
+  pivot_budget_ = ladder.pivot_budget;
+  wall_budget_ms_ = ladder.wall_budget_ms;
+  budget_timer_.reset();
+  budget_hit_ = false;
+  struct BudgetReset {
+    PlannerSession* session;
+    ~BudgetReset() {
+      session->pivot_budget_ = 0;
+      session->wall_budget_ms_ = 0.0;
+    }
+  } reset{this};
+
+  try {
+    return solve();  // rung 0: tier kExact
+  } catch (const Error&) {
+    // An exhausted budget skips the rebuild rung -- a rebuild is the
+    // *expensive* recovery, and would only burn the budget again.
+    const bool try_rebuild = ladder.allow_rebuild && !budget_hit_;
+    if (try_rebuild) {
+      try {
+        // Rung 1: the rollback above dropped the standing masters but kept
+        // the pools, so this solve() rebuilds from pool content.
+        solve();
+        cutting_solution_.tier = PlanTier::kRebuild;
+        return cutting_solution_;
+      } catch (const Error&) {
+        if (!ladder.allow_heuristic) throw;
+      }
+    } else if (!ladder.allow_heuristic) {
+      throw;
+    }
+  }
+
+  // Rung 2: heuristic stand-in.  Throws only when the platform genuinely
+  // cannot broadcast; the session stays usable either way (a failure leaves
+  // cutting_dirty_ set, success caches like any other solution).
+  cutting_solution_ = heuristic_solution();
+  cutting_dirty_ = false;
+  ++stats_.heuristic_plans;
   return cutting_solution_;
 }
 
@@ -763,6 +887,49 @@ Platform grow_platform(const Platform& platform, const std::vector<SessionLink>&
   grown.set_send_overheads(std::move(send));
   grown.set_recv_overheads(std::move(recv));
   return grown;
+}
+
+Platform shrink_platform(const Platform& platform, NodeId node, ShrinkRemap* remap) {
+  const std::size_t old_nodes = platform.num_nodes();
+  const std::size_t old_edges = platform.num_edges();
+  BT_REQUIRE(node < old_nodes, "shrink_platform: node out of range");
+  BT_REQUIRE(node != platform.source(), "shrink_platform: cannot remove the source");
+  BT_REQUIRE(old_nodes > 2, "shrink_platform: a platform needs at least two nodes");
+
+  std::vector<NodeId> node_map(old_nodes);
+  for (NodeId u = 0; u < old_nodes; ++u) {
+    node_map[u] = u == node ? Digraph::npos : (u < node ? u : u - 1);
+  }
+  const Digraph& old_g = platform.graph();
+  Digraph g(old_nodes - 1);
+  std::vector<LinkCost> costs;
+  std::vector<EdgeId> edge_map(old_edges, Digraph::npos);
+  costs.reserve(old_edges);
+  for (EdgeId e = 0; e < old_edges; ++e) {
+    const NodeId u = old_g.from(e), v = old_g.to(e);
+    if (u == node || v == node) continue;
+    edge_map[e] = g.add_edge(node_map[u], node_map[v]);
+    costs.push_back(platform.link_cost(e));
+  }
+  // The Platform constructor re-validates reachability: a leave that
+  // disconnects the platform throws here.
+  Platform shrunk(std::move(g), std::move(costs), platform.slice_size(),
+                  node_map[platform.source()]);
+  std::vector<double> send, recv;
+  send.reserve(old_nodes - 1);
+  recv.reserve(old_nodes - 1);
+  for (NodeId u = 0; u < old_nodes; ++u) {
+    if (u == node) continue;
+    send.push_back(platform.send_overhead(u));
+    recv.push_back(platform.recv_overhead(u));
+  }
+  shrunk.set_send_overheads(std::move(send));
+  shrunk.set_recv_overheads(std::move(recv));
+  if (remap != nullptr) {
+    remap->node_map = std::move(node_map);
+    remap->edge_map = std::move(edge_map);
+  }
+  return shrunk;
 }
 
 NodeId PlannerSession::add_node(const std::vector<SessionLink>& in_links,
@@ -909,6 +1076,10 @@ void PlannerSession::run_packing_solve() {
   const ChunkSplit price_split(g.num_edges(), pool.num_threads());
   std::vector<double> price(g.num_edges());
   auto price_and_append = [&](const std::vector<double>& y) {
+    // Fault hook, counted once per pricing round in this serial section.
+    if (fault_fire(FaultSite::kPricingOracle)) {
+      throw Error("fault injection: pricing oracle failure");
+    }
     Timer pricing_timer;
     parallel_for(pool, price_split.chunks, [&](std::size_t c) {
       for (EdgeId e = price_split.chunk_begin(c); e < price_split.chunk_begin(c + 1); ++e) {

@@ -65,6 +65,7 @@
 #include "ssb/ssb_column_generation.hpp"
 #include "ssb/ssb_cutting_plane.hpp"
 #include "ssb/ssb_solution.hpp"
+#include "util/timer.hpp"
 
 namespace bt {
 
@@ -105,6 +106,29 @@ struct PlannerSessionStats {
   std::uint64_t rollbacks = 0;        ///< failed solves that reset masters
   std::uint64_t stable_stalls = 0;    ///< lex-polish stalls downgraded to value loads
   std::uint64_t cold_polish_stalls = 0;  ///< cold polish stalls flipped to warm polish
+  std::uint64_t heuristic_plans = 0;  ///< solve_laddered answers from the heuristic rung
+  std::uint64_t budget_exhausts = 0;  ///< solves aborted by a ladder deadline
+};
+
+/// Deadline / degradation policy of solve_laddered().  The ladder runs
+///
+///   warm/cold LP solve (kExact) -> rollback + pool-rebuild LP solve
+///   (kRebuild) -> LP-load-priced single arborescence (kHeuristic)
+///
+/// falling one rung per failure.  Budgets bound the LP rungs: a solve whose
+/// cumulative master pivots reach `pivot_budget`, or whose wall clock passes
+/// `wall_budget_ms`, aborts at the next separation-round boundary and the
+/// ladder drops straight to the heuristic rung (a rebuild would only burn
+/// the budget again).  Budgets are checked between rounds, so the first
+/// round always completes -- the budget is a deadline, not a starvation
+/// knob.  Pivot budgets are deterministic (pivot counts are bitwise
+/// width-invariant); wall budgets are best-effort and should not be used
+/// where reproducibility matters.
+struct LadderOptions {
+  std::size_t pivot_budget = 0;   ///< 0 = unlimited
+  double wall_budget_ms = 0.0;    ///< 0 = unlimited (best-effort, non-deterministic)
+  bool allow_rebuild = true;      ///< permit the kRebuild rung
+  bool allow_heuristic = true;    ///< permit the kHeuristic rung (else rethrow)
 };
 
 /// One link of a node joining the platform (add_node).
@@ -121,6 +145,21 @@ struct SessionLink {
 /// platform and every warm session consistently).
 Platform grow_platform(const Platform& platform, const std::vector<SessionLink>& in_links,
                        const std::vector<SessionLink>& out_links);
+
+/// Id remap of a shrink_platform call: old node/arc id -> new id, with
+/// Digraph::npos for the removed node and its incident arcs.  Surviving ids
+/// keep their relative order (they are compacted, not permuted).
+struct ShrinkRemap {
+  std::vector<NodeId> node_map;
+  std::vector<EdgeId> edge_map;
+};
+
+/// The shrunk platform of a node-leave delta: `platform` minus `node` and
+/// every arc touching it, per-node overheads preserved.  The mirror of
+/// grow_platform, shared by the service layer's remove_node.  Requires node
+/// != source and at least three nodes; throws (via the Platform
+/// constructor) if the remaining platform cannot broadcast.
+Platform shrink_platform(const Platform& platform, NodeId node, ShrinkRemap* remap = nullptr);
 
 class PlannerSession {
  public:
@@ -143,6 +182,15 @@ class PlannerSession {
   /// standing masters roll back (see header comment) and the error
   /// propagates; the session remains usable.
   const SsbSolution& solve();
+
+  /// solve() behind the degradation ladder (see LadderOptions): never fails
+  /// on a recoverable solver fault or an exhausted budget as long as the
+  /// platform can broadcast at all -- it degrades instead, and the answer's
+  /// SsbSolution::tier / quality_gap say how far.  A heuristic-tier answer
+  /// caches like any other solution (the next mutation clears it) and
+  /// carries its tree in tree_columns, so schedule() synthesizes from it
+  /// directly.
+  const SsbSolution& solve_laddered(const LadderOptions& ladder = {});
 
   /// TP* of the current platform (solve() + one field).
   double throughput() { return solve().throughput; }
@@ -206,6 +254,10 @@ class PlannerSession {
   void run_packing_solve();
   void drop_pool_trees_containing(EdgeId e);
 
+  // ladder internals
+  void check_solve_budget(const SsbSolution& solution);
+  SsbSolution heuristic_solution() const;
+
   void note_mutation();
 
   Platform platform_;
@@ -250,6 +302,18 @@ class PlannerSession {
   // ---- schedule cache ----
   std::unique_ptr<PeriodicSchedule> schedule_;
   std::uint64_t schedule_version_ = 0;
+
+  // ---- ladder state ----
+  /// Budgets of the solve_laddered call in flight (0 = unlimited outside
+  /// one); checked by run_cutting_solve at round boundaries.
+  std::size_t pivot_budget_ = 0;
+  double wall_budget_ms_ = 0.0;
+  Timer budget_timer_;
+  bool budget_hit_ = false;
+  /// The most recent LP-optimal answer: prices the heuristic rung's
+  /// arborescence and anchors quality_gap.
+  double last_good_tp_ = 0.0;
+  std::vector<double> last_good_loads_;
 };
 
 }  // namespace bt

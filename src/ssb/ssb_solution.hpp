@@ -25,6 +25,31 @@ namespace bt {
 /// the optimum within it.
 enum class PortModel { kBidirectional, kUnidirectional };
 
+/// Quality tier of an answer on the planner's degradation ladder (see
+/// ssb/planner_session.hpp).  Every answer the service hands out carries
+/// one, so callers can always tell an exact optimum from a degraded stand-in
+/// produced under a deadline or after a solver fault.
+enum class PlanTier {
+  /// The LP optimum from the ordinary warm/cold solve.
+  kExact = 0,
+  /// The LP optimum, but only after an error rollback dropped the standing
+  /// masters and the retry rebuilt them from the cut/column pools.
+  kRebuild = 1,
+  /// A single LP-load-priced arborescence rated by its port occupation --
+  /// a feasible broadcast plan, not an optimum (budget exhausted, or both
+  /// LP rungs failed).  quality_gap estimates the loss.
+  kHeuristic = 2,
+};
+
+inline const char* to_string(PlanTier tier) {
+  switch (tier) {
+    case PlanTier::kExact: return "exact";
+    case PlanTier::kRebuild: return "rebuild";
+    case PlanTier::kHeuristic: return "heuristic";
+  }
+  return "?";
+}
+
 /// One spanning broadcast tree of a fractional multi-tree packing: the
 /// tree's arcs and its rate lambda_T (slices per time-unit routed along it).
 struct PackedTree {
@@ -46,6 +71,14 @@ struct SsbSolution {
   /// direct solvers leave this empty; sched/tree_decomposition.hpp then
   /// reconstructs a decomposition from edge_load instead.
   std::vector<PackedTree> tree_columns;
+  /// Where on the degradation ladder this answer was produced.  Batch
+  /// solves always report kExact (they fail instead of degrading); the
+  /// session/service ladder fills the lower tiers.
+  PlanTier tier = PlanTier::kExact;
+  /// Estimated relative distance to the optimum: 0 for the exact tiers; for
+  /// kHeuristic, (last_good_TP - TP) / last_good_TP against the most recent
+  /// LP optimum this session produced (0 when none exists yet).
+  double quality_gap = 0.0;
   /// Diagnostics.
   std::size_t lp_iterations = 0;
   std::size_t separation_rounds = 0;  ///< cutting-plane solver only

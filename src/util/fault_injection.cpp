@@ -1,0 +1,170 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bt {
+
+namespace {
+
+thread_local FaultInjector* t_armed_injector = nullptr;
+
+FaultSite site_from_name(const std::string& name) {
+  if (name == "refactor") return FaultSite::kSingularRefactor;
+  if (name == "stall") return FaultSite::kSimplexStall;
+  if (name == "separation") return FaultSite::kSeparationOracle;
+  if (name == "pricing") return FaultSite::kPricingOracle;
+  if (name == "evict") return FaultSite::kSessionEviction;
+  throw Error("FaultPlan: unknown fault site '" + name + "'");
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  BT_REQUIRE(!text.empty(), std::string("FaultPlan: empty ") + what);
+  std::uint64_t value = 0;
+  for (char c : text) {
+    BT_REQUIRE(c >= '0' && c <= '9',
+               std::string("FaultPlan: non-numeric ") + what + " '" + text + "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSingularRefactor: return "refactor";
+    case FaultSite::kSimplexStall: return "stall";
+    case FaultSite::kSeparationOracle: return "separation";
+    case FaultSite::kPricingOracle: return "pricing";
+    case FaultSite::kSessionEviction: return "evict";
+    case FaultSite::kNumSites: break;
+  }
+  return "?";
+}
+
+void FaultPlan::add(FaultSite site, std::uint64_t at, std::uint64_t count) {
+  BT_REQUIRE(site < FaultSite::kNumSites, "FaultPlan::add: site out of range");
+  BT_REQUIRE(count > 0, "FaultPlan::add: count must be positive");
+  events_.push_back({site, at, count});
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  if (spec.rfind("random:", 0) == 0) {
+    std::istringstream in(spec.substr(7));
+    std::string seed, events, span;
+    BT_REQUIRE(std::getline(in, seed, ':') && std::getline(in, events, ':') &&
+                   std::getline(in, span, ':'),
+               "FaultPlan: random spec needs 'random:<seed>:<events>:<span>'");
+    return FaultPlan::random(parse_u64(seed, "seed"),
+                             static_cast<std::size_t>(parse_u64(events, "event count")),
+                             parse_u64(span, "span"));
+  }
+  std::istringstream in(spec);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t at_pos = token.find('@');
+    BT_REQUIRE(at_pos != std::string::npos,
+               "FaultPlan: trigger '" + token + "' needs site@index");
+    const FaultSite site = site_from_name(token.substr(0, at_pos));
+    std::string rest = token.substr(at_pos + 1);
+    std::uint64_t count = 1;
+    const std::size_t x_pos = rest.find('x');
+    if (x_pos != std::string::npos) {
+      count = parse_u64(rest.substr(x_pos + 1), "repeat count");
+      rest = rest.substr(0, x_pos);
+    }
+    plan.add(site, parse_u64(rest, "invocation index"), count);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("BT_FAULTS");
+  return parse(env != nullptr ? std::string(env) : std::string());
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t events, std::uint64_t span) {
+  BT_REQUIRE(span > 0, "FaultPlan::random: span must be positive");
+  FaultPlan plan;
+  Rng rng(seed);
+  for (std::size_t k = 0; k < events; ++k) {
+    const auto site = static_cast<FaultSite>(
+        rng.index(static_cast<std::size_t>(FaultSite::kNumSites)));
+    plan.add(site, static_cast<std::uint64_t>(rng.index(static_cast<std::size_t>(span))));
+  }
+  return plan;
+}
+
+bool FaultPlan::should_fire(FaultSite site, std::uint64_t invocation) const {
+  for (const FaultEvent& event : events_) {
+    if (event.site == site && invocation >= event.at && invocation < event.at + event.count)
+      return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (i > 0) out << ",";
+    out << to_string(e.site) << "@" << e.at;
+    if (e.count > 1) out << "x" << e.count;
+  }
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (auto& c : count_) c.store(0, std::memory_order_relaxed);
+  for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::fire(FaultSite site) {
+  const auto s = static_cast<std::size_t>(site);
+  const std::uint64_t n = count_[s].fetch_add(1, std::memory_order_relaxed);
+  if (!plan_.should_fire(site, n)) return false;
+  fired_[s].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::invocations(FaultSite site) const {
+  return count_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site) const {
+  return fired_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fired_) total += f.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FaultInjector::reset() {
+  for (auto& c : count_) c.store(0, std::memory_order_relaxed);
+  for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+}
+
+FaultScope::FaultScope(FaultInjector* injector) : previous_(t_armed_injector) {
+  if (injector != nullptr) t_armed_injector = injector;
+}
+
+FaultScope::~FaultScope() { t_armed_injector = previous_; }
+
+bool fault_fire(FaultSite site) {
+  FaultInjector* injector = t_armed_injector;
+  if (injector == nullptr) return false;
+  return injector->fire(site);
+}
+
+FaultInjector* armed_fault_injector() { return t_armed_injector; }
+
+}  // namespace bt

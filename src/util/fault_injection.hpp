@@ -1,0 +1,160 @@
+#pragma once
+
+// Deterministic fault injection for the planner's survival chains.
+//
+// The resilience machinery built across PRs 5-9 -- the simplex singular-
+// refactor revert, the slack-basis and initial-basis fallbacks, the
+// PlannerSession error rollback, the service's degradation ladder -- only
+// ever fired incidentally, on whatever numerical accident a seed happened
+// to produce.  This header makes those paths *testable*: a FaultPlan names
+// exact invocations of instrumented sites at which a synthetic fault fires,
+// and a FaultInjector counts the invocations and triggers the plan.
+//
+// Determinism contract: every instrumented site sits in a *serial* section
+// of its solver (one call per separation round, per pricing round, per
+// basis factorization, per simplex phase entry -- never inside a
+// parallel_for task), so the invocation counts are a pure function of the
+// solve sequence and independent of the worker-pool width.  A faulted run
+// therefore recovers byte-identically at pool widths {1, 2, 4}; the fault
+// bench (bench/bench_faults.cpp) gates exactly that.
+//
+// Scoping: hooks read a thread_local injector pointer armed by a FaultScope
+// RAII guard.  Only code executing under an armed scope consumes plan
+// triggers -- the service arms its own solves and leaves e.g. the scenario
+// engine's offline-reference solves untouched, so reference numbers never
+// depend on the fault schedule.  With no scope armed the hook is one
+// thread_local load and a null check.
+//
+// BT_FAULTS grammar (parsed by FaultPlan::parse / from_env):
+//
+//   spec     := trigger ("," trigger)* | "random:" seed ":" events ":" span
+//   trigger  := site "@" at ["x" count]
+//   site     := "refactor" | "stall" | "separation" | "pricing" | "evict"
+//
+// "refactor@3" fails the 4th basis factorization (0-based count) as if it
+// were numerically singular; "stall@5x2" forces the 6th and 7th simplex
+// phase entries to report an iteration-limit stall; "random:7:4:100" draws
+// 4 triggers over the first 100 invocations per site from seed 7.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bt {
+
+/// Instrumented sites.  Counting is per site, starting at 0.
+enum class FaultSite : std::size_t {
+  /// BasisLu::factorize reports a (synthetic) singular basis -- exercises
+  /// the simplex revert / slack-basis / initial-basis survival chain.
+  kSingularRefactor = 0,
+  /// A simplex phase (primal or dual) reports kIterationLimit on entry --
+  /// the pivot-budget-exhaustion / degenerate-stall shape.
+  kSimplexStall,
+  /// The cutting-plane separation oracle throws bt::Error at the start of a
+  /// round -- exercises the session rollback and the service ladder.
+  kSeparationOracle,
+  /// The column-generation pricing oracle throws bt::Error at the start of
+  /// a round.
+  kPricingOracle,
+  /// The service evicts the requested source's warm session just before
+  /// solving -- the next answer is a cold rebuild.
+  kSessionEviction,
+  kNumSites,
+};
+
+const char* to_string(FaultSite site);
+
+/// One trigger: site fires on invocations [at, at + count).
+struct FaultEvent {
+  FaultSite site = FaultSite::kSingularRefactor;
+  std::uint64_t at = 0;
+  std::uint64_t count = 1;
+};
+
+/// An immutable schedule of triggers.  Plans are data; arming one is the
+/// FaultInjector's job.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Append a trigger.
+  void add(FaultSite site, std::uint64_t at, std::uint64_t count = 1);
+
+  /// Parse the BT_FAULTS grammar (see header comment).  Throws bt::Error on
+  /// a malformed spec; an empty spec yields an empty plan.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Plan from the BT_FAULTS environment variable (unset: empty plan).
+  static FaultPlan from_env();
+
+  /// Seeded random plan: `events` single-shot triggers, each over a
+  /// uniformly random site and an invocation index in [0, span).
+  static FaultPlan random(std::uint64_t seed, std::size_t events, std::uint64_t span);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Does the plan fire `site` at (0-based) invocation `invocation`?
+  bool should_fire(FaultSite site, std::uint64_t invocation) const;
+
+  /// "refactor@3,stall@5x2" round-trip rendering.
+  std::string describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Counts hook invocations per site and fires the plan's triggers.  fire()
+/// is safe to call from several threads (atomic counters), but triggers are
+/// only invocation-count-deterministic when the armed sections are serial
+/// -- which every current arming site (service solves, session solves) is.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  /// Count one invocation of `site`; true when the plan fires there.
+  bool fire(FaultSite site);
+
+  /// Invocations counted so far (all, fired or not).
+  std::uint64_t invocations(FaultSite site) const;
+  /// Triggers actually fired.
+  std::uint64_t fired(FaultSite site) const;
+  std::uint64_t total_fired() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Reset all counters (a fresh run of the same plan).
+  void reset();
+
+ private:
+  static constexpr std::size_t kNumSites = static_cast<std::size_t>(FaultSite::kNumSites);
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kNumSites> count_;
+  std::array<std::atomic<std::uint64_t>, kNumSites> fired_;
+};
+
+/// RAII thread-scope arming: hooks on this thread consult `injector` until
+/// the scope ends (scopes nest; the previous injector is restored).
+/// Arming nullptr is a no-op scope, so call sites can arm unconditionally.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultInjector* injector);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// The hook the instrumented sites call: false (and no count) when no
+/// injector is armed on this thread.
+bool fault_fire(FaultSite site);
+
+/// The injector armed on this thread, or nullptr.
+FaultInjector* armed_fault_injector();
+
+}  // namespace bt

@@ -23,6 +23,8 @@
 #include "sched/validate.hpp"
 #include "service/planner_service.hpp"
 #include "sim/replay_session.hpp"
+#include "ssb/ssb_cutting_plane.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -151,6 +153,35 @@ TEST(ChurnTimeline, JoinsGrowThePlatformAndKeepArcIdsStable) {
   for (EdgeId e = 0; e < platform.num_edges(); ++e) {
     EXPECT_EQ(timeline.final_platform.graph().from(e), platform.graph().from(e));
     EXPECT_EQ(timeline.final_platform.graph().to(e), platform.graph().to(e));
+  }
+}
+
+TEST(ChurnTimeline, LeavesShrinkThePlatformAndStayReproducible) {
+  const Platform platform = test_platform(16, 44);
+  ChurnTimelineConfig config = small_timeline();
+  config.num_periods = 24;
+  config.leave_fraction = 0.4;
+  config.failure_fraction = 0.05;
+  config.recover_fraction = 0.2;
+  const ChurnTimeline timeline = make_churn_timeline(platform, config);
+
+  std::size_t joins = 0, leaves = 0;
+  for (const ChurnEvent& event : timeline.events) {
+    if (event.kind == ChurnEventKind::kNodeJoin) ++joins;
+    if (event.kind == ChurnEventKind::kNodeLeave) ++leaves;
+  }
+  ASSERT_GT(leaves, 0u);
+  // Node ids compact at each leave, so the count is the only stable check.
+  EXPECT_EQ(timeline.final_platform.num_nodes(), platform.num_nodes() + joins - leaves);
+  EXPECT_EQ(timeline.final_removed.size(), timeline.final_platform.num_edges());
+  // The final platform still broadcasts from its (possibly remapped) source.
+  EXPECT_GT(solve_ssb_cutting_plane(timeline.final_platform).throughput, 0.0);
+
+  const ChurnTimeline again = make_churn_timeline(platform, config);
+  ASSERT_EQ(again.events.size(), timeline.events.size());
+  for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].kind, timeline.events[i].kind);
+    EXPECT_EQ(again.events[i].node, timeline.events[i].node);
   }
 }
 
@@ -295,6 +326,80 @@ TEST(ChurnScenario, PayloadBitwiseIdenticalAcrossPoolWidthsAndRuns) {
     options.pool = &pool;
     const ChurnScenarioResult wide = run_churn_scenario(platform, options);
     EXPECT_TRUE(payload_bitwise_equal(reference, wide)) << threads << " threads";
+  }
+}
+
+TEST(ChurnScenario, NodeLeavesAreSurvivedAndAccounted) {
+  const Platform platform = test_platform(14, 29);
+  ChurnScenarioOptions options;
+  options.timeline = small_timeline();
+  options.timeline.num_periods = 20;
+  options.timeline.leave_fraction = 0.4;
+  const ChurnScenarioResult result = run_churn_scenario(platform, options);
+  ASSERT_GT(result.num_leaves, 0u);
+  EXPECT_GT(result.availability, 0.5);
+  EXPECT_LT(result.availability, 1.05);
+  // Every period was answered by some rung of the ladder.
+  EXPECT_EQ(result.periods_exact + result.periods_rebuild + result.periods_heuristic,
+            result.periods.size());
+  // Events apply after a boundary's poll, so a period with events runs the
+  // pre-event build (stale by one at most); quiet periods are never stale.
+  EXPECT_LE(result.stale_periods, result.num_events);
+  std::uint64_t stale = 0;
+  for (const ChurnPeriodRecord& record : result.periods) stale += record.stale;
+  EXPECT_EQ(stale, result.stale_periods);
+}
+
+TEST(ChurnScenario, AsyncModeServesStaleSchedulesWithoutLosingWork) {
+  const Platform platform = test_platform(14, 17);
+  ChurnScenarioOptions options;
+  options.timeline = small_timeline();
+  options.timeline.num_periods = 16;
+  options.service.async_replan = true;
+  const ChurnScenarioResult result = run_churn_scenario(platform, options);
+  EXPECT_GT(result.num_events, 0u);
+  EXPECT_GT(result.num_swaps, 0u);
+  EXPECT_GT(result.availability, 0.5);
+  EXPECT_EQ(result.replans_failed, 0u);
+  // Mutation batches coalesce into background jobs whose latencies the
+  // engine collects at drain points.
+  EXPECT_FALSE(result.replan_latency_ms.empty());
+}
+
+TEST(ChurnScenario, AsyncFaultedPayloadBitwiseAcrossPoolWidthsAndRuns) {
+  const Platform platform = test_platform(14, 17);
+  ChurnScenarioOptions options;
+  options.timeline = small_timeline();
+  options.timeline.num_periods = 12;
+  options.timeline.leave_fraction = 0.2;
+  options.service.async_replan = true;
+  options.service.ladder.pivot_budget = 100000;
+  const FaultPlan plan = FaultPlan::parse("separation@1,refactor@2,stall@4,evict@1");
+
+  ThreadPool serial(1);
+  options.pool = &serial;
+  FaultInjector reference_faults(plan);
+  options.service.faults = &reference_faults;
+  const ChurnScenarioResult reference = run_churn_scenario(platform, options);
+  ASSERT_FALSE(reference.periods.empty());
+  EXPECT_GT(reference_faults.total_fired(), 0u);
+
+  // A same-seed repeat with a fresh injector must agree bit for bit --
+  // including the per-period tier and staleness columns.
+  FaultInjector repeat_faults(plan);
+  options.service.faults = &repeat_faults;
+  const ChurnScenarioResult repeat = run_churn_scenario(platform, options);
+  EXPECT_TRUE(payload_bitwise_equal(reference, repeat));
+  EXPECT_EQ(repeat_faults.total_fired(), reference_faults.total_fired());
+
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    FaultInjector faults(plan);
+    options.pool = &pool;
+    options.service.faults = &faults;
+    const ChurnScenarioResult wide = run_churn_scenario(platform, options);
+    EXPECT_TRUE(payload_bitwise_equal(reference, wide)) << threads << " threads";
+    EXPECT_EQ(faults.total_fired(), reference_faults.total_fired()) << threads << " threads";
   }
 }
 

@@ -16,8 +16,10 @@
 #include "platform/random_generator.hpp"
 #include "sched/validate.hpp"
 #include "service/planner_service.hpp"
+#include "ssb/planner_session.hpp"
 #include "ssb/ssb_cutting_plane.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/lru_cache.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -332,6 +334,148 @@ TEST(PlannerService, StatsSnapshotIsCoherent) {
   EXPECT_GE(stats.plan_cache_hits, 1u);
   EXPECT_EQ(stats.sessions_created, 1u);
   EXPECT_EQ(service.version(), 1u);
+}
+
+// ---- the degradation ladder at the service boundary -------------------------
+
+TEST(PlannerServiceLadder, TransientSolverFaultDegradesInsteadOfThrowing) {
+  // Regression for the retry gap: a warm re-plan that throws used to
+  // surface bt::Error to the caller even though a pool rebuild would have
+  // answered.  With the ladder in the service path the fault is absorbed.
+  const Platform p = random_platform(12, 314);
+  const double exact_tp = solve_ssb_cutting_plane(p).throughput;
+
+  FaultPlan plan;
+  plan.add(FaultSite::kSeparationOracle, 0);
+  FaultInjector faults(plan);
+  PlannerServiceOptions options;
+  options.faults = &faults;
+  PlannerService service(p, options);
+
+  std::shared_ptr<const SsbSolution> answer;
+  EXPECT_NO_THROW(answer = service.plan(0));
+  ASSERT_NE(answer, nullptr);
+  EXPECT_EQ(answer->tier, PlanTier::kRebuild);
+  EXPECT_LE(rel_diff(answer->throughput, exact_tp), 1e-9);
+  EXPECT_EQ(faults.fired(FaultSite::kSeparationOracle), 1u);
+  EXPECT_EQ(service.stats().plans_rebuild, 1u);
+
+  // The fault was transient: the next re-plan is exact again.
+  service.scale_link_time(0, 1.0);
+  EXPECT_EQ(service.plan(0)->tier, PlanTier::kExact);
+}
+
+TEST(PlannerServiceLadder, BudgetExhaustedAnswerCarriesTierAndGap) {
+  const Platform p = random_platform(14, 2718);
+  PlannerServiceOptions options;
+  options.ladder.pivot_budget = 1;
+  PlannerService service(p, options);
+  const auto answer = service.plan(0);
+  EXPECT_EQ(answer->tier, PlanTier::kHeuristic);
+  EXPECT_GT(answer->throughput, 0.0);
+  EXPECT_GE(answer->quality_gap, 0.0);
+  EXPECT_LE(answer->quality_gap, 1.0);
+  EXPECT_EQ(service.stats().plans_heuristic, 1u);
+  // Even the degraded plan synthesizes a runnable schedule.
+  auto schedule = service.schedule(0);
+  ASSERT_NE(schedule, nullptr);
+  EXPECT_GT(schedule->throughput(), 0.0);
+}
+
+// ---- async re-planning ------------------------------------------------------
+
+TEST(PlannerServiceAsync, MutationsEnqueueAndPollPicksUpTheNewBuild) {
+  const Platform p = random_platform(12, 99);
+  PlannerServiceOptions options;
+  options.async_replan = true;
+  PlannerService service(p, options);
+
+  // First request per source still solves synchronously and publishes.
+  service.plan(0);
+  auto first_build = service.schedule(0);
+  ScheduleSubscription sub;
+  sub.source = 0;
+  ASSERT_NE(service.poll_schedule(sub), nullptr);
+
+  // A mutation enqueues a background re-plan instead of dirtying readers.
+  service.scale_link_time(0, 2.0);
+  service.drain_replans();
+  const PlannerServiceStats stats = service.stats();
+  EXPECT_GE(stats.replans_enqueued, 1u);
+  EXPECT_GE(stats.replans_run, 1u);
+  EXPECT_EQ(stats.replans_failed, 0u);
+  EXPECT_FALSE(service.take_replan_latencies().empty());
+
+  // The worker's build is newer; poll hands it over without a solve.
+  auto rebuilt = service.poll_schedule(sub);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_NE(rebuilt.get(), first_build.get());
+
+  // And the published plan matches a batch solve of the mutated platform.
+  Platform mutated = service.platform_snapshot();
+  EXPECT_LE(rel_diff(service.plan(0)->throughput,
+                     solve_ssb_cutting_plane(mutated.with_source(0)).throughput),
+            1e-9);
+}
+
+TEST(PlannerServiceAsync, PausedBatchesCoalesceIntoOneReplan) {
+  const Platform p = random_platform(12, 7);
+  PlannerServiceOptions options;
+  options.async_replan = true;
+  PlannerService service(p, options);
+  service.plan(0);
+
+  service.pause_replans();
+  for (int i = 0; i < 4; ++i) service.scale_link_time(i, 1.25);
+  service.resume_replans();
+  service.drain_replans();
+
+  // Coalescing happens at enqueue: the first mutation queues a job, the
+  // next three lift its version instead of queueing stale re-solves.
+  const PlannerServiceStats stats = service.stats();
+  EXPECT_EQ(stats.replans_enqueued, 1u);
+  EXPECT_EQ(stats.replans_coalesced, 3u);
+  EXPECT_EQ(stats.replans_run, 1u);
+  // The one re-plan that ran answered for the final state.
+  const Platform mutated = service.platform_snapshot();
+  EXPECT_LE(rel_diff(service.plan(0)->throughput,
+                     solve_ssb_cutting_plane(mutated.with_source(0)).throughput),
+            1e-9);
+}
+
+// ---- node leaves ------------------------------------------------------------
+
+TEST(PlannerService, RemoveNodeCompactsIdsAndMatchesBatchSolve) {
+  const Platform p = random_platform(12, 55);
+  PlannerService service(p);
+  service.plan(0);
+
+  const NodeId victim = static_cast<NodeId>(p.num_nodes() - 1);
+  ShrinkRemap remap;
+  service.remove_node(victim, &remap);
+
+  ASSERT_EQ(remap.node_map.size(), p.num_nodes());
+  EXPECT_EQ(remap.node_map[victim], Digraph::npos);
+  for (NodeId v = 0; v < victim; ++v) EXPECT_EQ(remap.node_map[v], v);
+  std::size_t dropped = 0;
+  for (EdgeId e = 0; e < p.num_edges(); ++e) {
+    const bool touches = p.graph().from(e) == victim || p.graph().to(e) == victim;
+    EXPECT_EQ(remap.edge_map[e] == Digraph::npos, touches) << "arc " << e;
+    dropped += touches;
+  }
+  ASSERT_GT(dropped, 0u);
+
+  const Platform shrunk = service.platform_snapshot();
+  EXPECT_EQ(shrunk.num_nodes(), p.num_nodes() - 1);
+  EXPECT_EQ(shrunk.num_edges(), p.num_edges() - dropped);
+  // Post-leave answers match a batch solve of the compacted platform.
+  EXPECT_LE(rel_diff(service.throughput(0),
+                     solve_ssb_cutting_plane(shrunk.with_source(0)).throughput),
+            1e-9);
+  // The reference helper agrees with the service's own compaction.
+  const Platform direct = shrink_platform(p, victim);
+  EXPECT_EQ(direct.num_nodes(), shrunk.num_nodes());
+  EXPECT_EQ(direct.num_edges(), shrunk.num_edges());
 }
 
 }  // namespace
